@@ -1,0 +1,75 @@
+"""Ablation A4: classical ML vs the DNN, in-distribution.
+
+The DNN study [18] benchmarked classical algorithms against its deep
+network. The paper under reproduction ran the DNN *out of the box*
+(cross-corpus, KDD-trained) and saw the all-positive collapse; this
+bench shows the counterfactual the Discussion (V-B-5) argues for — the
+same models trained in-distribution with a proper chronological split
+perform genuinely well. The gap between this table and the DNN row of
+Table IV is the paper's customisation-matters finding, quantified.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import compute_metrics
+from repro.core.preprocessing import prepare_flow_experiment
+from repro.datasets import generate_dataset
+from repro.ids.classical import (
+    DecisionTreeIDS,
+    GaussianNBIDS,
+    KNNIDS,
+    LogisticRegressionIDS,
+    RandomForestIDS,
+)
+from repro.ids.dnn import DNNClassifierIDS
+from repro.utils.rng import SeededRNG
+from repro.utils.tables import TextTable
+
+from benchmarks.conftest import save_result
+
+MODELS = (
+    ("LogisticRegression", LogisticRegressionIDS),
+    ("GaussianNB", GaussianNBIDS),
+    ("kNN", KNNIDS),
+    ("DecisionTree", DecisionTreeIDS),
+    ("RandomForest", RandomForestIDS),
+    ("DNN (in-distribution)", DNNClassifierIDS),
+)
+
+
+@pytest.fixture(scope="module")
+def flow_data():
+    dataset = generate_dataset("CICIDS2017", seed=0, scale=0.2)
+    return prepare_flow_experiment(
+        dataset, SeededRNG(0, "ablation-a4"), schema="cicflow",
+        train_fraction=0.6, test_prevalence=0.3,
+    )
+
+
+def test_classical_ml_ablation(benchmark, flow_data):
+    def sweep():
+        rows = []
+        for name, cls in MODELS:
+            model = cls()
+            model.fit(flow_data.train_flows, flow_data.train_features,
+                      flow_data.train_labels)
+            scores = model.anomaly_scores(flow_data.test_flows,
+                                          flow_data.test_features)
+            m = compute_metrics(flow_data.y_true,
+                                (np.asarray(scores) >= 0.5).astype(int))
+            rows.append((name, m))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(["Model", "Acc.", "Prec.", "Rec.", "F1"])
+    for name, m in rows:
+        table.add_row([name, *m.row()])
+    save_result("ablation_classical_ml", table.render())
+
+    # Shape: trained in-distribution, at least the tree ensembles and
+    # the DNN separate CICIDS2017 attacks well — the out-of-the-box
+    # Table IV collapse is a *deployment* failure, not a model one.
+    results = dict(rows)
+    assert results["RandomForest"].f1 > 0.8
+    assert results["DNN (in-distribution)"].f1 > 0.8

@@ -1,0 +1,65 @@
+"""Ablation A2: random flow sampling vs packet sampling (Section IV-A-1/2).
+
+The paper samples *flows* and re-sorts by timestamp so per-flow and
+temporal statistics survive. This bench quantifies what packet-level
+sampling would have destroyed: the flow-size distribution collapses and
+assembled flow counts explode (flows fragment).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.flows.assembler import FlowAssembler
+from repro.flows.sampling import random_flow_sample, random_packet_sample
+from repro.utils.rng import SeededRNG
+from repro.utils.tables import TextTable
+
+from benchmarks.conftest import save_result
+
+FRACTIONS = (1.0, 0.5, 0.25, 0.1)
+
+
+@pytest.fixture(scope="module")
+def capture():
+    return generate_dataset("CICIDS2017", seed=0, scale=0.15)
+
+
+def _mean_flow_size(packets):
+    flows = FlowAssembler().assemble(packets)
+    if not flows:
+        return 0.0, 0
+    return float(np.mean([f.total_packets for f in flows])), len(flows)
+
+
+def test_sampling_ablation(benchmark, capture):
+    def sweep():
+        rows = []
+        for fraction in FRACTIONS:
+            flow_sampled = random_flow_sample(
+                capture.packets, fraction, SeededRNG(1, "flow")
+            )
+            packet_sampled = random_packet_sample(
+                capture.packets, fraction, SeededRNG(1, "pkt")
+            )
+            rows.append((fraction, _mean_flow_size(flow_sampled),
+                         _mean_flow_size(packet_sampled)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable([
+        "Fraction", "flow-sampled mean pkts/flow", "flows",
+        "packet-sampled mean pkts/flow", "flows",
+    ])
+    baseline_mean = rows[0][1][0]
+    for fraction, (fmean, fcount), (pmean, pcount) in rows:
+        table.add_row([f"{fraction:.2f}", f"{fmean:.2f}", fcount,
+                       f"{pmean:.2f}", pcount])
+    save_result("ablation_sampling", table.render())
+
+    # Shape: flow sampling preserves the per-flow packet distribution at
+    # every fraction; packet sampling shreds it.
+    for fraction, (fmean, _), (pmean, _) in rows[1:]:
+        assert abs(fmean - baseline_mean) / baseline_mean < 0.5
+    _, (_, _), (pmean_small, _) = rows[-1]
+    assert pmean_small < 0.5 * baseline_mean

@@ -1,0 +1,74 @@
+"""Throughput microbenchmarks for the substrates.
+
+These are classic pytest-benchmark timing loops: packets/second through
+the AfterImage extractor, the flow assembler, the pcap codec, and the
+traffic generators — the performance envelope that bounds how large an
+evaluation the pipeline can run.
+"""
+
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.features.netstat import NetStat
+from repro.flows.assembler import FlowAssembler
+from repro.net.packet import Packet
+from repro.net.pcap import read_pcap, write_pcap
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return generate_dataset("Mirai", seed=0, scale=0.1).packets
+
+
+def test_netstat_throughput(benchmark, packets):
+    sample = packets[:2000]
+
+    def extract():
+        ns = NetStat()
+        for packet in sample:
+            ns.update(packet)
+
+    benchmark(extract)
+
+
+def test_flow_assembly_throughput(benchmark, packets):
+    def assemble():
+        return FlowAssembler().assemble(packets)
+
+    flows = benchmark(assemble)
+    assert flows
+
+
+def test_pcap_write_throughput(benchmark, packets, tmp_path_factory):
+    path = tmp_path_factory.mktemp("pcap") / "bench.pcap"
+
+    def write():
+        return write_pcap(path, packets)
+
+    count = benchmark(write)
+    assert count == len(packets)
+
+
+def test_pcap_read_throughput(benchmark, packets, tmp_path_factory):
+    path = tmp_path_factory.mktemp("pcap") / "bench-read.pcap"
+    write_pcap(path, packets)
+    loaded = benchmark(lambda: read_pcap(path))
+    assert len(loaded) == len(packets)
+
+
+def test_packet_serialization_throughput(benchmark, packets):
+    sample = packets[:2000]
+
+    def roundtrip():
+        return [Packet.from_bytes(p.to_bytes()) for p in sample]
+
+    out = benchmark(roundtrip)
+    assert len(out) == len(sample)
+
+
+def test_dataset_generation_throughput(benchmark):
+    dataset = benchmark.pedantic(
+        lambda: generate_dataset("BoT-IoT", seed=1, scale=0.2),
+        rounds=1, iterations=1,
+    )
+    assert len(dataset) > 1000

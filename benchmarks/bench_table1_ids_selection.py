@@ -1,0 +1,23 @@
+"""Regenerates paper Table I: the IDS selection outcome.
+
+Benchmarks the selection procedure itself (criteria evaluation over the
+fifteen investigated systems) and saves the rendered table.
+"""
+
+from repro.core.report import render_table1
+from repro.core.selection import run_selection, selected_names
+
+from benchmarks.conftest import save_result
+
+
+def test_table1_ids_selection(benchmark):
+    outcomes = benchmark(run_selection)
+    assert len(outcomes) == 15
+    # The paper's outcome: exactly these four survive.
+    assert set(selected_names()) == {
+        "Deep Neural Network (DNN)",
+        "Kitsune",
+        "HELAD",
+        "StratosphereIPS (Slips)",
+    }
+    save_result("table1_ids_selection", render_table1())

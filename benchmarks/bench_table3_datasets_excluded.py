@@ -1,0 +1,14 @@
+"""Regenerates paper Table III: datasets considered but excluded."""
+
+from repro.core.report import render_table3
+from repro.datasets import EXCLUDED_DATASETS, all_dataset_infos
+
+from benchmarks.conftest import save_result
+
+
+def test_table3_datasets_excluded(benchmark):
+    infos = benchmark(all_dataset_infos)
+    assert len(infos) == 18
+    assert len(EXCLUDED_DATASETS) == 13
+    assert all(info.exclusion_reason for info in EXCLUDED_DATASETS)
+    save_result("table3_datasets_excluded", render_table3())

@@ -1,0 +1,63 @@
+"""Per-IDS-row regeneration benches for Table IV.
+
+Each test regenerates one IDS's row at a reduced scale — the quick
+targets for iterating on a single system without re-running the whole
+20-cell matrix (bench_table4_main_results.py stays the authoritative
+full-scale run).
+"""
+
+import pytest
+
+from repro.core.pipeline import IDSAnalysisPipeline
+from repro.core.report import render_table4
+
+from benchmarks.conftest import save_result
+
+SCALE = 0.2
+SEED = 0
+
+
+def _run_row(ids_name: str) -> IDSAnalysisPipeline:
+    pipeline = IDSAnalysisPipeline(seed=SEED, scale=SCALE,
+                                   ids_names=(ids_name,))
+    pipeline.run_all()
+    return pipeline
+
+
+def test_table4_row_kitsune(benchmark):
+    pipeline = benchmark.pedantic(lambda: _run_row("Kitsune"),
+                                  rounds=1, iterations=1)
+    save_result("table4_row_kitsune", render_table4(pipeline))
+    f1 = {d: pipeline.f1_of("Kitsune", d) for d in pipeline.dataset_names}
+    assert min(f1["BoT-IoT"], f1["Mirai"]) > 0.8
+    assert max(f1["UNSW-NB15"], f1["CICIDS2017"]) < 0.35
+
+
+def test_table4_row_helad(benchmark):
+    pipeline = benchmark.pedantic(lambda: _run_row("HELAD"),
+                                  rounds=1, iterations=1)
+    save_result("table4_row_helad", render_table4(pipeline))
+    metrics = pipeline.results[("HELAD", "CICIDS2017")].metrics
+    assert metrics.precision >= metrics.recall
+    assert pipeline.f1_of("HELAD", "Stratosphere") > 0.6
+
+
+def test_table4_row_dnn(benchmark):
+    pipeline = benchmark.pedantic(lambda: _run_row("DNN"),
+                                  rounds=1, iterations=1)
+    save_result("table4_row_dnn", render_table4(pipeline))
+    for dataset in pipeline.dataset_names:
+        metrics = pipeline.results[("DNN", dataset)].metrics
+        assert metrics.recall > 0.9, dataset
+    assert pipeline.f1_of("DNN", "Stratosphere") < 0.5
+
+
+def test_table4_row_slips(benchmark):
+    pipeline = benchmark.pedantic(lambda: _run_row("Slips"),
+                                  rounds=1, iterations=1)
+    save_result("table4_row_slips", render_table4(pipeline))
+    assert pipeline.f1_of("Slips", "UNSW-NB15") == 0.0
+    assert pipeline.f1_of("Slips", "BoT-IoT") == 0.0
+    best = max(pipeline.dataset_names,
+               key=lambda d: pipeline.f1_of("Slips", d))
+    assert best == "Stratosphere"

@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Every bench prints the table it regenerates (run with ``-s`` to see it
+live); heavy pipeline benches run exactly once via ``benchmark.pedantic``.
+Results also land in ``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, content: str) -> None:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(content + "\n")
+    print(f"\n{content}\n")

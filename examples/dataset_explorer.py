@@ -1,0 +1,82 @@
+"""Dataset explorer: the compositions behind Tables II and IV.
+
+Generates all five evaluated datasets and prints the statistics the
+paper's analysis keeps returning to — protocol mix, attack families,
+class balance, benign-profile narrowness — plus each dataset's provided
+flow-feature schema (the preprocessing-impact variable).
+
+Usage::
+
+    python examples/dataset_explorer.py [--scale 0.1]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+import numpy as np
+
+from repro.datasets import USED_DATASETS, generate_dataset
+from repro.utils.tables import TextTable
+
+
+def benign_narrowness(dataset) -> float:
+    """Coefficient of variation of benign packet sizes — low means a
+    narrow, learnable benign profile (the IoT datasets)."""
+    sizes = [p.wire_len for p in dataset.packets if not p.label]
+    if len(sizes) < 2:
+        return float("nan")
+    return float(np.std(sizes) / np.mean(sizes))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    table = TextTable([
+        "Dataset", "Packets", "Flows", "Attack%", "Protocols",
+        "Benign size CV", "Features provided",
+    ])
+    details = []
+    for name in USED_DATASETS:
+        dataset = generate_dataset(name, seed=args.seed, scale=args.scale)
+        flows = dataset.flows()
+        protocols = Counter(p.protocol_name for p in dataset.packets)
+        proto_mix = "/".join(
+            f"{proto}:{count * 100 // len(dataset)}%"
+            for proto, count in protocols.most_common(3)
+        )
+        table.add_row([
+            name,
+            len(dataset),
+            len(flows),
+            f"{dataset.attack_prevalence:.1%}",
+            proto_mix,
+            f"{benign_narrowness(dataset):.2f}",
+            len(dataset.provided_flow_features),
+        ])
+        families = Counter()
+        for packet in dataset.packets:
+            if packet.label:
+                families[packet.attack_type] += 1
+        details.append((name, families))
+
+    print(table.render())
+    print("\nAttack family breakdown (packets):")
+    for name, families in details:
+        print(f"  {name}:")
+        for family, count in families.most_common():
+            print(f"    {family:22s} {count:7d}")
+
+    print("\nReading guide: the IoT datasets pair a low benign-size CV "
+          "(narrow profile) with volumetric attacks — easy mode for "
+          "anomaly IDSs. The enterprise sets pair a wide benign profile "
+          "with content-style attacks — the regime where Table IV's "
+          "scores collapse.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: reproduce a slice of the paper's Table IV in a minute.
+
+Runs the full IDS analysis pipeline for two IDSs on two datasets at a
+small scale and prints the paper-style results table plus the
+qualitative shape checks.
+
+Usage::
+
+    python examples/quickstart.py [--scale 0.15] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import IDSAnalysisPipeline, render_table4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="dataset generation scale (1.0 = bench size)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    pipeline = IDSAnalysisPipeline(
+        seed=args.seed,
+        scale=args.scale,
+        ids_names=("DNN", "Slips"),
+        dataset_names=("BoT-IoT", "Stratosphere", "Mirai"),
+    )
+    print(f"Running {len(pipeline.ids_names) * len(pipeline.dataset_names)} "
+          f"experiment cells at scale {args.scale} ...\n")
+    pipeline.run_all(verbose=True)
+
+    print("\n" + render_table4(pipeline))
+    print("\nInterpretation: the DNN's recall of ~1.0 with accuracy equal "
+          "to the attack prevalence is the paper's all-positive collapse; "
+          "Slips only scores on Stratosphere, its home-turf behaviours.")
+
+
+if __name__ == "__main__":
+    main()

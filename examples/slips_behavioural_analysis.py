@@ -1,0 +1,81 @@
+"""Behavioural analysis with the Slips-style IPS on Stratosphere IoT.
+
+Runs the evidence-accumulation IPS over the Stratosphere emulation and
+prints what a Slips operator would see: per-profile evidence, alerts,
+and the behavioural letter strings of the flagged conversations.
+
+Usage::
+
+    python examples/slips_behavioural_analysis.py [--scale 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import defaultdict
+
+import numpy as np
+
+from repro import SlipsIDS, generate_dataset
+from repro.core.metrics import compute_metrics
+from repro.ids.slips.markov import encode_letters
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("Generating the Stratosphere IoT emulation ...")
+    dataset = generate_dataset("Stratosphere", seed=args.seed,
+                               scale=args.scale)
+    flows = dataset.flows()
+    labels = np.array([f.label for f in flows])
+    print(f"  {len(flows)} flows ({labels.mean():.1%} attack)")
+
+    ids = SlipsIDS()
+    print(f"\nRunning Slips ({ids.describe()}, window "
+          f"{ids.window_width:.0f}s, threshold {ids.alert_threshold}) ...")
+    scores = ids.anomaly_scores(flows, np.zeros((len(flows), 1)))
+
+    print(f"\nEvidence collected ({len(ids.last_evidence)} items):")
+    by_kind = defaultdict(list)
+    for evidence in ids.last_evidence:
+        by_kind[evidence.kind.value].append(evidence)
+    for kind, items in sorted(by_kind.items()):
+        total = sum(e.weight for e in items)
+        print(f"  {kind:28s} x{len(items):3d}  total weight {total:6.2f}")
+        print(f"      e.g. {items[0].description}")
+
+    print(f"\nAlerts raised ({len(ids.last_alerts)}):")
+    for profile_ip, window_index, total in ids.last_alerts:
+        print(f"  profile {profile_ip:15s} window {window_index:3d} "
+              f"accumulated threat {total:.2f}")
+
+    # Show the behavioural letters of one flagged C2 conversation.
+    flagged = [f for f, s in zip(flows, scores) if s > 0 and f.label]
+    by_conversation = defaultdict(list)
+    for flow in flagged:
+        by_conversation[(flow.src_ip, flow.dst_ip, flow.dst_port)].append(flow)
+    beacon_groups = [g for g in by_conversation.values() if len(g) >= 6]
+    if beacon_groups:
+        group = max(beacon_groups, key=len)
+        letters = encode_letters(group)
+        f0 = group[0]
+        print(f"\nBehavioural letters of {f0.src_ip} -> "
+              f"{f0.dst_ip}:{f0.dst_port} ({len(group)} flows):")
+        print(f"  {letters}")
+        print("  (uppercase = strongly periodic; a run of periodic small "
+              "flows is the C2 beaconing signature)")
+
+    metrics = compute_metrics(labels, (scores > 0).astype(int))
+    print(f"\nFlow-level metrics: acc={metrics.accuracy:.4f} "
+          f"prec={metrics.precision:.4f} rec={metrics.recall:.4f} "
+          f"f1={metrics.f1:.4f}")
+    print("Stratosphere is Slips' best dataset in the paper's Table IV — "
+          "these behaviours are what its modules were built around.")
+
+
+if __name__ == "__main__":
+    main()

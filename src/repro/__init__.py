@@ -1,0 +1,61 @@
+"""repro — a reproduction of "Expectations Versus Reality: Evaluating
+Intrusion Detection Systems in Practice" (DSN 2025).
+
+A standardized cross-dataset NIDS evaluation pipeline, built with every
+substrate it depends on: a packet model with pcap I/O, flow assembly
+and feature export, Kitsune's AfterImage features, synthetic emulations
+of the five evaluated datasets, numpy neural networks, and the four
+evaluated IDSs (Kitsune, HELAD, a supervised DNN, and a Slips-style
+behavioural IPS).
+
+Quickstart::
+
+    from repro import IDSAnalysisPipeline, render_table4
+
+    pipeline = IDSAnalysisPipeline(seed=0, scale=0.3)
+    pipeline.run_all(verbose=True)
+    print(render_table4(pipeline))
+"""
+
+from repro.core import (
+    EXPERIMENT_MATRIX,
+    ExperimentConfig,
+    ExperimentResult,
+    IDSAnalysisPipeline,
+    MetricReport,
+    compute_metrics,
+    render_shape_checks,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_experiment,
+)
+from repro.datasets import SyntheticDataset, generate_dataset
+from repro.ids import DNNClassifierIDS, HELAD, Kitsune, SlipsIDS
+from repro.utils import SeededRNG
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IDSAnalysisPipeline",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "EXPERIMENT_MATRIX",
+    "run_experiment",
+    "MetricReport",
+    "compute_metrics",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_shape_checks",
+    "generate_dataset",
+    "SyntheticDataset",
+    "Kitsune",
+    "HELAD",
+    "DNNClassifierIDS",
+    "SlipsIDS",
+    "SeededRNG",
+    "__version__",
+]

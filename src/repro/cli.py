@@ -1,0 +1,148 @@
+"""Command-line interface for the reproduction pipeline.
+
+Four subcommands mirror the artefacts a user actually wants:
+
+* ``repro-cli tables`` — print the static inventories (Tables I-III);
+* ``repro-cli generate`` — synthesise a dataset and write it to pcap;
+* ``repro-cli evaluate`` — run one IDS x dataset cell and print metrics;
+* ``repro-cli table4`` — run the full (or restricted) Table IV matrix.
+
+Usage::
+
+    python -m repro.cli table4 --scale 0.2 --ids DNN Slips
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.core.report import render_table1, render_table2, render_table3
+
+    which = args.which
+    if which in ("1", "all"):
+        print("Table I — IDSs investigated\n")
+        print(render_table1())
+        print()
+    if which in ("2", "all"):
+        print("Table II — datasets used\n")
+        print(render_table2())
+        print()
+    if which in ("3", "all"):
+        print("Table III — datasets excluded\n")
+        print(render_table3())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import generate_dataset
+
+    dataset = generate_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    print(f"{dataset.name}: {len(dataset)} packets, "
+          f"{dataset.attack_prevalence:.1%} attack, "
+          f"{dataset.duration:.0f}s")
+    if args.output:
+        count = dataset.to_pcap(args.output)
+        print(f"wrote {count} packets to {args.output} "
+              f"(labels are not part of the pcap format)")
+    counts = dataset.attack_type_counts()
+    for family, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        print(f"  {family:24s} {count:8d} packets")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.experiment import EXPERIMENT_MATRIX, run_experiment
+
+    key = (args.ids, args.dataset)
+    if key not in EXPERIMENT_MATRIX:
+        known = sorted({k[0] for k in EXPERIMENT_MATRIX})
+        print(f"error: no experiment for {key}; IDSs: {', '.join(known)}",
+              file=sys.stderr)
+        return 2
+    config = replace(EXPERIMENT_MATRIX[key], seed=args.seed, scale=args.scale)
+    result = run_experiment(config)
+    m = result.metrics
+    print(f"{args.ids} on {args.dataset} (seed={args.seed}, "
+          f"scale={args.scale}):")
+    print(f"  accuracy  {m.accuracy:.4f}")
+    print(f"  precision {m.precision:.4f}")
+    print(f"  recall    {m.recall:.4f}")
+    print(f"  f1        {m.f1:.4f}")
+    print(f"  threshold {result.threshold:.6f} "
+          f"({config.threshold_strategy})")
+    for key_, value in sorted(result.notes.items()):
+        print(f"  note: {key_} = {value}")
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from repro.core.experiment import DATASET_ORDER
+    from repro.core.pipeline import IDSAnalysisPipeline
+    from repro.core.report import render_shape_checks, render_table4
+
+    pipeline = IDSAnalysisPipeline(
+        seed=args.seed,
+        scale=args.scale,
+        ids_names=tuple(args.ids),
+        dataset_names=tuple(args.datasets or DATASET_ORDER),
+    )
+    pipeline.run_all(verbose=True)
+    print()
+    print(render_table4(pipeline))
+    if set(pipeline.ids_names) == {"Kitsune", "HELAD", "DNN", "Slips"} and (
+        set(pipeline.dataset_names) == set(DATASET_ORDER)
+    ):
+        print()
+        print(render_shape_checks(pipeline))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Reproduction pipeline for 'Expectations Versus "
+                    "Reality' (DSN 2025).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="print Tables I-III")
+    p_tables.add_argument("--which", choices=("1", "2", "3", "all"),
+                          default="all")
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_gen = sub.add_parser("generate", help="synthesise a dataset")
+    p_gen.add_argument("dataset")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--scale", type=float, default=0.1)
+    p_gen.add_argument("--output", help="pcap output path")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_eval = sub.add_parser("evaluate", help="run one Table IV cell")
+    p_eval.add_argument("ids", choices=("Kitsune", "HELAD", "DNN", "Slips"))
+    p_eval.add_argument("dataset")
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument("--scale", type=float, default=0.2)
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_t4 = sub.add_parser("table4", help="run the Table IV matrix")
+    p_t4.add_argument("--seed", type=int, default=0)
+    p_t4.add_argument("--scale", type=float, default=0.35)
+    p_t4.add_argument("--ids", nargs="+",
+                      default=["Kitsune", "HELAD", "DNN", "Slips"])
+    p_t4.add_argument("--datasets", nargs="+")
+    p_t4.set_defaults(func=_cmd_table4)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

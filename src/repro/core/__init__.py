@@ -1,0 +1,74 @@
+"""The paper's contribution: the standardized IDS analysis pipeline.
+
+Section III (selection), Section IV (testing and evaluation
+methodology) and Section V (results) map onto this subpackage:
+
+* :mod:`repro.core.selection` — IDS/dataset selection criteria (Table I);
+* :mod:`repro.core.metrics` — accuracy / precision / recall / F1;
+* :mod:`repro.core.thresholds` — the standardized anomaly-threshold
+  procedure (Section IV-A-4);
+* :mod:`repro.core.preprocessing` — format adaptation, sampling and
+  rebalancing (Section IV-A-1/2);
+* :mod:`repro.core.experiment` — one IDS x dataset evaluation;
+* :mod:`repro.core.pipeline` — the full Table IV run;
+* :mod:`repro.core.report` — paper-style table rendering.
+"""
+
+from repro.core.metrics import MetricReport, compute_metrics, confusion_matrix
+from repro.core.thresholds import (
+    best_f1_threshold,
+    fpr_budget_threshold,
+    percentile_threshold,
+    standard_threshold,
+)
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    EXPERIMENT_MATRIX,
+    run_experiment,
+)
+from repro.core.pipeline import IDSAnalysisPipeline, Table4Cell
+from repro.core.families import (
+    FamilyRecall,
+    family_breakdown,
+    volumetric_vs_content_recall,
+)
+from repro.core.export import results_to_dict, results_to_json, results_to_markdown
+from repro.core.robustness import CellStability, seed_sweep, stability_report
+from repro.core.report import (
+    render_shape_checks,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__all__ = [
+    "MetricReport",
+    "compute_metrics",
+    "confusion_matrix",
+    "best_f1_threshold",
+    "fpr_budget_threshold",
+    "percentile_threshold",
+    "standard_threshold",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "EXPERIMENT_MATRIX",
+    "run_experiment",
+    "IDSAnalysisPipeline",
+    "Table4Cell",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_shape_checks",
+    "FamilyRecall",
+    "family_breakdown",
+    "volumetric_vs_content_recall",
+    "results_to_dict",
+    "results_to_json",
+    "results_to_markdown",
+    "CellStability",
+    "seed_sweep",
+    "stability_report",
+]

@@ -1,0 +1,279 @@
+"""One IDS x dataset evaluation, and the paper's full experiment matrix.
+
+Every cell of Table IV is described by an :class:`ExperimentConfig`
+capturing the adaptation decisions the paper made for that pairing
+(training source, sample composition, packet budgets). The matrix
+records them explicitly — the paper's point is precisely that these
+decisions are unavoidable and consequential, so the reproduction makes
+them first-class, inspectable data.
+
+Sample compositions follow the per-cell prevalences implied by the
+paper's published metrics (e.g. Slips' UNSW-NB15 accuracy of 0.8735
+with zero detections implies an ~13% attack sample; the DNN's
+accuracy == precision with recall 1.0 implies attack-dominated samples
+for UNSW/BoT/CICIDS). See EXPERIMENTS.md for the full derivations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import MetricReport, compute_metrics
+from repro.core.preprocessing import (
+    prepare_flow_experiment,
+    prepare_packet_experiment,
+)
+from repro.core.thresholds import standard_threshold
+from repro.datasets import generate_dataset
+from repro.ids.base import InputKind
+from repro.ids.registry import evaluated_ids_factories
+from repro.utils.rng import SeededRNG
+
+PACKET_IDS_NAMES = ("Kitsune", "HELAD")
+FLOW_IDS_NAMES = ("DNN", "Slips")
+DATASET_ORDER = ("UNSW-NB15", "BoT-IoT", "CICIDS2017", "Stratosphere", "Mirai")
+
+
+@dataclass
+class ExperimentConfig:
+    """Adaptation and evaluation settings for one Table IV cell."""
+
+    ids_name: str
+    dataset_name: str
+    seed: int = 0
+    scale: float = 0.5
+    # Threshold standardisation (Section IV-A-4).
+    threshold_strategy: str = "fpr-budget"
+    max_fpr: float = 0.05
+    lambda_fpr: float = 0.5
+    fixed_threshold: float = 0.5
+    # Packet-level adaptation.
+    test_prevalence: float | None = None
+    train_fraction: float = 0.15
+    max_test_packets: int | None = 8_000
+    max_train_packets: int | None = 6_000
+    # Flow-level adaptation.
+    schema: str = "netflow"
+    cross_corpus_train: bool = False
+    flow_train_fraction: float = 0.6
+    train_prevalence: float | None = None
+    max_flows: int | None = 20_000
+    # Extra constructor arguments for the IDS.
+    ids_overrides: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return f"{self.ids_name} on {self.dataset_name} (seed={self.seed})"
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one cell: metrics plus full provenance.
+
+    ``attack_types[i]`` is the attack family of test item ``i`` (an
+    empty string for benign items), enabling per-family recall analysis
+    (:mod:`repro.core.families`).
+    """
+
+    config: ExperimentConfig
+    metrics: MetricReport
+    threshold: float
+    scores: np.ndarray
+    y_true: np.ndarray
+    notes: dict
+    runtime_seconds: float
+    attack_types: tuple[str, ...] = ()
+
+
+def _build_ids(config: ExperimentConfig):
+    factories = evaluated_ids_factories()
+    try:
+        factory = factories[config.ids_name]
+    except KeyError:
+        known = ", ".join(sorted(factories))
+        raise KeyError(
+            f"unknown IDS {config.ids_name!r}; known: {known}"
+        ) from None
+    kwargs = dict(factory.default_config())
+    kwargs.update(config.ids_overrides)
+    return factory, kwargs
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one Table IV cell end to end."""
+    start = time.perf_counter()
+    rng = SeededRNG(config.seed, f"exp/{config.ids_name}/{config.dataset_name}")
+    dataset = generate_dataset(
+        config.dataset_name, seed=config.seed, scale=config.scale
+    )
+    factory, kwargs = _build_ids(config)
+
+    if factory.input_kind is InputKind.PACKET:
+        data = prepare_packet_experiment(
+            dataset,
+            rng.child("prep"),
+            train_fraction=config.train_fraction,
+            test_prevalence=config.test_prevalence,
+            max_test_packets=config.max_test_packets,
+            max_train_packets=config.max_train_packets,
+        )
+        if config.ids_name == "Kitsune":
+            # Grace periods must fit the available training stream —
+            # the per-dataset setup labour the paper describes.
+            fm = max(100, len(data.train_packets) // 10)
+            kwargs.setdefault("seed", config.seed)
+            kwargs["fm_grace"] = fm
+            kwargs["ad_grace"] = max(100, len(data.train_packets) - fm)
+        else:
+            kwargs.setdefault("seed", config.seed)
+        ids = factory(**kwargs)
+        ids.fit(data.train_packets)
+        scores = ids.anomaly_scores(data.test_packets)
+        y_true = data.y_true
+        notes = data.notes
+        attack_types = tuple(p.attack_type for p in data.test_packets)
+    else:
+        train_dataset = None
+        if config.cross_corpus_train:
+            from repro.datasets import kddcup
+
+            train_dataset = kddcup.generate(
+                seed=config.seed, scale=max(config.scale * 0.5, 0.1)
+            )
+        data = prepare_flow_experiment(
+            dataset,
+            rng.child("prep"),
+            schema=config.schema,
+            train_dataset=train_dataset,
+            train_fraction=config.flow_train_fraction,
+            train_prevalence=config.train_prevalence,
+            test_prevalence=config.test_prevalence,
+            max_flows=config.max_flows,
+        )
+        if config.ids_name == "DNN":
+            kwargs.setdefault("seed", config.seed)
+        ids = factory(**kwargs)
+        ids.fit(data.train_flows, data.train_features, data.train_labels)
+        scores = ids.anomaly_scores(data.test_flows, data.test_features)
+        y_true = data.y_true
+        notes = data.notes
+        attack_types = tuple(f.attack_type for f in data.test_flows)
+
+    threshold = standard_threshold(
+        y_true,
+        scores,
+        strategy=config.threshold_strategy,
+        max_fpr=config.max_fpr,
+        lambda_fpr=config.lambda_fpr,
+        fixed_value=config.fixed_threshold,
+    )
+    predictions = (scores >= threshold).astype(int)
+    metrics = compute_metrics(y_true, predictions)
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        threshold=threshold,
+        scores=scores,
+        y_true=y_true,
+        notes=dict(notes),
+        runtime_seconds=time.perf_counter() - start,
+        attack_types=attack_types,
+    )
+
+
+def _matrix() -> dict[tuple[str, str], ExperimentConfig]:
+    """The 20-cell experiment matrix behind Table IV."""
+    configs: dict[tuple[str, str], ExperimentConfig] = {}
+
+    # ---- Kitsune: packet-level, trained on initial benign traffic ----
+    # Enterprise samples are benign-dominated after flow sampling (the
+    # paper's Kitsune rows imply ~1-5% attack packets there); IoT
+    # captures keep their natural attack-heavy composition.
+    kitsune_prevalence = {
+        "UNSW-NB15": 0.05,
+        "BoT-IoT": None,
+        "CICIDS2017": 0.02,
+        "Stratosphere": None,
+        "Mirai": None,
+    }
+    for dataset, prevalence in kitsune_prevalence.items():
+        configs[("Kitsune", dataset)] = ExperimentConfig(
+            ids_name="Kitsune",
+            dataset_name=dataset,
+            test_prevalence=prevalence,
+            # Detection-first thresholding: Kitsune's published rows
+            # (recall 0.98 at precision 0.01 on CICIDS2017) show the
+            # procedure tolerated near-total flagging when scores did
+            # not separate the classes.
+            threshold_strategy="detection-priority",
+            lambda_fpr=0.3,
+        )
+
+    # ---- HELAD: conservatively thresholded (its published CICIDS2017
+    # row trades recall 0.37 for precision 0.97). Sample compositions
+    # follow the prevalences implied by its published accuracies
+    # (CICIDS2017 acc 0.6437 at prec 0.97 implies a ~57% attack sample;
+    # UNSW-NB15 acc 0.9717 with near-zero detections implies ~3%).
+    helad_prevalence = {
+        "UNSW-NB15": 0.03,
+        "BoT-IoT": None,
+        "CICIDS2017": 0.57,
+        "Stratosphere": None,
+        "Mirai": None,
+    }
+    for dataset, prevalence in helad_prevalence.items():
+        configs[("HELAD", dataset)] = ExperimentConfig(
+            ids_name="HELAD",
+            dataset_name=dataset,
+            test_prevalence=prevalence,
+            threshold_strategy="fpr-budget",
+            max_fpr=0.04,
+        )
+
+    # ---- DNN: out-of-the-box pipeline arrives pre-trained on its
+    # KDD-like corpus; test compositions follow the paper's implied
+    # prevalences (accuracy == precision, recall == 1.0).
+    dnn_prevalence = {
+        "UNSW-NB15": 0.982,
+        "BoT-IoT": 0.977,
+        "CICIDS2017": 0.98,
+        "Stratosphere": 0.211,
+        "Mirai": 0.906,
+    }
+    for dataset, prevalence in dnn_prevalence.items():
+        configs[("DNN", dataset)] = ExperimentConfig(
+            ids_name="DNN",
+            dataset_name=dataset,
+            cross_corpus_train=True,
+            test_prevalence=prevalence,
+            # The DNN's native sigmoid decision boundary — out of the box.
+            threshold_strategy="fixed",
+            fixed_threshold=0.5,
+        )
+
+    # ---- Slips: flow-level, training-free; natural compositions except
+    # where the paper's accuracies imply specific samples.
+    slips_prevalence = {
+        "UNSW-NB15": 0.13,
+        "BoT-IoT": None,  # naturally >98% attack, like the real BoT-IoT
+        "CICIDS2017": 0.063,
+        "Stratosphere": None,
+        "Mirai": 0.20,
+    }
+    for dataset, prevalence in slips_prevalence.items():
+        configs[("Slips", dataset)] = ExperimentConfig(
+            ids_name="Slips",
+            dataset_name=dataset,
+            test_prevalence=prevalence,
+            # Training-free: the whole capture is evaluated, and Slips'
+            # own evidence threshold is the decision boundary.
+            flow_train_fraction=0.0,
+            threshold_strategy="fixed",
+            fixed_threshold=0.5,
+        )
+    return configs
+
+
+EXPERIMENT_MATRIX: dict[tuple[str, str], ExperimentConfig] = _matrix()

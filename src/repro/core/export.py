@@ -1,0 +1,90 @@
+"""Machine-readable exports of pipeline results.
+
+The text tables in :mod:`repro.core.report` mirror the paper; these
+exporters serve downstream tooling: JSON for archival / CI comparison,
+markdown for READMEs and issue reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.metrics import average_metrics
+from repro.utils.tables import format_float, render_markdown_table
+
+
+def results_to_dict(pipeline) -> dict[str, Any]:
+    """Flatten a completed pipeline into a JSON-serialisable dict."""
+    cells = []
+    for (ids_name, dataset_name), result in sorted(pipeline.results.items()):
+        m = result.metrics
+        cells.append({
+            "ids": ids_name,
+            "dataset": dataset_name,
+            "accuracy": m.accuracy,
+            "precision": m.precision,
+            "recall": m.recall,
+            "f1": m.f1,
+            "tp": m.tp,
+            "fp": m.fp,
+            "tn": m.tn,
+            "fn": m.fn,
+            "threshold": result.threshold,
+            "threshold_strategy": result.config.threshold_strategy,
+            "runtime_seconds": result.runtime_seconds,
+            "notes": {k: _jsonable(v) for k, v in result.notes.items()},
+        })
+    averages = {
+        ids_name: pipeline.average_for(ids_name).f1
+        for ids_name in pipeline.ids_names
+        if all((ids_name, d) in pipeline.results
+               for d in pipeline.dataset_names)
+    }
+    return {
+        "seed": pipeline.seed,
+        "scale": pipeline.scale,
+        "cells": cells,
+        "average_f1": averages,
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def results_to_json(pipeline, *, indent: int = 2) -> str:
+    """Serialise a completed pipeline to a JSON string."""
+    return json.dumps(results_to_dict(pipeline), indent=indent)
+
+
+def results_to_markdown(pipeline) -> str:
+    """Render Table IV as one markdown table per IDS."""
+    sections = []
+    for ids_name in pipeline.ids_names:
+        rows = []
+        cells = pipeline.row(ids_name)
+        for cell in cells:
+            m = cell.metrics
+            rows.append([
+                cell.dataset_name,
+                format_float(m.accuracy),
+                format_float(m.precision),
+                format_float(m.recall),
+                format_float(m.f1),
+            ])
+        avg = average_metrics([c.metrics for c in cells])
+        rows.append([
+            "**Average**",
+            format_float(avg.accuracy),
+            format_float(avg.precision),
+            format_float(avg.recall),
+            format_float(avg.f1),
+        ])
+        table = render_markdown_table(
+            ["Dataset", "Acc.", "Prec.", "Rec.", "F1"], rows
+        )
+        sections.append(f"### {ids_name}\n\n{table}")
+    return "\n\n".join(sections)

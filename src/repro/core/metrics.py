@@ -1,0 +1,103 @@
+"""Evaluation metrics (paper Section IV-B).
+
+The paper reports accuracy, precision, recall and F1. Conventions for
+degenerate cases follow the paper's own Table IV: zero detections give
+precision = recall = F1 = 0.0000 (not NaN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> tuple[int, int, int, int]:
+    """Return (tp, fp, tn, fn) for binary labels."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    tp = int(np.sum(y_true & y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    tn = int(np.sum(~y_true & ~y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    return tp, fp, tn, fn
+
+
+@dataclass(frozen=True)
+class MetricReport:
+    """One Table IV cell: the four metrics plus the raw confusion counts."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    @property
+    def support(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def positives(self) -> int:
+        return self.tp + self.fn
+
+    @property
+    def prevalence(self) -> float:
+        return self.positives / self.support if self.support else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        negatives = self.fp + self.tn
+        return self.fp / negatives if negatives else 0.0
+
+    def row(self, digits: int = 4) -> tuple[str, str, str, str]:
+        """The four formatted metric strings, Table IV order."""
+        return (
+            f"{self.accuracy:.{digits}f}",
+            f"{self.precision:.{digits}f}",
+            f"{self.recall:.{digits}f}",
+            f"{self.f1:.{digits}f}",
+        )
+
+
+def compute_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> MetricReport:
+    """Accuracy/precision/recall/F1 with zero-division-to-zero rules."""
+    tp, fp, tn, fn = confusion_matrix(y_true, y_pred)
+    total = tp + fp + tn + fn
+    accuracy = (tp + tn) / total if total else 0.0
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return MetricReport(
+        accuracy=accuracy, precision=precision, recall=recall, f1=f1,
+        tp=tp, fp=fp, tn=tn, fn=fn,
+    )
+
+
+def average_metrics(reports: list[MetricReport]) -> MetricReport:
+    """Unweighted per-dataset average — the paper's "Average:" rows."""
+    if not reports:
+        raise ValueError("cannot average zero reports")
+    return MetricReport(
+        accuracy=float(np.mean([r.accuracy for r in reports])),
+        precision=float(np.mean([r.precision for r in reports])),
+        recall=float(np.mean([r.recall for r in reports])),
+        f1=float(np.mean([r.f1 for r in reports])),
+        tp=sum(r.tp for r in reports),
+        fp=sum(r.fp for r in reports),
+        tn=sum(r.tn for r in reports),
+        fn=sum(r.fn for r in reports),
+    )

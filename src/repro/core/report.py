@@ -1,0 +1,78 @@
+"""Paper-style table rendering (Tables I-IV)."""
+
+from __future__ import annotations
+
+from repro.core.metrics import average_metrics
+from repro.core.selection import run_selection
+from repro.datasets.registry import EXCLUDED_DATASETS, USED_DATASET_INFO
+from repro.utils.tables import TextTable, format_float
+
+
+def render_table1() -> str:
+    """Table I: IDSs investigated, with outcome / failure reason."""
+    table = TextTable(["NIDS", "Year", "Dataset", "Source", "Usability/Issues"])
+    for outcome in run_selection():
+        record = outcome.record
+        status = "Used in Paper" if outcome.selected else (
+            outcome.detail or record.issue
+        )
+        table.add_row([record.name, record.year, record.dataset,
+                       record.source, status])
+    return table.render()
+
+
+def render_table2() -> str:
+    """Table II: datasets used for evaluation."""
+    table = TextTable(["Dataset", "Characteristics", "Relevance / Reason"])
+    for info in USED_DATASET_INFO.values():
+        table.add_row([info.name, info.characteristics, info.relevance])
+    return table.render()
+
+
+def render_table3() -> str:
+    """Table III: datasets considered but excluded."""
+    table = TextTable(["Dataset", "Characteristics", "Reason for Exclusion"])
+    for info in EXCLUDED_DATASETS:
+        table.add_row([info.name, info.characteristics, info.exclusion_reason])
+    return table.render()
+
+
+def render_table4(pipeline) -> str:
+    """Table IV: performance results for tested IDSs and datasets.
+
+    ``pipeline`` is a completed :class:`repro.core.pipeline.
+    IDSAnalysisPipeline`. Layout mirrors the paper: one block per IDS,
+    one row per dataset, then the per-IDS average row.
+    """
+    lines: list[str] = []
+    header = f"{'Dataset':14s}  {'Acc.':>7s}  {'Prec.':>7s}  {'Rec.':>7s}  {'F1':>7s}"
+    for ids_name in pipeline.ids_names:
+        lines.append(f"IDS: {ids_name}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        cells = pipeline.row(ids_name)
+        for cell in cells:
+            m = cell.metrics
+            lines.append(
+                f"{cell.dataset_name:14s}  {format_float(m.accuracy):>7s}  "
+                f"{format_float(m.precision):>7s}  {format_float(m.recall):>7s}  "
+                f"{format_float(m.f1):>7s}"
+            )
+        avg = average_metrics([c.metrics for c in cells])
+        lines.append(
+            f"{'Average:':14s}  {format_float(avg.accuracy):>7s}  "
+            f"{format_float(avg.precision):>7s}  {format_float(avg.recall):>7s}  "
+            f"{format_float(avg.f1):>7s}"
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_shape_checks(pipeline) -> str:
+    """The qualitative-findings verification block."""
+    lines = ["Qualitative shape checks (paper Section V):"]
+    for check in pipeline.shape_checks():
+        mark = "PASS" if check.passed else "FAIL"
+        lines.append(f"  [{mark}] {check.claim}")
+        lines.append(f"         {check.detail}")
+    return "\n".join(lines)

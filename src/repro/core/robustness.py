@@ -1,0 +1,92 @@
+"""Multi-seed robustness analysis for Table IV cells.
+
+The paper reports single-run numbers; a reproduction should know how
+stable its own numbers are. :func:`seed_sweep` re-runs one cell across
+seeds and reports mean/std per metric, and :func:`stability_report`
+does it for a whole IDS row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.experiment import EXPERIMENT_MATRIX, run_experiment
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and standard deviation of one metric across seeds."""
+
+    mean: float
+    std: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4f}±{self.std:.4f}"
+
+
+@dataclass
+class CellStability:
+    """Per-metric summaries for one IDS x dataset cell."""
+
+    ids_name: str
+    dataset_name: str
+    seeds: tuple[int, ...]
+    accuracy: MetricSummary
+    precision: MetricSummary
+    recall: MetricSummary
+    f1: MetricSummary
+
+    @property
+    def f1_coefficient_of_variation(self) -> float:
+        if self.f1.mean == 0:
+            return 0.0
+        return self.f1.std / self.f1.mean
+
+
+def seed_sweep(
+    ids_name: str,
+    dataset_name: str,
+    *,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    scale: float = 0.15,
+) -> CellStability:
+    """Run one Table IV cell across ``seeds`` and summarise."""
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    base = EXPERIMENT_MATRIX[(ids_name, dataset_name)]
+    metrics = []
+    for seed in seeds:
+        config = replace(base, seed=seed, scale=scale)
+        metrics.append(run_experiment(config).metrics)
+
+    def summarise(attr: str) -> MetricSummary:
+        values = np.array([getattr(m, attr) for m in metrics])
+        return MetricSummary(float(values.mean()), float(values.std()))
+
+    return CellStability(
+        ids_name=ids_name,
+        dataset_name=dataset_name,
+        seeds=tuple(seeds),
+        accuracy=summarise("accuracy"),
+        precision=summarise("precision"),
+        recall=summarise("recall"),
+        f1=summarise("f1"),
+    )
+
+
+def stability_report(
+    ids_name: str,
+    *,
+    dataset_names: tuple[str, ...] = (
+        "UNSW-NB15", "BoT-IoT", "CICIDS2017", "Stratosphere", "Mirai"
+    ),
+    seeds: tuple[int, ...] = (0, 1, 2),
+    scale: float = 0.15,
+) -> list[CellStability]:
+    """Seed-sweep a full IDS row."""
+    return [
+        seed_sweep(ids_name, dataset, seeds=seeds, scale=scale)
+        for dataset in dataset_names
+    ]

@@ -1,0 +1,87 @@
+"""IDS and dataset selection criteria (paper Section III).
+
+The paper applies five criteria to academic IDSs (recency, code
+availability, ML-orientation, publisher reliability, usability) and
+five to non-academic ones (code availability, popularity, documentation,
+ongoing support, usability). This module encodes the criteria as
+predicates over :class:`repro.ids.registry.IDSRecord` metadata and
+reproduces the Table I outcome: usability is where almost everything
+dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ids.registry import INVESTIGATED_IDS, IDSRecord
+
+#: The study window: papers must be at most this old (criterion A1).
+RECENCY_WINDOW_YEARS = 5
+#: The study's reference year for recency checks.
+STUDY_YEAR = 2023
+
+ACADEMIC_CRITERIA = (
+    "recency",
+    "code-availability",
+    "ml-oriented",
+    "reliability",
+    "usability",
+)
+NON_ACADEMIC_CRITERIA = (
+    "code-availability",
+    "popularity",
+    "documentation",
+    "ongoing-support",
+    "usability",
+)
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """Per-system verdict with the first failed criterion."""
+
+    record: IDSRecord
+    selected: bool
+    failed_criterion: str = ""
+    detail: str = ""
+
+
+def _usability_issue(record: IDSRecord) -> str:
+    """The usability failure reason, or "" if the system ran."""
+    return "" if record.used else record.issue
+
+
+def evaluate_record(record: IDSRecord) -> SelectionOutcome:
+    """Apply the appropriate criteria set to one investigated system."""
+    if record.academic:
+        if STUDY_YEAR - record.year > RECENCY_WINDOW_YEARS:
+            return SelectionOutcome(record, False, "recency",
+                                    f"published {record.year}")
+        if "code not provided" in record.issue.lower():
+            return SelectionOutcome(record, False, "code-availability",
+                                    record.issue)
+        if "use of ml" in record.issue.lower():
+            return SelectionOutcome(record, False, "ml-oriented", record.issue)
+        if "not propose a directly usable" in record.issue.lower():
+            return SelectionOutcome(record, False, "usability", record.issue)
+        issue = _usability_issue(record)
+        if issue:
+            return SelectionOutcome(record, False, "usability", issue)
+        return SelectionOutcome(record, True)
+    # Non-academic path.
+    if "use of ml" in record.issue.lower():
+        return SelectionOutcome(record, False, "documentation", record.issue)
+    issue = _usability_issue(record)
+    if issue:
+        return SelectionOutcome(record, False, "usability", issue)
+    return SelectionOutcome(record, True)
+
+
+def run_selection() -> list[SelectionOutcome]:
+    """Evaluate every investigated system; order follows Table I."""
+    return [evaluate_record(record) for record in INVESTIGATED_IDS]
+
+
+def selected_names() -> list[str]:
+    """The systems that survive selection (the Table IV row set)."""
+    return [o.record.name for o in run_selection() if o.selected]

@@ -1,0 +1,26 @@
+"""Dataset substrate: synthetic emulations of the evaluated datasets.
+
+The five evaluated datasets (paper Table II) are generated synthetically
+— see DESIGN.md for the substitution rationale — and the thirteen
+examined-but-excluded datasets (Table III) are carried as metadata.
+"""
+
+from repro.datasets.base import DatasetInfo, SyntheticDataset, merge_streams
+from repro.datasets.registry import (
+    EXCLUDED_DATASETS,
+    USED_DATASETS,
+    USED_DATASET_INFO,
+    all_dataset_infos,
+    generate_dataset,
+)
+
+__all__ = [
+    "DatasetInfo",
+    "SyntheticDataset",
+    "merge_streams",
+    "generate_dataset",
+    "all_dataset_infos",
+    "USED_DATASETS",
+    "USED_DATASET_INFO",
+    "EXCLUDED_DATASETS",
+]

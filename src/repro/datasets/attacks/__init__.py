@@ -1,0 +1,49 @@
+"""Attack traffic generators.
+
+Each generator emits labelled packets (``label=1`` with an
+``attack_type`` family string) and is parameterised to match how the
+family appears in the dataset that features it. Families split into
+*volumetric* (floods, scans — visible in header/timing statistics, the
+kind anomaly IDSs catch) and *content-style* (exploits, web attacks —
+conversations whose headers look benign, the kind they miss), because
+that split drives the per-dataset differences in the paper's Table IV.
+"""
+
+from repro.datasets.attacks.scan import port_scan, network_sweep, os_fingerprint_probe
+from repro.datasets.attacks.dos import syn_flood, http_flood, slowloris
+from repro.datasets.attacks.ddos import udp_flood_ddos, tcp_flood_ddos
+from repro.datasets.attacks.bruteforce import ssh_bruteforce, ftp_bruteforce
+from repro.datasets.attacks.botnet import c2_beaconing, data_exfiltration
+from repro.datasets.attacks.mirai import (
+    mirai_scan_phase,
+    mirai_infection,
+    mirai_flood_phase,
+)
+from repro.datasets.attacks.content import (
+    web_attack_session,
+    exploit_session,
+    fuzzer_session,
+    backdoor_session,
+)
+
+__all__ = [
+    "port_scan",
+    "network_sweep",
+    "os_fingerprint_probe",
+    "syn_flood",
+    "http_flood",
+    "slowloris",
+    "udp_flood_ddos",
+    "tcp_flood_ddos",
+    "ssh_bruteforce",
+    "ftp_bruteforce",
+    "c2_beaconing",
+    "data_exfiltration",
+    "mirai_scan_phase",
+    "mirai_infection",
+    "mirai_flood_phase",
+    "web_attack_session",
+    "exploit_session",
+    "fuzzer_session",
+    "backdoor_session",
+]

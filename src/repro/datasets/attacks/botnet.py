@@ -1,0 +1,73 @@
+"""Botnet behaviours: C2 beaconing and data exfiltration.
+
+Beaconing is the behaviour Stratosphere's detection models were built
+around (periodic, low-volume, long-lived connections to a C2 server
+*without* a preceding DNS lookup), so these generators matter for
+reproducing Slips' relatively strong Stratosphere row in Table IV.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.traffic import Host, Network, tcp_conversation
+from repro.net.packet import Packet
+from repro.utils.rng import SeededRNG
+
+
+def c2_beaconing(
+    rng: SeededRNG,
+    start: float,
+    bot: Host,
+    c2_server: Host,
+    network: Network,
+    *,
+    beacons: int = 40,
+    period: float = 30.0,
+    dport: int = 6667,
+    payload_size: int = 64,
+    attack_type: str = "botnet-c2",
+) -> list[Packet]:
+    """Periodic check-ins to the C2: tiny request, tiny command reply,
+    clock-regular period (the Markov-chain signature Slips models)."""
+    packets: list[Packet] = []
+    ts = start
+    for _ in range(beacons):
+        conversation = tcp_conversation(
+            rng, ts, bot, c2_server,
+            sport=network.ephemeral_port(), dport=dport,
+            request_sizes=[payload_size], response_sizes=[payload_size // 2],
+            rtt=0.05, think_time=0.01,
+        )
+        for packet in conversation:
+            packet.label = 1
+            packet.attack_type = attack_type
+        packets.extend(conversation)
+        ts += period * (1.0 + float(rng.normal(0, 0.03)))
+    return packets
+
+
+def data_exfiltration(
+    rng: SeededRNG,
+    start: float,
+    bot: Host,
+    drop_server: Host,
+    network: Network,
+    *,
+    volume: int = 400_000,
+    chunks: int = 8,
+    dport: int = 443,
+    attack_type: str = "data-exfiltration",
+) -> list[Packet]:
+    """Slow upload of a large volume in spaced chunks (BoT-IoT's "data
+    theft" category, CICIDS2017's infiltration)."""
+    chunk_size = max(volume // chunks, 1)
+    conversation = tcp_conversation(
+        rng, start, bot, drop_server,
+        sport=network.ephemeral_port(), dport=dport,
+        request_sizes=[chunk_size] * chunks,
+        response_sizes=[64] * chunks,
+        rtt=0.03, think_time=5.0,
+    )
+    for packet in conversation:
+        packet.label = 1
+        packet.attack_type = attack_type
+    return conversation

@@ -1,0 +1,81 @@
+"""Credential brute force against SSH and FTP."""
+
+from __future__ import annotations
+
+from repro.datasets.traffic import Host, Network, tcp_conversation
+from repro.net.packet import Packet
+from repro.utils.rng import SeededRNG
+
+
+def _login_attempts(
+    rng: SeededRNG,
+    start: float,
+    attacker: Host,
+    victim: Host,
+    network: Network,
+    *,
+    dport: int,
+    attempts: int,
+    attempt_interval: float,
+    banner_size: int,
+    attack_type: str,
+) -> list[Packet]:
+    """Many short failed-login conversations in quick succession.
+
+    Each attempt is a small fixed-shape exchange (banner, credentials,
+    rejection, reset) — individually unremarkable, anomalous in volume
+    and regularity.
+    """
+    packets: list[Packet] = []
+    ts = start
+    for _ in range(attempts):
+        conversation = tcp_conversation(
+            rng, ts, attacker, victim,
+            sport=network.ephemeral_port(), dport=dport,
+            request_sizes=[20, 40], response_sizes=[banner_size, 30],
+            rtt=0.008, think_time=0.02, graceful_close=True,
+        )
+        for packet in conversation:
+            packet.label = 1
+            packet.attack_type = attack_type
+        packets.extend(conversation)
+        ts += attempt_interval + float(rng.exponential(attempt_interval * 0.1))
+    return packets
+
+
+def ssh_bruteforce(
+    rng: SeededRNG,
+    start: float,
+    attacker: Host,
+    victim: Host,
+    network: Network,
+    *,
+    attempts: int = 120,
+    attempt_interval: float = 0.5,
+    attack_type: str = "bruteforce-ssh",
+) -> list[Packet]:
+    """Hydra/Patator-style SSH password guessing (CICIDS2017 Tuesday)."""
+    return _login_attempts(
+        rng, start, attacker, victim, network,
+        dport=22, attempts=attempts, attempt_interval=attempt_interval,
+        banner_size=120, attack_type=attack_type,
+    )
+
+
+def ftp_bruteforce(
+    rng: SeededRNG,
+    start: float,
+    attacker: Host,
+    victim: Host,
+    network: Network,
+    *,
+    attempts: int = 120,
+    attempt_interval: float = 0.4,
+    attack_type: str = "bruteforce-ftp",
+) -> list[Packet]:
+    """FTP password guessing."""
+    return _login_attempts(
+        rng, start, attacker, victim, network,
+        dport=21, attempts=attempts, attempt_interval=attempt_interval,
+        banner_size=80, attack_type=attack_type,
+    )

@@ -1,0 +1,132 @@
+"""Content-style attacks: header-plausible conversations whose malice
+lives in the payload.
+
+UNSW-NB15's dominant families (fuzzers, exploits, backdoors, generic)
+and CICIDS2017's web attacks are of this kind. Their flow and timing
+statistics sit inside the benign envelope — which is precisely why the
+per-packet anomaly IDSs post low recall on UNSW-NB15 in Table IV.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.traffic import Host, Network, tcp_conversation
+from repro.net.http import HTTPRequest
+from repro.net.packet import Packet
+from repro.utils.rng import SeededRNG
+
+_INJECTIONS = (
+    "/search?q=' OR 1=1 --",
+    "/item?id=1; DROP TABLE users",
+    "/profile?name=<script>alert(1)</script>",
+    "/download?file=../../../../etc/passwd",
+)
+
+
+def web_attack_session(
+    rng: SeededRNG,
+    start: float,
+    attacker: Host,
+    server: Host,
+    network: Network,
+    *,
+    requests: int = 6,
+    attack_type: str = "web-attack",
+) -> list[Packet]:
+    """SQL-injection / XSS / traversal probes over ordinary-looking HTTP."""
+    request_sizes = []
+    response_sizes = []
+    for _ in range(requests):
+        path = str(rng.choice(_INJECTIONS))
+        req = HTTPRequest(method="GET", path=path,
+                          headers={"Host": "victim", "User-Agent": "Mozilla/5.0"})
+        request_sizes.append(len(req.to_bytes()))
+        response_sizes.append(int(rng.integers(400, 3000)))
+    conversation = tcp_conversation(
+        rng, start, attacker, server,
+        sport=network.ephemeral_port(), dport=80,
+        request_sizes=request_sizes, response_sizes=response_sizes,
+        rtt=0.012, think_time=float(rng.exponential(0.6)) + 0.05,
+    )
+    for packet in conversation:
+        packet.label = 1
+        packet.attack_type = attack_type
+    return conversation
+
+
+def exploit_session(
+    rng: SeededRNG,
+    start: float,
+    attacker: Host,
+    victim: Host,
+    network: Network,
+    *,
+    dport: int = 445,
+    attack_type: str = "exploits",
+) -> list[Packet]:
+    """A service exploit: short handshake-like exchange then a payload
+    burst and an abrupt server response — near-benign header shape."""
+    conversation = tcp_conversation(
+        rng, start, attacker, victim,
+        sport=network.ephemeral_port(), dport=dport,
+        request_sizes=[180, int(rng.integers(800, 4000))],
+        response_sizes=[120, int(rng.integers(60, 400))],
+        rtt=0.015, think_time=0.1,
+    )
+    for packet in conversation:
+        packet.label = 1
+        packet.attack_type = attack_type
+    return conversation
+
+
+def fuzzer_session(
+    rng: SeededRNG,
+    start: float,
+    attacker: Host,
+    victim: Host,
+    network: Network,
+    *,
+    dport: int = 80,
+    probes: int = 10,
+    attack_type: str = "fuzzers",
+) -> list[Packet]:
+    """Protocol fuzzing: many variable-size malformed requests on one
+    connection; sizes are uniform-random rather than Pareto, a subtle
+    distributional tell."""
+    request_sizes = [int(rng.integers(20, 2500)) for _ in range(probes)]
+    response_sizes = [int(rng.integers(0, 200)) for _ in range(probes)]
+    conversation = tcp_conversation(
+        rng, start, attacker, victim,
+        sport=network.ephemeral_port(), dport=dport,
+        request_sizes=request_sizes, response_sizes=response_sizes,
+        rtt=0.012, think_time=0.08,
+    )
+    for packet in conversation:
+        packet.label = 1
+        packet.attack_type = attack_type
+    return conversation
+
+
+def backdoor_session(
+    rng: SeededRNG,
+    start: float,
+    operator: Host,
+    victim: Host,
+    network: Network,
+    *,
+    dport: int = 31337,
+    commands: int = 8,
+    attack_type: str = "backdoor",
+) -> list[Packet]:
+    """An interactive reverse-shell-like session on an unusual port."""
+    request_sizes = [int(rng.integers(10, 80)) for _ in range(commands)]
+    response_sizes = [int(rng.integers(100, 4000)) for _ in range(commands)]
+    conversation = tcp_conversation(
+        rng, start, operator, victim,
+        sport=network.ephemeral_port(), dport=dport,
+        request_sizes=request_sizes, response_sizes=response_sizes,
+        rtt=0.02, think_time=float(rng.exponential(2.0)) + 0.3,
+    )
+    for packet in conversation:
+        packet.label = 1
+        packet.attack_type = attack_type
+    return conversation

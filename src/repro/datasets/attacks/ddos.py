@@ -1,0 +1,63 @@
+"""Distributed denial of service from a bot population."""
+
+from __future__ import annotations
+
+from repro.datasets.traffic import Host, _tcp_packet, _udp_packet
+from repro.net.packet import Packet
+from repro.net.tcp import TCPFlags
+from repro.utils.rng import SeededRNG
+
+
+def udp_flood_ddos(
+    rng: SeededRNG,
+    start: float,
+    bots: list[Host],
+    victim: Host,
+    *,
+    packets_per_bot: int = 300,
+    rate_per_bot: float = 500.0,
+    dport: int = 80,
+    payload_size: int = 512,
+    attack_type: str = "ddos-udp-flood",
+) -> list[Packet]:
+    """Constant-size UDP datagrams from every bot simultaneously."""
+    packets: list[Packet] = []
+    for bot in bots:
+        ts = start + float(rng.uniform(0, 0.5))
+        sport = int(rng.integers(1024, 65535))
+        for _ in range(packets_per_bot):
+            packets.append(
+                _udp_packet(ts, bot, victim, sport, dport,
+                            payload=b"\x00" * payload_size, label=1,
+                            attack_type=attack_type)
+            )
+            ts += 1.0 / rate_per_bot + float(rng.exponential(0.02 / rate_per_bot))
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
+def tcp_flood_ddos(
+    rng: SeededRNG,
+    start: float,
+    bots: list[Host],
+    victim: Host,
+    *,
+    packets_per_bot: int = 300,
+    rate_per_bot: float = 500.0,
+    dport: int = 80,
+    attack_type: str = "ddos-tcp-flood",
+) -> list[Packet]:
+    """SYN/ACK-mix TCP flood from every bot (BoT-IoT's dominant class)."""
+    packets: list[Packet] = []
+    for bot in bots:
+        ts = start + float(rng.uniform(0, 0.5))
+        for _ in range(packets_per_bot):
+            sport = int(rng.integers(1024, 65535))
+            flags = TCPFlags.SYN if rng.random() < 0.8 else TCPFlags.ACK
+            packets.append(
+                _tcp_packet(ts, bot, victim, sport, dport, flags,
+                            label=1, attack_type=attack_type)
+            )
+            ts += 1.0 / rate_per_bot + float(rng.exponential(0.02 / rate_per_bot))
+    packets.sort(key=lambda p: p.timestamp)
+    return packets

@@ -1,0 +1,105 @@
+"""Single-source denial of service: SYN flood, HTTP flood, slowloris."""
+
+from __future__ import annotations
+
+from repro.datasets.traffic import Host, Network, _tcp_packet, tcp_conversation
+from repro.net.http import HTTPRequest
+from repro.net.packet import Packet
+from repro.net.tcp import TCPFlags
+from repro.utils.rng import SeededRNG
+
+
+def syn_flood(
+    rng: SeededRNG,
+    start: float,
+    attacker: Host,
+    victim: Host,
+    *,
+    packets_count: int = 2000,
+    rate: float = 2000.0,
+    dport: int = 80,
+    attack_type: str = "dos-syn-flood",
+) -> list[Packet]:
+    """High-rate SYNs from rotating spoofed-looking source ports; the
+    victim answers a fraction with SYN-ACK before its backlog fills."""
+    packets: list[Packet] = []
+    ts = start
+    backlog_alive = 0.1  # victim answers only early packets in each burst
+    for i in range(packets_count):
+        sport = int(rng.integers(1024, 65535))
+        packets.append(
+            _tcp_packet(ts, attacker, victim, sport, dport, TCPFlags.SYN,
+                        label=1, attack_type=attack_type)
+        )
+        if rng.random() < backlog_alive:
+            packets.append(
+                _tcp_packet(ts + 0.001, victim, attacker, dport, sport,
+                            TCPFlags.SYN | TCPFlags.ACK, label=1,
+                            attack_type=attack_type)
+            )
+        ts += 1.0 / rate + float(rng.exponential(0.05 / rate))
+    return packets
+
+
+def http_flood(
+    rng: SeededRNG,
+    start: float,
+    attacker: Host,
+    victim: Host,
+    network: Network,
+    *,
+    requests: int = 200,
+    rate: float = 50.0,
+    attack_type: str = "dos-http-flood",
+) -> list[Packet]:
+    """Rapid full HTTP GETs — complete connections at an abnormal rate."""
+    packets: list[Packet] = []
+    ts = start
+    body = HTTPRequest(method="GET", path="/", headers={"Host": "victim"})
+    request_len = len(body.to_bytes())
+    for _ in range(requests):
+        packets.extend(
+            tcp_conversation(
+                rng, ts, attacker, victim,
+                sport=network.ephemeral_port(), dport=80,
+                request_sizes=[request_len], response_sizes=[2048],
+                rtt=0.005, think_time=0.001,
+            )
+        )
+        ts += 1.0 / rate + float(rng.exponential(0.1 / rate))
+    for packet in packets:
+        packet.label = 1
+        packet.attack_type = attack_type
+    return packets
+
+
+def slowloris(
+    rng: SeededRNG,
+    start: float,
+    attacker: Host,
+    victim: Host,
+    network: Network,
+    *,
+    connections: int = 50,
+    duration: float = 120.0,
+    attack_type: str = "dos-slowloris",
+) -> list[Packet]:
+    """Many connections kept barely alive with tiny partial headers —
+    the low-rate DoS in CICIDS2017 (DoS Slowhttptest/Slowloris)."""
+    packets: list[Packet] = []
+    for _ in range(connections):
+        offset = float(rng.uniform(0, duration * 0.2))
+        drips = max(2, int(duration / 10))
+        packets.extend(
+            tcp_conversation(
+                rng, start + offset, attacker, victim,
+                sport=network.ephemeral_port(), dport=80,
+                request_sizes=[24] * drips, response_sizes=[0] * drips,
+                rtt=0.01, think_time=10.0, graceful_close=False,
+            )
+        )
+    for packet in packets:
+        packet.label = 1
+        packet.attack_type = attack_type
+    packets.sort(key=lambda p: p.timestamp)
+    return packets

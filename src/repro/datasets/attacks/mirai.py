@@ -1,0 +1,108 @@
+"""The Mirai botnet lifecycle, as captured in the Kitsune Mirai trace.
+
+Three phases: telnet scanning for weak devices, infection (credential
+attempts + binary download), then the flood. The Kitsune Mirai capture
+is mostly the scan phase saturating a small IoT network, which is why
+the per-packet anomaly IDSs do well on it.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.traffic import Host, Network, _tcp_packet, tcp_conversation
+from repro.net.packet import Packet
+from repro.net.tcp import TCPFlags
+from repro.utils.rng import SeededRNG
+
+
+def mirai_scan_phase(
+    rng: SeededRNG,
+    start: float,
+    infected: list[Host],
+    address_space: list[Host],
+    *,
+    probes_per_bot: int = 400,
+    rate: float = 100.0,
+    attack_type: str = "mirai-scan",
+) -> list[Packet]:
+    """Each infected device SYN-probes telnet (23/2323) across the
+    address space — Mirai's signature rapid horizontal scan."""
+    packets: list[Packet] = []
+    for bot in infected:
+        ts = start + float(rng.uniform(0, 1.0))
+        for _ in range(probes_per_bot):
+            target = address_space[int(rng.integers(0, len(address_space)))]
+            dport = 23 if rng.random() < 0.9 else 2323
+            sport = int(rng.integers(1024, 65535))
+            packets.append(
+                _tcp_packet(ts, bot, target, sport, dport, TCPFlags.SYN,
+                            label=1, attack_type=attack_type)
+            )
+            if rng.random() < 0.05:  # rare telnet listener answers
+                packets.append(
+                    _tcp_packet(ts + 0.004, target, bot, dport, sport,
+                                TCPFlags.SYN | TCPFlags.ACK, label=1,
+                                attack_type=attack_type)
+                )
+            ts += 1.0 / rate + float(rng.exponential(0.05 / rate))
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
+def mirai_infection(
+    rng: SeededRNG,
+    start: float,
+    bot: Host,
+    victim: Host,
+    loader: Host,
+    network: Network,
+    *,
+    attack_type: str = "mirai-infection",
+) -> list[Packet]:
+    """Telnet credential attempts then the loader pushing the binary."""
+    packets: list[Packet] = []
+    ts = start
+    for _ in range(int(rng.integers(3, 8))):  # credential dictionary tries
+        attempt = tcp_conversation(
+            rng, ts, bot, victim,
+            sport=network.ephemeral_port(), dport=23,
+            request_sizes=[16, 24], response_sizes=[40, 20],
+            rtt=0.01, think_time=0.2,
+        )
+        packets.extend(attempt)
+        ts = attempt[-1].timestamp + 0.5
+    download = tcp_conversation(
+        rng, ts, victim, loader,
+        sport=network.ephemeral_port(), dport=80,
+        request_sizes=[120], response_sizes=[60_000],
+        rtt=0.02, think_time=0.05,
+    )
+    packets.extend(download)
+    for packet in packets:
+        packet.label = 1
+        packet.attack_type = attack_type
+    return packets
+
+
+def mirai_flood_phase(
+    rng: SeededRNG,
+    start: float,
+    bots: list[Host],
+    victim: Host,
+    *,
+    packets_per_bot: int = 500,
+    rate_per_bot: float = 1000.0,
+    attack_type: str = "mirai-flood",
+) -> list[Packet]:
+    """The post-infection SYN flood toward the final victim."""
+    packets: list[Packet] = []
+    for bot in bots:
+        ts = start + float(rng.uniform(0, 0.2))
+        for _ in range(packets_per_bot):
+            sport = int(rng.integers(1024, 65535))
+            packets.append(
+                _tcp_packet(ts, bot, victim, sport, 80, TCPFlags.SYN,
+                            label=1, attack_type=attack_type)
+            )
+            ts += 1.0 / rate_per_bot + float(rng.exponential(0.02 / rate_per_bot))
+    packets.sort(key=lambda p: p.timestamp)
+    return packets

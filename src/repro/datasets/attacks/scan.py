@@ -1,0 +1,113 @@
+"""Reconnaissance: port scans, host sweeps, OS fingerprint probes."""
+
+from __future__ import annotations
+
+from repro.datasets.traffic import Host, _tcp_packet
+from repro.net.packet import Packet
+from repro.net.tcp import TCPFlags
+from repro.utils.rng import SeededRNG
+
+_COMMON_PORTS = (21, 22, 23, 25, 53, 80, 110, 135, 139, 143, 443, 445, 993,
+                 995, 1723, 3306, 3389, 5900, 8080, 8443)
+
+
+def port_scan(
+    rng: SeededRNG,
+    start: float,
+    scanner: Host,
+    target: Host,
+    *,
+    ports: int = 200,
+    rate: float = 100.0,
+    open_ports: tuple[int, ...] = (22, 80, 443),
+    attack_type: str = "reconnaissance",
+) -> list[Packet]:
+    """A vertical SYN scan: one SYN per port; open ports answer SYN-ACK
+    (followed by the scanner's RST), closed ports answer RST."""
+    packets: list[Packet] = []
+    ts = start
+    port_list = list(_COMMON_PORTS) + [
+        int(p) for p in rng.integers(1024, 65535, size=max(ports - len(_COMMON_PORTS), 0))
+    ]
+    sport = int(rng.integers(40000, 60000))
+    for port in port_list[:ports]:
+        packets.append(
+            _tcp_packet(ts, scanner, target, sport, port, TCPFlags.SYN,
+                        label=1, attack_type=attack_type)
+        )
+        reply_ts = ts + 0.002 + float(rng.exponential(0.001))
+        if port in open_ports:
+            packets.append(
+                _tcp_packet(reply_ts, target, scanner, port, sport,
+                            TCPFlags.SYN | TCPFlags.ACK, label=1,
+                            attack_type=attack_type)
+            )
+            packets.append(
+                _tcp_packet(reply_ts + 0.001, scanner, target, sport, port,
+                            TCPFlags.RST, label=1, attack_type=attack_type)
+            )
+        else:
+            packets.append(
+                _tcp_packet(reply_ts, target, scanner, port, sport,
+                            TCPFlags.RST | TCPFlags.ACK, label=1,
+                            attack_type=attack_type)
+            )
+        ts += 1.0 / rate + float(rng.exponential(0.1 / rate))
+    return packets
+
+
+def network_sweep(
+    rng: SeededRNG,
+    start: float,
+    scanner: Host,
+    targets: list[Host],
+    *,
+    port: int = 445,
+    rate: float = 50.0,
+    attack_type: str = "reconnaissance",
+) -> list[Packet]:
+    """A horizontal sweep: one SYN to the same port on many hosts."""
+    packets: list[Packet] = []
+    ts = start
+    sport = int(rng.integers(40000, 60000))
+    for target in targets:
+        packets.append(
+            _tcp_packet(ts, scanner, target, sport, port, TCPFlags.SYN,
+                        label=1, attack_type=attack_type)
+        )
+        if rng.random() < 0.3:  # most hosts are silent / filtered
+            packets.append(
+                _tcp_packet(ts + 0.003, target, scanner, port, sport,
+                            TCPFlags.RST | TCPFlags.ACK, label=1,
+                            attack_type=attack_type)
+            )
+        ts += 1.0 / rate + float(rng.exponential(0.1 / rate))
+    return packets
+
+
+def os_fingerprint_probe(
+    rng: SeededRNG,
+    start: float,
+    scanner: Host,
+    target: Host,
+    *,
+    attack_type: str = "reconnaissance",
+) -> list[Packet]:
+    """Nmap-style fingerprint probes: odd flag combinations (NULL, FIN,
+    Xmas) that stand out in flag statistics."""
+    probes = (
+        TCPFlags(0),                                   # NULL
+        TCPFlags.FIN,                                  # FIN probe
+        TCPFlags.FIN | TCPFlags.PSH | TCPFlags.URG,    # Xmas
+        TCPFlags.SYN | TCPFlags.ECE | TCPFlags.CWR,    # ECN probe
+    )
+    packets: list[Packet] = []
+    ts = start
+    sport = int(rng.integers(40000, 60000))
+    for flags in probes:
+        packets.append(
+            _tcp_packet(ts, scanner, target, sport, 80, flags,
+                        label=1, attack_type=attack_type)
+        )
+        ts += 0.05 + float(rng.exponential(0.01))
+    return packets

@@ -1,0 +1,134 @@
+"""Dataset abstractions: metadata records and synthetic captures.
+
+Two concerns live here:
+
+* :class:`DatasetInfo` — the metadata the paper tabulates (Tables II
+  and III): characteristics, selection or exclusion reasons, formats.
+* :class:`SyntheticDataset` — a labelled synthetic capture emulating
+  one of the five evaluated datasets, with helpers for the paper's
+  methodology steps (temporal ordering, flow export, train/test split
+  by time, pcap persistence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.flows.assembler import FlowAssembler
+from repro.flows.record import FlowRecord
+from repro.net.packet import Packet
+from repro.net.pcap import write_pcap
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata for one examined dataset (paper Tables II/III)."""
+
+    name: str
+    year: int
+    characteristics: str
+    relevance: str
+    used: bool
+    exclusion_reason: str = ""
+    has_pcap: bool = True
+    has_flows: bool = True
+    labelled: bool = True
+    attack_families: tuple[str, ...] = ()
+    domain: str = "enterprise"  # "enterprise" | "iot" | "backbone" | "honeypot"
+
+
+@dataclass
+class SyntheticDataset:
+    """A labelled synthetic capture produced by a dataset generator.
+
+    ``packets`` are in timestamp order. ``provided_flow_features`` lists
+    which canonical flow-feature names the *real* dataset publishes —
+    the encoder zero-fills everything else, modelling the adaptation
+    loss the paper reports (Section V-5).
+    """
+
+    name: str
+    packets: list[Packet]
+    info: DatasetInfo
+    provided_flow_features: tuple[str, ...] = ()
+    generation_params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for earlier, later in zip(self.packets, self.packets[1:]):
+            if later.timestamp < earlier.timestamp - 1e-9:
+                raise ValueError(
+                    f"dataset {self.name!r} packets are not timestamp-ordered"
+                )
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    @property
+    def labels(self) -> list[int]:
+        return [p.label for p in self.packets]
+
+    @property
+    def attack_prevalence(self) -> float:
+        """Fraction of attack packets."""
+        if not self.packets:
+            return 0.0
+        return sum(p.label for p in self.packets) / len(self.packets)
+
+    @property
+    def duration(self) -> float:
+        if not self.packets:
+            return 0.0
+        return self.packets[-1].timestamp - self.packets[0].timestamp
+
+    def flows(
+        self, *, idle_timeout: float = 120.0, active_timeout: float = 3600.0
+    ) -> list[FlowRecord]:
+        """Export completed bidirectional flows."""
+        assembler = FlowAssembler(
+            idle_timeout=idle_timeout, active_timeout=active_timeout
+        )
+        return assembler.assemble(self.packets)
+
+    def split_by_time(self, train_fraction: float) -> tuple[list[Packet], list[Packet]]:
+        """Split into (train, test) at a time cut — the only honest split
+        for online IDSs that learn temporal statistics."""
+        check_fraction("train_fraction", train_fraction)
+        cut = int(len(self.packets) * train_fraction)
+        return self.packets[:cut], self.packets[cut:]
+
+    def benign_prefix(self, max_packets: int | None = None) -> list[Packet]:
+        """The leading run of benign packets — what the paper uses to
+        train autoencoder IDSs when a dataset has no explicit benign
+        baseline (Section I)."""
+        prefix: list[Packet] = []
+        for packet in self.packets:
+            if packet.label:
+                break
+            prefix.append(packet)
+            if max_packets is not None and len(prefix) >= max_packets:
+                break
+        return prefix
+
+    def to_pcap(self, path: str | Path) -> int:
+        """Persist as a libpcap file (labels are lost — by design)."""
+        return write_pcap(path, self.packets)
+
+    def attack_type_counts(self) -> dict[str, int]:
+        """Packet counts per attack family."""
+        counts: dict[str, int] = {}
+        for packet in self.packets:
+            if packet.label and packet.attack_type:
+                counts[packet.attack_type] = counts.get(packet.attack_type, 0) + 1
+        return counts
+
+
+def merge_streams(streams: Sequence[Sequence[Packet]]) -> list[Packet]:
+    """Merge several packet streams into one timestamp-ordered list."""
+    merged: list[Packet] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda p: p.timestamp)
+    return merged

@@ -1,0 +1,38 @@
+"""Benign traffic models.
+
+Two families with deliberately different statistics, because benign
+homogeneity is the variable the paper's analysis keeps returning to:
+
+* **enterprise** (web browsing, office services): heavy-tailed object
+  sizes, bursty arrivals, many distinct services — a *wide* benign
+  profile that starves autoencoder IDSs of a stable baseline;
+* **iot** (periodic telemetry, heartbeats): near-constant packet sizes
+  and periods — a *narrow* profile that anomaly detectors model well.
+"""
+
+from repro.datasets.benign.web import web_browsing_session, https_session
+from repro.datasets.benign.iot import (
+    iot_dns_refresh,
+    iot_heartbeat,
+    iot_telemetry,
+    ntp_sync,
+)
+from repro.datasets.benign.office import (
+    email_session,
+    file_transfer_session,
+    ssh_interactive_session,
+    video_stream_session,
+)
+
+__all__ = [
+    "web_browsing_session",
+    "https_session",
+    "iot_telemetry",
+    "iot_heartbeat",
+    "iot_dns_refresh",
+    "ntp_sync",
+    "email_session",
+    "file_transfer_session",
+    "ssh_interactive_session",
+    "video_stream_session",
+]

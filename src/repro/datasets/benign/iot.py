@@ -1,0 +1,105 @@
+"""Benign IoT traffic: periodic telemetry, heartbeats and NTP.
+
+Near-deterministic periods and sizes on purpose — this is the narrow
+benign profile that gives autoencoder IDSs a clean baseline on the IoT
+datasets (paper Section VI-B-2).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.traffic import (
+    Host,
+    Network,
+    dns_lookup,
+    tcp_conversation,
+    udp_exchange,
+)
+from repro.net.packet import Packet
+from repro.utils.rng import SeededRNG
+
+
+def iot_telemetry(
+    rng: SeededRNG,
+    start: float,
+    device: Host,
+    broker: Host,
+    network: Network,
+    *,
+    reports: int = 20,
+    period: float = 5.0,
+    payload_size: int = 96,
+    jitter_fraction: float = 0.02,
+) -> list[Packet]:
+    """Periodic MQTT-style sensor reports over one TCP connection.
+
+    Each report is a small fixed-size publish with a short broker ACK.
+    """
+    request_sizes = []
+    response_sizes = []
+    for _ in range(reports):
+        wobble = int(rng.integers(-4, 5))
+        request_sizes.append(max(16, payload_size + wobble))
+        response_sizes.append(4)
+    return tcp_conversation(
+        rng, start, device, broker,
+        sport=network.ephemeral_port(), dport=1883,
+        request_sizes=request_sizes, response_sizes=response_sizes,
+        rtt=0.004,
+        think_time=period * (1.0 + float(rng.normal(0, jitter_fraction))),
+        periodic_rounds=True,
+    )
+
+
+def iot_heartbeat(
+    rng: SeededRNG,
+    start: float,
+    device: Host,
+    server: Host,
+    network: Network,
+    *,
+    beats: int = 30,
+    period: float = 10.0,
+) -> list[Packet]:
+    """Small UDP keep-alives at a fixed period."""
+    packets: list[Packet] = []
+    sport = network.ephemeral_port()
+    ts = start
+    for _ in range(beats):
+        packets.extend(
+            udp_exchange(rng, ts, device, server, sport=sport, dport=8883,
+                         request_size=32, response_size=16, rtt=0.004)
+        )
+        ts += period * (1.0 + float(rng.normal(0, 0.01)))
+    return packets
+
+
+def ntp_sync(
+    rng: SeededRNG,
+    start: float,
+    device: Host,
+    server: Host,
+    network: Network,
+) -> list[Packet]:
+    """One NTP poll (48-byte request and response on UDP 123)."""
+    return udp_exchange(
+        rng, start, device, server,
+        sport=network.ephemeral_port(), dport=123,
+        request_size=48, response_size=48, rtt=0.02,
+    )
+
+
+def iot_dns_refresh(
+    rng: SeededRNG,
+    start: float,
+    device: Host,
+    resolver: Host,
+    network: Network,
+    broker_ip: str,
+    *,
+    domain: str = "broker.iot.local",
+) -> list[Packet]:
+    """The periodic resolver lookup IoT devices make before reconnecting."""
+    return dns_lookup(
+        rng, start, device, resolver, domain, broker_ip,
+        sport=network.ephemeral_port(),
+    )

@@ -1,0 +1,101 @@
+"""Benign enterprise services: email, file transfer, SSH, streaming.
+
+These add the protocol diversity that makes CICIDS2017/UNSW-NB15 benign
+traffic statistically wide (many ports, asymmetric volumes, long-lived
+interactive flows).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.traffic import Host, Network, tcp_conversation
+from repro.net.packet import Packet
+from repro.utils.rng import SeededRNG
+
+
+def email_session(
+    rng: SeededRNG,
+    start: float,
+    client: Host,
+    server: Host,
+    network: Network,
+) -> list[Packet]:
+    """An SMTP-like submission: envelope chatter then a message body."""
+    body_size = int(2000 * (1.0 + rng.pareto(1.2)))
+    body_size = min(body_size, 80_000)
+    request_sizes = [30, 40, 40, body_size, 10]
+    response_sizes = [80, 30, 30, 30, 30]
+    return tcp_conversation(
+        rng, start, client, server,
+        sport=network.ephemeral_port(), dport=25,
+        request_sizes=request_sizes, response_sizes=response_sizes,
+        rtt=0.02, think_time=0.1,
+    )
+
+
+def file_transfer_session(
+    rng: SeededRNG,
+    start: float,
+    client: Host,
+    server: Host,
+    network: Network,
+    *,
+    download: bool = True,
+) -> list[Packet]:
+    """A bulk FTP-like transfer; strongly asymmetric volume."""
+    size = int(50_000 * (1.0 + rng.pareto(1.1)))
+    size = min(size, 250_000)
+    if download:
+        request_sizes, response_sizes = [60, 30], [120, size]
+    else:
+        request_sizes, response_sizes = [60, size], [120, 30]
+    return tcp_conversation(
+        rng, start, client, server,
+        sport=network.ephemeral_port(), dport=21,
+        request_sizes=request_sizes, response_sizes=response_sizes,
+        rtt=0.015, think_time=0.05,
+    )
+
+
+def ssh_interactive_session(
+    rng: SeededRNG,
+    start: float,
+    client: Host,
+    server: Host,
+    network: Network,
+    *,
+    keystroke_bursts: int | None = None,
+) -> list[Packet]:
+    """An interactive SSH session: key exchange then small keystroke
+    packets with human-scale pauses."""
+    bursts = keystroke_bursts if keystroke_bursts is not None else 5 + int(
+        rng.geometric(0.2)
+    )
+    request_sizes = [1500] + [int(rng.integers(36, 120)) for _ in range(bursts)]
+    response_sizes = [1500] + [int(rng.integers(36, 400)) for _ in range(bursts)]
+    return tcp_conversation(
+        rng, start, client, server,
+        sport=network.ephemeral_port(), dport=22,
+        request_sizes=request_sizes, response_sizes=response_sizes,
+        rtt=0.02, think_time=float(rng.exponential(1.5)) + 0.2,
+    )
+
+
+def video_stream_session(
+    rng: SeededRNG,
+    start: float,
+    client: Host,
+    server: Host,
+    network: Network,
+    *,
+    segments: int | None = None,
+) -> list[Packet]:
+    """A DASH-like stream: periodic large segment downloads on 443."""
+    count = segments if segments is not None else 8 + int(rng.geometric(0.25))
+    request_sizes = [400] * count
+    response_sizes = [int(rng.integers(20_000, 60_000)) for _ in range(count)]
+    return tcp_conversation(
+        rng, start, client, server,
+        sport=network.ephemeral_port(), dport=443,
+        request_sizes=request_sizes, response_sizes=response_sizes,
+        rtt=0.02, think_time=2.0 + float(rng.normal(0, 0.1)),
+    )

@@ -1,0 +1,92 @@
+"""Benign web-browsing traffic: HTTP and HTTPS-like sessions.
+
+Object sizes are Pareto-distributed and think times exponential — the
+classic self-similar web-traffic model (Crovella & Bestavros) that makes
+enterprise benign traffic statistically wide.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.traffic import Host, Network, dns_lookup, tcp_conversation
+from repro.net.http import HTTPRequest, HTTPResponse
+from repro.net.packet import Packet
+from repro.utils.rng import SeededRNG
+
+_PAGES = ("/", "/index.html", "/news", "/search?q=report", "/static/app.js",
+          "/images/logo.png", "/api/v1/items", "/login", "/dashboard")
+_DOMAINS = ("intranet.example.com", "www.example.org", "cdn.example.net",
+            "mail.example.com", "wiki.example.org")
+
+
+def _object_size(rng: SeededRNG, *, minimum: int = 200, alpha: float = 1.3,
+                 cap: int = 60_000) -> int:
+    """Pareto-tailed web object size."""
+    size = int(minimum * (1.0 + rng.pareto(alpha)))
+    return min(size, cap)
+
+
+def web_browsing_session(
+    rng: SeededRNG,
+    start: float,
+    client: Host,
+    server: Host,
+    network: Network,
+    *,
+    resolver: Host | None = None,
+    pages: int | None = None,
+) -> list[Packet]:
+    """One user browsing session: optional DNS lookup, then a sequence
+    of HTTP request/response exchanges over one connection."""
+    packets: list[Packet] = []
+    ts = start
+    if resolver is not None:
+        domain = str(rng.choice(_DOMAINS))
+        packets.extend(
+            dns_lookup(rng, ts, client, resolver, domain, server.ip,
+                       sport=network.ephemeral_port())
+        )
+        ts += 0.03 + float(rng.exponential(0.01))
+    page_count = pages if pages is not None else 1 + int(rng.geometric(0.35))
+    request_sizes: list[int] = []
+    response_sizes: list[int] = []
+    for _ in range(page_count):
+        path = str(rng.choice(_PAGES))
+        request = HTTPRequest(method="GET", path=path,
+                              headers={"Host": str(rng.choice(_DOMAINS)),
+                                       "User-Agent": "Mozilla/5.0"})
+        body = b"x" * _object_size(rng)
+        response = HTTPResponse(status=200, body=body)
+        request_sizes.append(len(request.to_bytes()))
+        response_sizes.append(len(response.to_bytes()))
+    return packets + tcp_conversation(
+        rng, ts, client, server,
+        sport=network.ephemeral_port(), dport=80,
+        request_sizes=request_sizes, response_sizes=response_sizes,
+        rtt=0.01 + float(rng.exponential(0.01)),
+        think_time=float(rng.exponential(0.8)) + 0.05,
+    )
+
+
+def https_session(
+    rng: SeededRNG,
+    start: float,
+    client: Host,
+    server: Host,
+    network: Network,
+    *,
+    exchanges: int | None = None,
+) -> list[Packet]:
+    """An HTTPS-like session on port 443: an initial handshake-sized
+    exchange followed by encrypted-looking records."""
+    rounds = exchanges if exchanges is not None else 2 + int(rng.geometric(0.4))
+    request_sizes = [517] + [int(rng.integers(100, 1400)) for _ in range(rounds)]
+    response_sizes = [int(rng.integers(2000, 5000))] + [
+        _object_size(rng, minimum=500) for _ in range(rounds)
+    ]
+    return tcp_conversation(
+        rng, start, client, server,
+        sport=network.ephemeral_port(), dport=443,
+        request_sizes=request_sizes, response_sizes=response_sizes,
+        rtt=0.012 + float(rng.exponential(0.008)),
+        think_time=float(rng.exponential(0.5)) + 0.02,
+    )

@@ -1,0 +1,167 @@
+"""Synthetic emulation of CICIDS2017 (Sharafaldin et al., ICISSp 2018).
+
+The real dataset: five days of traffic in a two-network testbed with 25
+users across diverse OSes; benign traffic is profile-generated (web,
+email, FTP, SSH, streaming); attacks include brute force, DoS
+(Hulk/Slowloris/GoldenEye), web attacks, infiltration, botnet and
+DDoS. Labelled flows with ~80 CICFlowMeter features.
+
+Our emulation preserves what the evaluated IDSs are sensitive to:
+*wide* heterogeneous benign traffic (many services, heavy-tailed
+volumes), attacks that are a small minority of packets, and the full
+CICFlowMeter feature schema.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.attacks import (
+    ssh_bruteforce,
+    ftp_bruteforce,
+    syn_flood,
+    slowloris,
+    http_flood,
+    web_attack_session,
+    data_exfiltration,
+    port_scan,
+)
+from repro.datasets.base import DatasetInfo, SyntheticDataset, merge_streams
+from repro.datasets.benign import (
+    email_session,
+    file_transfer_session,
+    https_session,
+    ssh_interactive_session,
+    video_stream_session,
+    web_browsing_session,
+)
+from repro.datasets.traffic import Network
+from repro.flows.cicflow import CICFLOW_FEATURE_NAMES
+from repro.utils.rng import SeededRNG
+
+INFO = DatasetInfo(
+    name="CICIDS2017",
+    year=2017,
+    characteristics=(
+        "Includes traffic from various devices and operating systems. "
+        "Labelled with 80 features over 5 days."
+    ),
+    relevance=(
+        "Comprehensive range of attacks; ideal for evaluating modern IDSs "
+        "due to diversity and extensive feature set."
+    ),
+    used=True,
+    attack_families=(
+        "bruteforce-ssh", "bruteforce-ftp", "dos-syn-flood", "dos-slowloris",
+        "dos-http-flood", "web-attack", "data-exfiltration", "reconnaissance",
+    ),
+    domain="enterprise",
+)
+
+
+def generate(seed: int = 0, scale: float = 1.0) -> SyntheticDataset:
+    """Generate the CICIDS2017 emulation.
+
+    ``scale`` multiplies session counts; scale=1.0 yields roughly 60k
+    packets over a simulated working day.
+    """
+    rng = SeededRNG(seed, "cicids2017")
+    network = Network(subnet="192.168", rng=rng.child("net"))
+    workstations = network.hosts(14, "ws")
+    web_server = network.host("web")
+    mail_server = network.host("mail")
+    ftp_server = network.host("ftp")
+    ssh_server = network.host("ssh")
+    resolver = network.host("dns")
+    stream_server = network.host("stream")
+    attacker = network.host("attacker")  # the testbed's external Kali box
+
+    day = 8 * 3600.0
+    streams = []
+
+    # ---- benign background: heterogeneous enterprise activity --------
+    benign_rng = rng.child("benign")
+
+    def sessions(count: int):
+        return int(max(1, round(count * scale)))
+
+    for i in range(sessions(260)):
+        client = workstations[int(benign_rng.integers(0, len(workstations)))]
+        start = float(benign_rng.uniform(0, day))
+        kind = benign_rng.random()
+        session_rng = benign_rng.child(f"web-{i}")
+        if kind < 0.45:
+            streams.append(
+                web_browsing_session(session_rng, start, client, web_server,
+                                     network, resolver=resolver)
+            )
+        elif kind < 0.70:
+            streams.append(
+                https_session(session_rng, start, client, web_server, network)
+            )
+        elif kind < 0.80:
+            streams.append(
+                email_session(session_rng, start, client, mail_server, network)
+            )
+        elif kind < 0.90:
+            streams.append(
+                file_transfer_session(session_rng, start, client, ftp_server,
+                                      network,
+                                      download=bool(benign_rng.random() < 0.7))
+            )
+        elif kind < 0.96:
+            streams.append(
+                ssh_interactive_session(session_rng, start, client, ssh_server,
+                                        network)
+            )
+        else:
+            streams.append(
+                video_stream_session(session_rng, start, client, stream_server,
+                                     network)
+            )
+
+    # ---- attack schedule (the dataset's Tuesday-Friday scenarios) ----
+    attack_rng = rng.child("attacks")
+    streams.append(
+        ssh_bruteforce(attack_rng.child("ssh-bf"), day * 0.10, attacker,
+                       ssh_server, network,
+                       attempts=sessions(90))
+    )
+    streams.append(
+        ftp_bruteforce(attack_rng.child("ftp-bf"), day * 0.18, attacker,
+                       ftp_server, network, attempts=sessions(90))
+    )
+    streams.append(
+        syn_flood(attack_rng.child("hulk"), day * 0.32, attacker, web_server,
+                  packets_count=sessions(2500), rate=2000.0)
+    )
+    streams.append(
+        slowloris(attack_rng.child("slowloris"), day * 0.40, attacker,
+                  web_server, network, connections=sessions(40))
+    )
+    streams.append(
+        http_flood(attack_rng.child("goldeneye"), day * 0.48, attacker,
+                   web_server, network, requests=sessions(120))
+    )
+    for j in range(sessions(8)):
+        streams.append(
+            web_attack_session(attack_rng.child(f"webatk-{j}"),
+                               day * 0.56 + j * 120.0, attacker, web_server,
+                               network)
+        )
+    streams.append(
+        data_exfiltration(attack_rng.child("infiltration"), day * 0.68,
+                          workstations[0], attacker, network,
+                          volume=int(300_000 * scale) + 50_000)
+    )
+    streams.append(
+        port_scan(attack_rng.child("portscan"), day * 0.80, attacker,
+                  web_server, ports=sessions(250), rate=150.0)
+    )
+
+    packets = merge_streams(streams)
+    return SyntheticDataset(
+        name="CICIDS2017",
+        packets=packets,
+        info=INFO,
+        provided_flow_features=CICFLOW_FEATURE_NAMES,
+        generation_params={"seed": seed, "scale": scale},
+    )

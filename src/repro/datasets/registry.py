@@ -1,0 +1,179 @@
+"""Registry of every dataset the paper examined (Tables II and III).
+
+``USED_DATASETS`` maps the five evaluated dataset names to their
+generator modules; ``EXCLUDED_DATASETS`` records the thirteen examined-
+but-excluded datasets with the paper's exclusion reasons, so the
+Table III bench can regenerate that inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets import (
+    bot_iot,
+    cicids2017,
+    mirai_kitsune,
+    stratosphere,
+    ton_iot,
+    unsw_nb15,
+)
+from repro.datasets.base import DatasetInfo, SyntheticDataset
+
+#: name -> generate(seed, scale) for the five evaluated datasets.
+USED_DATASETS: dict[str, Callable[..., SyntheticDataset]] = {
+    "CICIDS2017": cicids2017.generate,
+    "UNSW-NB15": unsw_nb15.generate,
+    "BoT-IoT": bot_iot.generate,
+    "Stratosphere": stratosphere.generate,
+    "Mirai": mirai_kitsune.generate,
+}
+
+#: Generators available beyond the Table IV set: ToN-IoT was selected in
+#: the paper's Table II but superseded by BoT-IoT before Table IV.
+EXTRA_DATASETS: dict[str, Callable[..., SyntheticDataset]] = {
+    "ToN-IoT": ton_iot.generate,
+}
+
+USED_DATASET_INFO: dict[str, DatasetInfo] = {
+    "CICIDS2017": cicids2017.INFO,
+    "UNSW-NB15": unsw_nb15.INFO,
+    "BoT-IoT": bot_iot.INFO,
+    "Stratosphere": stratosphere.INFO,
+    "Mirai": mirai_kitsune.INFO,
+}
+
+#: Paper Table III: considered but not used, with exclusion reasons.
+EXCLUDED_DATASETS: tuple[DatasetInfo, ...] = (
+    DatasetInfo(
+        name="KDD-Cup99", year=1999,
+        characteristics="Historically significant but outdated, lacking pcap files.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Not representative of current network behaviours; incompatible "
+            "with selected IDSs due to lack of pcap files."
+        ),
+        has_pcap=False,
+    ),
+    DatasetInfo(
+        name="NSL-KDD", year=2009,
+        characteristics="Cleaned KDD-Cup99 derivative; still no pcap files.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Not representative of current network behaviours; incompatible "
+            "with selected IDSs due to lack of pcap files."
+        ),
+        has_pcap=False,
+    ),
+    DatasetInfo(
+        name="CAIDA", year=2019,
+        characteristics="Limited attack diversity and lacks full network data, unlabelled.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Unable to train auto-encoders on the dataset due to lack of "
+            "labelled results."
+        ),
+        labelled=False, domain="backbone",
+    ),
+    DatasetInfo(
+        name="CIDDS", year=2017,
+        characteristics="Designed for anomaly-based network security.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Not widely used in literature, suggesting potential limitations "
+            "for analysis."
+        ),
+    ),
+    DatasetInfo(
+        name="ISCX2012", year=2012,
+        characteristics="Older dataset without features.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Due to lack of features, other datasets were determined to be "
+            "more suitable."
+        ),
+        has_flows=False,
+    ),
+    DatasetInfo(
+        name="CICIDS2019", year=2019,
+        characteristics="Modern DDoS dataset containing a variety of DDoS attack types.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Strong modern DDoS dataset, but was not chosen due to the "
+            "specific nature of attacks when compared to more general "
+            "datasets used."
+        ),
+    ),
+    DatasetInfo(
+        name="Kyoto", year=2011,
+        characteristics="Realistic, unsimulated dataset derived from diverse honeypots.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Offers a different perspective to generated datasets, but not "
+            "highly cited."
+        ),
+        domain="honeypot",
+    ),
+    DatasetInfo(
+        name="LBNL", year=2005,
+        characteristics="Heavy anonymisation and absence of payload data.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Limits the depth of analysis for IDSs, making it less "
+            "favourable for in-depth IDS evaluation."
+        ),
+        labelled=False,
+    ),
+    DatasetInfo(
+        name="CICIDS2018", year=2018,
+        characteristics="Diverse traffic and heavy volume without specific pcaps.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Only available as 250gb file, data wrangling complexity and "
+            "volume make processing unwieldy."
+        ),
+    ),
+    DatasetInfo(
+        name="ASNM", year=2020,
+        characteristics="NIDS anomaly-based datasets developed for machine learning.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Attack diversity is limited and not as well-cited as many "
+            "other options."
+        ),
+    ),
+    DatasetInfo(
+        name="IoTID", year=2020,
+        characteristics="Newer IoT dataset that aimed to target new IoT intrusion methods.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Narrow dataset that is not as popular as the other chosen IoT "
+            "datasets."
+        ),
+        domain="iot",
+    ),
+    DatasetInfo(
+        name="CICDOS2017", year=2017,
+        characteristics="DoS dataset generated by CIC based on the ISCX dataset.",
+        relevance="", used=False,
+        exclusion_reason=(
+            "Narrow dataset without attack diversity of CIC dataset from "
+            "the same year."
+        ),
+    ),
+    ton_iot.INFO,
+)
+
+
+def generate_dataset(name: str, *, seed: int = 0, scale: float = 1.0) -> SyntheticDataset:
+    """Generate an evaluated dataset (or ToN-IoT) by name."""
+    generator = USED_DATASETS.get(name) or EXTRA_DATASETS.get(name)
+    if generator is None:
+        known = ", ".join(sorted(USED_DATASETS) + sorted(EXTRA_DATASETS))
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+    return generator(seed=seed, scale=scale)
+
+
+def all_dataset_infos() -> list[DatasetInfo]:
+    """Every examined dataset: the five used plus the thirteen excluded."""
+    return list(USED_DATASET_INFO.values()) + list(EXCLUDED_DATASETS)

@@ -1,0 +1,339 @@
+"""The traffic generator engine: hosts, conversations, primitives.
+
+Dataset emulations are assembled from these building blocks: a
+:class:`Network` allocates addressed hosts; conversation builders emit
+realistic packet exchanges (TCP handshake / data / teardown, UDP
+request-response, DNS lookups, ICMP pings) with jittered timing. All
+randomness flows through :class:`repro.utils.rng.SeededRNG`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addresses import random_mac
+from repro.net.dns import DNSAnswer, DNSMessage, DNSQuestion
+from repro.net.ethernet import EthernetHeader
+from repro.net.icmp import ICMPHeader, TYPE_ECHO_REPLY, TYPE_ECHO_REQUEST
+from repro.net.ipv4 import IPv4Header, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.net.packet import Packet
+from repro.net.tcp import TCPFlags, TCPHeader
+from repro.net.udp import UDPHeader
+from repro.utils.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class Host:
+    """An addressed endpoint."""
+
+    ip: str
+    mac: str
+    name: str = ""
+
+
+@dataclass
+class Network:
+    """Allocates hosts inside a /16 and hands out ephemeral ports."""
+
+    subnet: str = "192.168"
+    rng: SeededRNG = field(default_factory=lambda: SeededRNG(0, "network"))
+    _next_host: int = 1
+    _next_port: int = 32768
+
+    def host(self, name: str = "") -> Host:
+        """Allocate the next host address."""
+        index = self._next_host
+        self._next_host += 1
+        third, fourth = divmod(index, 254)
+        if third > 254:
+            raise RuntimeError("subnet exhausted")
+        ip = f"{self.subnet}.{third}.{fourth + 1}"
+        return Host(ip=ip, mac=random_mac(self.rng), name=name or f"host-{index}")
+
+    def hosts(self, count: int, prefix: str = "host") -> list[Host]:
+        return [self.host(f"{prefix}-{i}") for i in range(count)]
+
+    def ephemeral_port(self) -> int:
+        """Next client-side port, wrapping within the ephemeral range."""
+        port = self._next_port
+        self._next_port += 1
+        if self._next_port > 60999:
+            self._next_port = 32768
+        return port
+
+
+def _tcp_packet(
+    ts: float,
+    src: Host,
+    dst: Host,
+    sport: int,
+    dport: int,
+    flags: TCPFlags,
+    payload: bytes = b"",
+    *,
+    seq: int = 0,
+    ack: int = 0,
+    label: int = 0,
+    attack_type: str = "",
+    window: int = 65535,
+    ttl: int = 64,
+) -> Packet:
+    return Packet(
+        timestamp=ts,
+        ether=EthernetHeader(src_mac=src.mac, dst_mac=dst.mac),
+        ip=IPv4Header(src_ip=src.ip, dst_ip=dst.ip, protocol=PROTO_TCP, ttl=ttl),
+        transport=TCPHeader(
+            src_port=sport, dst_port=dport, flags=flags, seq=seq, ack=ack, window=window
+        ),
+        payload=payload,
+        label=label,
+        attack_type=attack_type,
+    )
+
+
+def _udp_packet(
+    ts: float,
+    src: Host,
+    dst: Host,
+    sport: int,
+    dport: int,
+    payload: bytes = b"",
+    *,
+    label: int = 0,
+    attack_type: str = "",
+    ttl: int = 64,
+) -> Packet:
+    return Packet(
+        timestamp=ts,
+        ether=EthernetHeader(src_mac=src.mac, dst_mac=dst.mac),
+        ip=IPv4Header(src_ip=src.ip, dst_ip=dst.ip, protocol=PROTO_UDP, ttl=ttl),
+        transport=UDPHeader(src_port=sport, dst_port=dport),
+        payload=payload,
+        label=label,
+        attack_type=attack_type,
+    )
+
+
+def tcp_conversation(
+    rng: SeededRNG,
+    start: float,
+    client: Host,
+    server: Host,
+    *,
+    sport: int,
+    dport: int,
+    request_sizes: list[int],
+    response_sizes: list[int],
+    rtt: float = 0.01,
+    think_time: float = 0.05,
+    label: int = 0,
+    attack_type: str = "",
+    graceful_close: bool = True,
+    periodic_rounds: bool = False,
+) -> list[Packet]:
+    """A full TCP conversation: handshake, alternating request/response
+    bursts (segmented at an effective 1448-byte MSS), then FIN teardown.
+
+    ``request_sizes[i]`` / ``response_sizes[i]`` pair up into exchange
+    rounds; unequal lengths are allowed (extra entries are one-sided).
+
+    ``periodic_rounds=True`` spaces rounds at ``think_time`` with ~2%
+    Gaussian jitter (IoT telemetry clocks); the default draws
+    exponential think times (bursty human-driven sessions).
+    """
+    packets: list[Packet] = []
+    ts = start
+    seq_c, seq_s = int(rng.integers(1, 2**31)), int(rng.integers(1, 2**31))
+
+    def jitter(scale: float) -> float:
+        return float(rng.exponential(scale)) + 1e-6
+
+    def round_delay() -> float:
+        if periodic_rounds:
+            return max(1e-6, think_time * (1.0 + float(rng.normal(0, 0.02))))
+        return jitter(think_time)
+
+    packets.append(
+        _tcp_packet(ts, client, server, sport, dport, TCPFlags.SYN, seq=seq_c,
+                    label=label, attack_type=attack_type)
+    )
+    ts += rtt / 2 + jitter(rtt / 10)
+    packets.append(
+        _tcp_packet(ts, server, client, dport, sport, TCPFlags.SYN | TCPFlags.ACK,
+                    seq=seq_s, ack=seq_c + 1, label=label, attack_type=attack_type)
+    )
+    ts += rtt / 2 + jitter(rtt / 10)
+    packets.append(
+        _tcp_packet(ts, client, server, sport, dport, TCPFlags.ACK,
+                    seq=seq_c + 1, ack=seq_s + 1, label=label, attack_type=attack_type)
+    )
+    seq_c += 1
+    seq_s += 1
+
+    mss = 1448
+    rounds = max(len(request_sizes), len(response_sizes))
+    for i in range(rounds):
+        req = request_sizes[i] if i < len(request_sizes) else 0
+        resp = response_sizes[i] if i < len(response_sizes) else 0
+        if req > 0:
+            ts += round_delay()
+            for offset in range(0, req, mss):
+                chunk = min(mss, req - offset)
+                flags = TCPFlags.ACK | (
+                    TCPFlags.PSH if offset + chunk >= req else TCPFlags(0)
+                )
+                packets.append(
+                    _tcp_packet(ts, client, server, sport, dport, flags,
+                                payload=b"\x00" * chunk, seq=seq_c, ack=seq_s,
+                                label=label, attack_type=attack_type)
+                )
+                seq_c += chunk
+                ts += jitter(rtt / 20)
+        if resp > 0:
+            ts += rtt / 2 + jitter(rtt / 10)
+            for offset in range(0, resp, mss):
+                chunk = min(mss, resp - offset)
+                flags = TCPFlags.ACK | (
+                    TCPFlags.PSH if offset + chunk >= resp else TCPFlags(0)
+                )
+                packets.append(
+                    _tcp_packet(ts, server, client, dport, sport, flags,
+                                payload=b"\x00" * chunk, seq=seq_s, ack=seq_c,
+                                label=label, attack_type=attack_type)
+                )
+                seq_s += chunk
+                ts += jitter(rtt / 20)
+            # Client ACKs the response burst.
+            ts += rtt / 2 + jitter(rtt / 10)
+            packets.append(
+                _tcp_packet(ts, client, server, sport, dport, TCPFlags.ACK,
+                            seq=seq_c, ack=seq_s, label=label,
+                            attack_type=attack_type)
+            )
+
+    if graceful_close:
+        ts += round_delay()
+        packets.append(
+            _tcp_packet(ts, client, server, sport, dport,
+                        TCPFlags.FIN | TCPFlags.ACK, seq=seq_c, ack=seq_s,
+                        label=label, attack_type=attack_type)
+        )
+        ts += rtt / 2 + jitter(rtt / 10)
+        packets.append(
+            _tcp_packet(ts, server, client, dport, sport,
+                        TCPFlags.FIN | TCPFlags.ACK, seq=seq_s, ack=seq_c + 1,
+                        label=label, attack_type=attack_type)
+        )
+        ts += rtt / 2 + jitter(rtt / 10)
+        packets.append(
+            _tcp_packet(ts, client, server, sport, dport, TCPFlags.ACK,
+                        seq=seq_c + 1, ack=seq_s + 1, label=label,
+                        attack_type=attack_type)
+        )
+    return packets
+
+
+def udp_exchange(
+    rng: SeededRNG,
+    start: float,
+    client: Host,
+    server: Host,
+    *,
+    sport: int,
+    dport: int,
+    request_size: int,
+    response_size: int = 0,
+    rtt: float = 0.01,
+    label: int = 0,
+    attack_type: str = "",
+) -> list[Packet]:
+    """A UDP request with an optional response."""
+    packets = [
+        _udp_packet(start, client, server, sport, dport,
+                    payload=b"\x00" * request_size, label=label,
+                    attack_type=attack_type)
+    ]
+    if response_size > 0:
+        ts = start + rtt / 2 + float(rng.exponential(rtt / 10))
+        packets.append(
+            _udp_packet(ts, server, client, dport, sport,
+                        payload=b"\x00" * response_size, label=label,
+                        attack_type=attack_type)
+        )
+    return packets
+
+
+def dns_lookup(
+    rng: SeededRNG,
+    start: float,
+    client: Host,
+    resolver: Host,
+    domain: str,
+    answer_ip: str,
+    *,
+    sport: int,
+    rtt: float = 0.02,
+    label: int = 0,
+    attack_type: str = "",
+) -> list[Packet]:
+    """A DNS A query and its response."""
+    tid = int(rng.integers(0, 65536))
+    query = DNSMessage(transaction_id=tid, questions=[DNSQuestion(domain)])
+    reply = DNSMessage(
+        transaction_id=tid,
+        is_response=True,
+        questions=[DNSQuestion(domain)],
+        answers=[DNSAnswer(domain, answer_ip)],
+    )
+    request = _udp_packet(start, client, resolver, sport, 53,
+                          payload=query.to_bytes(), label=label,
+                          attack_type=attack_type)
+    ts = start + rtt / 2 + float(rng.exponential(rtt / 10))
+    response = _udp_packet(ts, resolver, client, 53, sport,
+                           payload=reply.to_bytes(), label=label,
+                           attack_type=attack_type)
+    return [request, response]
+
+
+def icmp_ping(
+    rng: SeededRNG,
+    start: float,
+    client: Host,
+    server: Host,
+    *,
+    count: int = 1,
+    interval: float = 1.0,
+    rtt: float = 0.01,
+    payload_size: int = 56,
+    label: int = 0,
+    attack_type: str = "",
+) -> list[Packet]:
+    """``count`` echo request/reply pairs."""
+    packets: list[Packet] = []
+    identifier = int(rng.integers(0, 65536))
+    ts = start
+    for seq in range(count):
+        request = Packet(
+            timestamp=ts,
+            ether=EthernetHeader(src_mac=client.mac, dst_mac=server.mac),
+            ip=IPv4Header(src_ip=client.ip, dst_ip=server.ip, protocol=PROTO_ICMP),
+            transport=ICMPHeader(icmp_type=TYPE_ECHO_REQUEST,
+                                 identifier=identifier, sequence=seq),
+            payload=b"\x00" * payload_size,
+            label=label,
+            attack_type=attack_type,
+        )
+        reply_ts = ts + rtt / 2 + float(rng.exponential(rtt / 10))
+        reply = Packet(
+            timestamp=reply_ts,
+            ether=EthernetHeader(src_mac=server.mac, dst_mac=client.mac),
+            ip=IPv4Header(src_ip=server.ip, dst_ip=client.ip, protocol=PROTO_ICMP),
+            transport=ICMPHeader(icmp_type=TYPE_ECHO_REPLY,
+                                 identifier=identifier, sequence=seq),
+            payload=b"\x00" * payload_size,
+            label=label,
+            attack_type=attack_type,
+        )
+        packets.extend([request, reply])
+        ts += interval + float(rng.normal(0, interval * 0.02))
+    return packets

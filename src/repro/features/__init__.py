@@ -1,0 +1,27 @@
+"""Per-packet feature substrate (Kitsune's AfterImage) and encoders.
+
+Implements the damped incremental statistics framework from the Kitsune
+paper (Mirsky et al., NDSS 2018): every packet updates a set of
+exponentially-decaying streams keyed by source MAC+IP, source IP,
+channel (src->dst) and socket (src:port->dst:port), across five decay
+factors, producing the 100-dimensional feature vector both Kitsune and
+HELAD consume. Also provides online normalizers and flow-dict encoding
+used by the flow-level IDSs.
+"""
+
+from repro.features.incstat import IncStat, IncStatCov
+from repro.features.afterimage import IncStatDB
+from repro.features.netstat import NetStat, KITSUNE_FEATURE_COUNT
+from repro.features.normalize import OnlineMinMaxScaler, ZScoreScaler
+from repro.features.encoding import FlowVectorEncoder
+
+__all__ = [
+    "IncStat",
+    "IncStatCov",
+    "IncStatDB",
+    "NetStat",
+    "KITSUNE_FEATURE_COUNT",
+    "OnlineMinMaxScaler",
+    "ZScoreScaler",
+    "FlowVectorEncoder",
+]

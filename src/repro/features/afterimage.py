@@ -1,0 +1,107 @@
+"""The AfterImage stream database: keyed damped statistics with pruning.
+
+Maintains one :class:`repro.features.incstat.IncStat` per (stream key,
+decay factor), creating streams lazily on first sight — the behaviour
+that makes Kitsune "plug and play" on a never-seen network. A size
+bound with LRU-ish pruning keeps memory stable on long captures.
+"""
+
+from __future__ import annotations
+
+from repro.features.incstat import IncStat, IncStatCov
+
+#: Kitsune's five decay factors (temporal horizons from ~100ms to ~1min).
+DEFAULT_DECAYS: tuple[float, ...] = (5.0, 3.0, 1.0, 0.1, 0.01)
+
+
+class IncStatDB:
+    """A database of damped 1-D statistics keyed by stream id.
+
+    Parameters
+    ----------
+    decays:
+        Decay factors; each key holds one :class:`IncStat` per factor.
+    max_streams:
+        Soft bound on tracked keys. When exceeded, the stalest half of
+        the keys (by last update time) is evicted — mirroring AfterImage's
+        clean-up logic.
+    """
+
+    def __init__(
+        self,
+        decays: tuple[float, ...] = DEFAULT_DECAYS,
+        *,
+        max_streams: int = 100_000,
+    ) -> None:
+        if not decays:
+            raise ValueError("at least one decay factor is required")
+        self.decays = tuple(decays)
+        self.max_streams = max_streams
+        self._streams: dict[str, list[IncStat]] = {}
+        self._covs: dict[str, list[IncStatCov]] = {}
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def update_get_1d(
+        self, key: str, value: float, timestamp: float
+    ) -> list[float]:
+        """Update stream ``key`` with ``value`` and return its stats.
+
+        Returns ``3 * len(decays)`` floats: (weight, mean, std) per decay.
+        """
+        stats = self._streams.get(key)
+        if stats is None:
+            stats = [IncStat(decay, timestamp) for decay in self.decays]
+            self._streams[key] = stats
+            self._maybe_prune()
+        out: list[float] = []
+        for stat in stats:
+            stat.insert(value, timestamp)
+            out.extend(stat.stats())
+        return out
+
+    def update_get_2d(
+        self, key_ab: str, key_ba: str, value: float, timestamp: float
+    ) -> list[float]:
+        """Update the A→B direction of a channel and return joint stats.
+
+        Returns ``7 * len(decays)`` floats per update: the 1-D (weight,
+        mean, std) of the updated direction plus the 2-D (magnitude,
+        radius, covariance, correlation) against the reverse direction.
+        """
+        stats_ab = self._get_or_create(key_ab, timestamp)
+        stats_ba = self._get_or_create(key_ba, timestamp)
+        covs = self._covs.get(key_ab)
+        if covs is None:
+            covs = [
+                IncStatCov(a, b) for a, b in zip(stats_ab, stats_ba, strict=True)
+            ]
+            self._covs[key_ab] = covs
+        out: list[float] = []
+        for stat, cov in zip(stats_ab, covs, strict=True):
+            stat.insert(value, timestamp)
+            cov.update(value, timestamp, from_a=True)
+            out.extend(stat.stats())
+            out.extend(cov.stats())
+        return out
+
+    def _get_or_create(self, key: str, timestamp: float) -> list[IncStat]:
+        stats = self._streams.get(key)
+        if stats is None:
+            stats = [IncStat(decay, timestamp) for decay in self.decays]
+            self._streams[key] = stats
+            self._maybe_prune()
+        return stats
+
+    def _maybe_prune(self) -> None:
+        if len(self._streams) <= self.max_streams:
+            return
+        # Evict the stalest half by last update time.
+        items = sorted(
+            self._streams.items(), key=lambda kv: kv[1][0].last_time
+        )
+        cutoff = len(items) // 2
+        for key, _ in items[:cutoff]:
+            self._streams.pop(key, None)
+            self._covs.pop(key, None)

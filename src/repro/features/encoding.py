@@ -1,0 +1,85 @@
+"""Encoding flow-feature dictionaries into model-ready matrices.
+
+The paper's central practical finding is that adapting a dataset to an
+IDS's expected input format is lossy: when a dataset does not provide a
+feature an IDS was built around, evaluators zero-fill or drop it. The
+:class:`FlowVectorEncoder` models that explicitly — it encodes against
+a *canonical* feature order and a per-dataset ``available`` mask, so
+experiments can quantify the "preprocessing impact" of Section V-5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+class FlowVectorEncoder:
+    """Encodes feature dicts to fixed-order numeric vectors.
+
+    Parameters
+    ----------
+    feature_names:
+        Canonical ordered feature names (the IDS's expected schema).
+    available:
+        Optional subset of names the source dataset actually provides.
+        Missing names are zero-filled, reproducing the data-wrangling
+        loss the paper describes.
+    log_scale:
+        Apply ``log1p`` to magnitude-like features (any name containing
+        ``bytes``, ``packets``, ``rate``, ``load`` or ``_per_s``) to tame
+        heavy tails before standardisation.
+    """
+
+    def __init__(
+        self,
+        feature_names: Sequence[str],
+        *,
+        available: Iterable[str] | None = None,
+        log_scale: bool = True,
+    ) -> None:
+        if not feature_names:
+            raise ValueError("feature_names must not be empty")
+        self.feature_names = tuple(feature_names)
+        self.available = (
+            set(self.feature_names) if available is None else set(available)
+        )
+        self.log_scale = log_scale
+        self._log_mask = np.array(
+            [self._is_magnitude(name) for name in self.feature_names], dtype=bool
+        )
+
+    @staticmethod
+    def _is_magnitude(name: str) -> bool:
+        lowered = name.lower()
+        return any(
+            token in lowered
+            for token in ("bytes", "packets", "rate", "load", "_per_s", "pkts")
+        )
+
+    @property
+    def dim(self) -> int:
+        return len(self.feature_names)
+
+    @property
+    def missing_features(self) -> tuple[str, ...]:
+        """Schema features the dataset does not provide (zero-filled)."""
+        return tuple(n for n in self.feature_names if n not in self.available)
+
+    def encode_one(self, features: Mapping[str, float]) -> np.ndarray:
+        row = np.zeros(self.dim, dtype=np.float64)
+        for i, name in enumerate(self.feature_names):
+            if name in self.available:
+                row[i] = float(features.get(name, 0.0))
+        if self.log_scale:
+            magnitudes = row[self._log_mask]
+            row[self._log_mask] = np.sign(magnitudes) * np.log1p(np.abs(magnitudes))
+        # Guard against inf/NaN from degenerate flows.
+        return np.nan_to_num(row, nan=0.0, posinf=0.0, neginf=0.0)
+
+    def encode(self, feature_dicts: Iterable[Mapping[str, float]]) -> np.ndarray:
+        rows = [self.encode_one(d) for d in feature_dicts]
+        if not rows:
+            return np.empty((0, self.dim), dtype=np.float64)
+        return np.vstack(rows)

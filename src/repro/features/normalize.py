@@ -1,0 +1,91 @@
+"""Online feature normalizers.
+
+Kitsune normalises features to [0, 1] with a running min/max learned
+during its training phase and frozen afterwards; the flow-level IDSs
+use z-score standardisation fit on the training split. Both are
+implemented here so every IDS shares audited scaling code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class OnlineMinMaxScaler:
+    """Running min-max scaler with frozen-after-training semantics.
+
+    ``clip=False`` reproduces AfterImage's behaviour exactly: values
+    outside the learned range scale past [0, 1], so a post-training
+    regime shift (e.g. a flood) produces arbitrarily large normalised
+    features — and correspondingly large reconstruction errors.
+    """
+
+    def __init__(self, dim: int, *, clip: bool = True) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self.clip = clip
+        self.min = np.full(dim, np.inf)
+        self.max = np.full(dim, -np.inf)
+        self.frozen = False
+
+    def partial_fit(self, row: np.ndarray) -> None:
+        """Update the running extrema with one observation."""
+        if self.frozen:
+            return
+        row = np.asarray(row, dtype=np.float64)
+        if row.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {row.shape}")
+        np.minimum(self.min, row, out=self.min)
+        np.maximum(self.max, row, out=self.max)
+
+    def freeze(self) -> None:
+        """Stop learning extrema (training phase over)."""
+        self.frozen = True
+
+    def transform(self, row: np.ndarray) -> np.ndarray:
+        """Scale into the learned range; constant dimensions map to 0.
+
+        With ``clip=True`` output is clamped to [0, 1]; with
+        ``clip=False`` out-of-range inputs extrapolate beyond it.
+        """
+        row = np.asarray(row, dtype=np.float64)
+        span = self.max - self.min
+        ok = np.isfinite(span) & (span > 0)
+        out = np.zeros_like(row)
+        out[ok] = (row[ok] - self.min[ok]) / span[ok]
+        if self.clip:
+            return np.clip(out, 0.0, 1.0)
+        return out
+
+    def fit_transform(self, row: np.ndarray) -> np.ndarray:
+        """Partial-fit then transform — the online training-phase call."""
+        self.partial_fit(row)
+        return self.transform(row)
+
+
+class ZScoreScaler:
+    """Batch z-score standardiser (fit once on the training split)."""
+
+    def __init__(self) -> None:
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "ZScoreScaler":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ValueError("fit expects a non-empty 2-D matrix")
+        self.mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std == 0] = 1.0
+        self.std = std
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.mean is None or self.std is None:
+            raise RuntimeError("ZScoreScaler used before fit()")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        return (matrix - self.mean) / self.std
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)

@@ -1,0 +1,31 @@
+"""Flow substrate: bidirectional flow assembly and flow-feature export.
+
+Replaces the role CICFlowMeter, Argus and Bro/Zeek play in the paper:
+packets are grouped into bidirectional 5-tuple flows with idle/active
+timeouts and TCP termination handling, and each completed flow can be
+exported as a CICFlowMeter-style (~80 features, CICIDS2017) or
+UNSW-style (~49 features, UNSW-NB15) record.
+"""
+
+from repro.flows.key import FlowKey, flow_key_for_packet
+from repro.flows.record import DirectionStats, FlowRecord, RunningStats
+from repro.flows.assembler import FlowAssembler
+from repro.flows.cicflow import CICFLOW_FEATURE_NAMES, cicflow_features
+from repro.flows.netflow import NETFLOW_FEATURE_NAMES, netflow_features
+from repro.flows.sampling import random_flow_sample, random_packet_sample, sort_by_timestamp
+
+__all__ = [
+    "FlowKey",
+    "flow_key_for_packet",
+    "FlowRecord",
+    "DirectionStats",
+    "RunningStats",
+    "FlowAssembler",
+    "cicflow_features",
+    "CICFLOW_FEATURE_NAMES",
+    "netflow_features",
+    "NETFLOW_FEATURE_NAMES",
+    "random_flow_sample",
+    "random_packet_sample",
+    "sort_by_timestamp",
+]

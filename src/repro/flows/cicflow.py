@@ -1,0 +1,203 @@
+"""CICFlowMeter-style flow features (the CICIDS2017 feature set).
+
+Produces the ~80 statistical features CICFlowMeter exports per flow,
+computed from a completed :class:`repro.flows.record.FlowRecord`. The
+names follow the CICIDS2017 CSV headers (lower-snake-cased); rate
+features guard against zero-duration flows the way CICFlowMeter does
+(rate 0 rather than infinity).
+"""
+
+from __future__ import annotations
+
+from repro.flows.record import FlowRecord
+
+
+def _safe_rate(amount: float, duration: float) -> float:
+    return amount / duration if duration > 0 else 0.0
+
+
+def cicflow_features(flow: FlowRecord) -> dict[str, float]:
+    """Export the CICFlowMeter feature dictionary for ``flow``."""
+    fwd, bwd = flow.forward, flow.backward
+    duration = flow.duration
+    total_packets = flow.total_packets
+    total_payload = fwd.payload_bytes + bwd.payload_bytes
+
+    # Combined packet-length distribution across both directions.
+    all_len_mean = _safe_rate(total_payload, total_packets)
+    combined = _merge_stats(fwd, bwd)
+
+    features: dict[str, float] = {
+        "flow_duration": duration,
+        "total_fwd_packets": float(fwd.packets),
+        "total_bwd_packets": float(bwd.packets),
+        "total_length_fwd_packets": float(fwd.payload_bytes),
+        "total_length_bwd_packets": float(bwd.payload_bytes),
+        "fwd_packet_length_max": fwd.lengths.max_or(),
+        "fwd_packet_length_min": fwd.lengths.min_or(),
+        "fwd_packet_length_mean": fwd.lengths.mean,
+        "fwd_packet_length_std": fwd.lengths.std,
+        "bwd_packet_length_max": bwd.lengths.max_or(),
+        "bwd_packet_length_min": bwd.lengths.min_or(),
+        "bwd_packet_length_mean": bwd.lengths.mean,
+        "bwd_packet_length_std": bwd.lengths.std,
+        "flow_bytes_per_s": _safe_rate(flow.total_bytes, duration),
+        "flow_packets_per_s": _safe_rate(total_packets, duration),
+        "flow_iat_mean": flow.flow_iats.mean,
+        "flow_iat_std": flow.flow_iats.std,
+        "flow_iat_max": flow.flow_iats.max_or(),
+        "flow_iat_min": flow.flow_iats.min_or(),
+        "fwd_iat_total": fwd.iats.total,
+        "fwd_iat_mean": fwd.iats.mean,
+        "fwd_iat_std": fwd.iats.std,
+        "fwd_iat_max": fwd.iats.max_or(),
+        "fwd_iat_min": fwd.iats.min_or(),
+        "bwd_iat_total": bwd.iats.total,
+        "bwd_iat_mean": bwd.iats.mean,
+        "bwd_iat_std": bwd.iats.std,
+        "bwd_iat_max": bwd.iats.max_or(),
+        "bwd_iat_min": bwd.iats.min_or(),
+        "fwd_psh_flags": float(fwd.psh_count),
+        "bwd_psh_flags": float(bwd.psh_count),
+        "fwd_urg_flags": float(fwd.urg_count),
+        "bwd_urg_flags": float(bwd.urg_count),
+        "fwd_header_length": float(fwd.header_bytes),
+        "bwd_header_length": float(bwd.header_bytes),
+        "fwd_packets_per_s": _safe_rate(fwd.packets, duration),
+        "bwd_packets_per_s": _safe_rate(bwd.packets, duration),
+        "packet_length_min": combined.min_or(),
+        "packet_length_max": combined.max_or(),
+        "packet_length_mean": combined.mean,
+        "packet_length_std": combined.std,
+        "packet_length_variance": combined.variance,
+        "fin_flag_count": float(flow.flag_count("FIN")),
+        "syn_flag_count": float(flow.flag_count("SYN")),
+        "rst_flag_count": float(flow.flag_count("RST")),
+        "psh_flag_count": float(flow.flag_count("PSH")),
+        "ack_flag_count": float(flow.flag_count("ACK")),
+        "urg_flag_count": float(flow.flag_count("URG")),
+        "cwe_flag_count": float(flow.flag_count("CWR")),
+        "ece_flag_count": float(flow.flag_count("ECE")),
+        "down_up_ratio": _safe_rate(bwd.packets, fwd.packets),
+        "average_packet_size": all_len_mean,
+        "avg_fwd_segment_size": fwd.lengths.mean,
+        "avg_bwd_segment_size": bwd.lengths.mean,
+        # CICFlowMeter's sub-flow features degenerate to the whole flow
+        # when no sub-flow split occurs; we export the whole-flow values.
+        "subflow_fwd_packets": float(fwd.packets),
+        "subflow_fwd_bytes": float(fwd.payload_bytes),
+        "subflow_bwd_packets": float(bwd.packets),
+        "subflow_bwd_bytes": float(bwd.payload_bytes),
+        "init_win_bytes_forward": float(max(fwd.init_window, 0)),
+        "init_win_bytes_backward": float(max(bwd.init_window, 0)),
+        "act_data_pkt_fwd": float(_count_data_packets(fwd)),
+        "min_seg_size_forward": fwd.lengths.min_or(),
+        "active_mean": flow.active_periods.mean,
+        "active_std": flow.active_periods.std,
+        "active_max": flow.active_periods.max_or(),
+        "active_min": flow.active_periods.min_or(),
+        "idle_mean": flow.idle_periods.mean,
+        "idle_std": flow.idle_periods.std,
+        "idle_max": flow.idle_periods.max_or(),
+        "idle_min": flow.idle_periods.min_or(),
+        "destination_port": float(flow.dst_port),
+        "protocol_tcp": 1.0 if flow.protocol == "tcp" else 0.0,
+        "protocol_udp": 1.0 if flow.protocol == "udp" else 0.0,
+        "protocol_icmp": 1.0 if flow.protocol == "icmp" else 0.0,
+    }
+    return features
+
+
+def _merge_stats(fwd, bwd):
+    from repro.flows.record import RunningStats
+
+    combined = RunningStats()
+    combined.merge(fwd.lengths)
+    combined.merge(bwd.lengths)
+    return combined
+
+
+def _count_data_packets(direction) -> int:
+    # Approximation: packets carrying payload. The exact CICFlowMeter
+    # definition (TCP packets with >= 1 data byte) matches because our
+    # accumulators only count payload lengths.
+    return direction.packets if direction.payload_bytes > 0 else 0
+
+
+#: Stable, ordered list of exported feature names.
+CICFLOW_FEATURE_NAMES: tuple[str, ...] = (
+        "flow_duration",
+        "total_fwd_packets",
+        "total_bwd_packets",
+        "total_length_fwd_packets",
+        "total_length_bwd_packets",
+        "fwd_packet_length_max",
+        "fwd_packet_length_min",
+        "fwd_packet_length_mean",
+        "fwd_packet_length_std",
+        "bwd_packet_length_max",
+        "bwd_packet_length_min",
+        "bwd_packet_length_mean",
+        "bwd_packet_length_std",
+        "flow_bytes_per_s",
+        "flow_packets_per_s",
+        "flow_iat_mean",
+        "flow_iat_std",
+        "flow_iat_max",
+        "flow_iat_min",
+        "fwd_iat_total",
+        "fwd_iat_mean",
+        "fwd_iat_std",
+        "fwd_iat_max",
+        "fwd_iat_min",
+        "bwd_iat_total",
+        "bwd_iat_mean",
+        "bwd_iat_std",
+        "bwd_iat_max",
+        "bwd_iat_min",
+        "fwd_psh_flags",
+        "bwd_psh_flags",
+        "fwd_urg_flags",
+        "bwd_urg_flags",
+        "fwd_header_length",
+        "bwd_header_length",
+        "fwd_packets_per_s",
+        "bwd_packets_per_s",
+        "packet_length_min",
+        "packet_length_max",
+        "packet_length_mean",
+        "packet_length_std",
+        "packet_length_variance",
+        "fin_flag_count",
+        "syn_flag_count",
+        "rst_flag_count",
+        "psh_flag_count",
+        "ack_flag_count",
+        "urg_flag_count",
+        "cwe_flag_count",
+        "ece_flag_count",
+        "down_up_ratio",
+        "average_packet_size",
+        "avg_fwd_segment_size",
+        "avg_bwd_segment_size",
+        "subflow_fwd_packets",
+        "subflow_fwd_bytes",
+        "subflow_bwd_packets",
+        "subflow_bwd_bytes",
+        "init_win_bytes_forward",
+        "init_win_bytes_backward",
+        "act_data_pkt_fwd",
+        "min_seg_size_forward",
+        "active_mean",
+        "active_std",
+        "active_max",
+        "active_min",
+        "idle_mean",
+        "idle_std",
+        "idle_max",
+        "idle_min",
+        "destination_port",
+        "protocol_tcp",
+        "protocol_udp",
+        "protocol_icmp",
+)

@@ -1,0 +1,54 @@
+"""Canonical bidirectional flow keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """A direction-less 5-tuple identifying a bidirectional flow.
+
+    The endpoint pair is stored in canonical (sorted) order so that both
+    directions of a conversation map to the same key. Flow *direction*
+    (who initiated) is tracked by :class:`repro.flows.record.FlowRecord`,
+    not by the key.
+    """
+
+    ip_a: str
+    port_a: int
+    ip_b: str
+    port_b: int
+    protocol: str
+
+    @classmethod
+    def canonical(
+        cls, src_ip: str, src_port: int, dst_ip: str, dst_port: int, protocol: str
+    ) -> "FlowKey":
+        """Build a key with endpoints in canonical order."""
+        first = (src_ip, src_port)
+        second = (dst_ip, dst_port)
+        if first > second:
+            first, second = second, first
+        return cls(first[0], first[1], second[0], second[1], protocol)
+
+    def endpoints(self) -> tuple[tuple[str, int], tuple[str, int]]:
+        return (self.ip_a, self.port_a), (self.ip_b, self.port_b)
+
+
+def flow_key_for_packet(packet: Packet) -> FlowKey | None:
+    """Derive the canonical flow key for ``packet``.
+
+    ICMP packets use port 0 on both sides (one "flow" per host pair, the
+    convention CICFlowMeter follows). ARP and non-IP packets have no
+    flow key and return ``None``.
+    """
+    if packet.ip is None:
+        return None
+    src_port = packet.src_port if packet.src_port is not None else 0
+    dst_port = packet.dst_port if packet.dst_port is not None else 0
+    return FlowKey.canonical(
+        packet.ip.src_ip, src_port, packet.ip.dst_ip, dst_port, packet.protocol_name
+    )

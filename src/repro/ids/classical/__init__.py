@@ -1,0 +1,20 @@
+"""Classical-ML baselines from the DNN study (Vigneswaran et al. 2018).
+
+The DNN paper benchmarks logistic regression, naive Bayes, k-NN,
+decision trees and random forests against its deep network; these
+numpy implementations power the classical-ML ablation bench (A4) and
+double as sanity baselines for the flow-feature substrate.
+"""
+
+from repro.ids.classical.logistic import LogisticRegressionIDS
+from repro.ids.classical.naive_bayes import GaussianNBIDS
+from repro.ids.classical.knn import KNNIDS
+from repro.ids.classical.tree import DecisionTreeIDS, RandomForestIDS
+
+__all__ = [
+    "LogisticRegressionIDS",
+    "GaussianNBIDS",
+    "KNNIDS",
+    "DecisionTreeIDS",
+    "RandomForestIDS",
+]

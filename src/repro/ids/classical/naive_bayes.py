@@ -1,0 +1,71 @@
+"""Gaussian naive Bayes over flow features."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.flows.record import FlowRecord
+from repro.ids.base import FlowIDS
+
+_VAR_FLOOR = 1e-9
+
+
+class GaussianNBIDS(FlowIDS):
+    """Per-class independent Gaussians; score is P(attack | x)."""
+
+    name = "GaussianNB"
+    supervised = True
+
+    def __init__(self) -> None:
+        self._means: dict[int, np.ndarray] = {}
+        self._vars: dict[int, np.ndarray] = {}
+        self._priors: dict[int, float] = {}
+
+    def fit(
+        self,
+        flows: Sequence[FlowRecord],
+        features: np.ndarray,
+        labels: np.ndarray | None,
+    ) -> None:
+        if labels is None:
+            raise ValueError("GaussianNB requires labels")
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels).ravel().astype(int)
+        classes = np.unique(y)
+        if classes.size < 2:
+            # Degenerate single-class training: predict that class always.
+            self._means = {int(classes[0]): x.mean(axis=0)}
+            self._vars = {int(classes[0]): x.var(axis=0) + _VAR_FLOOR}
+            self._priors = {int(classes[0]): 1.0}
+            return
+        for cls in classes:
+            mask = y == cls
+            self._means[int(cls)] = x[mask].mean(axis=0)
+            self._vars[int(cls)] = x[mask].var(axis=0) + _VAR_FLOOR
+            self._priors[int(cls)] = float(mask.mean())
+
+    def _log_joint(self, x: np.ndarray, cls: int) -> np.ndarray:
+        mean = self._means[cls]
+        var = self._vars[cls]
+        log_prob = -0.5 * (np.log(2 * np.pi * var) + (x - mean) ** 2 / var)
+        return log_prob.sum(axis=1) + np.log(self._priors[cls])
+
+    def anomaly_scores(
+        self, flows: Sequence[FlowRecord], features: np.ndarray
+    ) -> np.ndarray:
+        if not self._means:
+            raise RuntimeError("GaussianNB used before fit()")
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if 1 not in self._means:
+            return np.zeros(x.shape[0])
+        if 0 not in self._means:
+            return np.ones(x.shape[0])
+        log_attack = self._log_joint(x, 1)
+        log_benign = self._log_joint(x, 0)
+        # Softmax over the two joints = posterior P(attack | x).
+        shift = np.maximum(log_attack, log_benign)
+        pa = np.exp(log_attack - shift)
+        pb = np.exp(log_benign - shift)
+        return pa / (pa + pb)

@@ -1,0 +1,218 @@
+"""CART decision tree and a bagged random forest over flow features."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.flows.record import FlowRecord
+from repro.ids.base import FlowIDS
+from repro.utils.rng import SeededRNG
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry the attack probability."""
+
+    probability: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+def _build_tree(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    depth: int,
+    max_depth: int,
+    min_samples: int,
+    feature_subset: np.ndarray | None,
+    rng: SeededRNG | None,
+) -> _Node:
+    probability = float(y.mean()) if y.size else 0.0
+    node = _Node(probability=probability)
+    if depth >= max_depth or y.size < min_samples or probability in (0.0, 1.0):
+        return node
+
+    features = (
+        feature_subset
+        if feature_subset is not None
+        else np.arange(x.shape[1])
+    )
+    best_gain = 0.0
+    best: tuple[int, float] | None = None
+    parent_counts = np.array([(y == 0).sum(), (y == 1).sum()], dtype=float)
+    parent_gini = _gini(parent_counts)
+    for feature in features:
+        column = x[:, feature]
+        # Candidate thresholds: a few quantiles, cheap and robust.
+        candidates = np.unique(np.quantile(column, (0.25, 0.5, 0.75)))
+        for threshold in candidates:
+            mask = column <= threshold
+            n_left = int(mask.sum())
+            if n_left == 0 or n_left == y.size:
+                continue
+            left_counts = np.array(
+                [((y == 0) & mask).sum(), ((y == 1) & mask).sum()], dtype=float
+            )
+            right_counts = parent_counts - left_counts
+            gain = parent_gini - (
+                n_left / y.size * _gini(left_counts)
+                + (y.size - n_left) / y.size * _gini(right_counts)
+            )
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best = (int(feature), float(threshold))
+    if best is None:
+        return node
+
+    feature, threshold = best
+    mask = x[:, feature] <= threshold
+    node.feature = feature
+    node.threshold = threshold
+    subset = feature_subset
+    if rng is not None and feature_subset is not None:
+        # Resample the feature subset per split, forest-style.
+        k = feature_subset.size
+        subset = rng.choice(x.shape[1], size=k, replace=False)
+    node.left = _build_tree(
+        x[mask], y[mask], depth=depth + 1, max_depth=max_depth,
+        min_samples=min_samples, feature_subset=subset, rng=rng,
+    )
+    node.right = _build_tree(
+        x[~mask], y[~mask], depth=depth + 1, max_depth=max_depth,
+        min_samples=min_samples, feature_subset=subset, rng=rng,
+    )
+    return node
+
+
+def _predict_tree(node: _Node, x: np.ndarray) -> np.ndarray:
+    out = np.empty(x.shape[0])
+    for i, row in enumerate(x):
+        current = node
+        while not current.is_leaf:
+            assert current.left is not None and current.right is not None
+            current = (
+                current.left if row[current.feature] <= current.threshold
+                else current.right
+            )
+        out[i] = current.probability
+    return out
+
+
+class DecisionTreeIDS(FlowIDS):
+    """A single CART tree (Gini impurity, quantile split candidates)."""
+
+    name = "DecisionTree"
+    supervised = True
+
+    def __init__(self, *, max_depth: int = 8, min_samples: int = 10) -> None:
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self._root: _Node | None = None
+
+    @classmethod
+    def default_config(cls) -> dict:
+        return {"max_depth": 8, "min_samples": 10}
+
+    def fit(
+        self,
+        flows: Sequence[FlowRecord],
+        features: np.ndarray,
+        labels: np.ndarray | None,
+    ) -> None:
+        if labels is None:
+            raise ValueError("DecisionTree requires labels")
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels).ravel().astype(int)
+        self._root = _build_tree(
+            x, y, depth=0, max_depth=self.max_depth,
+            min_samples=self.min_samples, feature_subset=None, rng=None,
+        )
+
+    def anomaly_scores(
+        self, flows: Sequence[FlowRecord], features: np.ndarray
+    ) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("DecisionTree used before fit()")
+        return _predict_tree(self._root, np.atleast_2d(np.asarray(features)))
+
+
+class RandomForestIDS(FlowIDS):
+    """Bagged CART trees with per-split feature subsampling."""
+
+    name = "RandomForest"
+    supervised = True
+
+    def __init__(
+        self,
+        *,
+        trees: int = 10,
+        max_depth: int = 8,
+        min_samples: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if trees <= 0:
+            raise ValueError("trees must be positive")
+        self.tree_count = trees
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self.seed = seed
+        self._roots: list[_Node] = []
+
+    @classmethod
+    def default_config(cls) -> dict:
+        return {"trees": 10, "max_depth": 8, "min_samples": 10}
+
+    def fit(
+        self,
+        flows: Sequence[FlowRecord],
+        features: np.ndarray,
+        labels: np.ndarray | None,
+    ) -> None:
+        if labels is None:
+            raise ValueError("RandomForest requires labels")
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels).ravel().astype(int)
+        rng = SeededRNG(self.seed, "forest")
+        n, d = x.shape
+        k = max(1, int(np.sqrt(d)))
+        self._roots = []
+        for t in range(self.tree_count):
+            tree_rng = rng.child(f"tree-{t}")
+            bootstrap = tree_rng.integers(0, n, size=n)
+            subset = tree_rng.choice(d, size=k, replace=False)
+            self._roots.append(
+                _build_tree(
+                    x[bootstrap], y[bootstrap], depth=0,
+                    max_depth=self.max_depth, min_samples=self.min_samples,
+                    feature_subset=np.asarray(subset), rng=tree_rng,
+                )
+            )
+
+    def anomaly_scores(
+        self, flows: Sequence[FlowRecord], features: np.ndarray
+    ) -> np.ndarray:
+        if not self._roots:
+            raise RuntimeError("RandomForest used before fit()")
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        votes = np.zeros(x.shape[0])
+        for root in self._roots:
+            votes += _predict_tree(root, x)
+        return votes / len(self._roots)

@@ -1,0 +1,5 @@
+"""The supervised DNN IDS (Vigneswaran et al., ICCCNT 2018)."""
+
+from repro.ids.dnn.dnn import DNNClassifierIDS
+
+__all__ = ["DNNClassifierIDS"]

@@ -1,0 +1,12 @@
+"""HELAD: heterogeneous ensemble learning anomaly detection.
+
+Reimplementation of Zhong et al. (Computer Networks 169, 2020): damped
+incremental features (shared with Kitsune), an autoencoder learning the
+benign manifold, and an LSTM learning the *temporal* structure of the
+autoencoder's anomaly scores. The final score is a weighted blend of
+reconstruction error and temporal prediction error.
+"""
+
+from repro.ids.helad.helad import HELAD
+
+__all__ = ["HELAD"]

@@ -1,0 +1,87 @@
+"""Kitsune's feature mapper: correlation clustering of features.
+
+During the feature-mapping grace period Kitsune accumulates summary
+statistics of the feature stream; at the end it hierarchically clusters
+features by correlation distance, capping cluster size at ``max_group``
+(m=10 upstream). Each cluster becomes one ensemble autoencoder's input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class FeatureMapper:
+    """Learns a partition of feature indices from streamed instances."""
+
+    def __init__(self, dim: int, *, max_group: int = 10) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.max_group = int(check_positive("max_group", max_group))
+        # Streaming sums for the correlation matrix.
+        self._count = 0
+        self._sum = np.zeros(dim)
+        self._sum_sq = np.zeros(dim)
+        self._sum_outer = np.zeros((dim, dim))
+        self.groups: list[list[int]] | None = None
+
+    def partial_fit(self, row: np.ndarray) -> None:
+        """Accumulate one instance's contribution to the correlations."""
+        row = np.asarray(row, dtype=np.float64)
+        if row.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {row.shape}")
+        self._count += 1
+        self._sum += row
+        self._sum_sq += row * row
+        self._sum_outer += np.outer(row, row)
+
+    def finalise(self) -> list[list[int]]:
+        """Cluster features; returns (and caches) the index groups."""
+        if self._count < 2:
+            # Degenerate grace period: fall back to contiguous chunks.
+            self.groups = [
+                list(range(i, min(i + self.max_group, self.dim)))
+                for i in range(0, self.dim, self.max_group)
+            ]
+            return self.groups
+        n = self._count
+        mean = self._sum / n
+        var = self._sum_sq / n - mean * mean
+        std = np.sqrt(np.maximum(var, 0.0))
+        cov = self._sum_outer / n - np.outer(mean, mean)
+        denom = np.outer(std, std)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            corr = np.where(denom > 0, cov / denom, 0.0)
+        np.fill_diagonal(corr, 1.0)
+        distance = 1.0 - np.abs(corr)
+        self.groups = self._cluster(distance)
+        return self.groups
+
+    def _cluster(self, distance: np.ndarray) -> list[list[int]]:
+        """Agglomerative single-linkage clustering with a size cap."""
+        clusters: list[list[int]] = [[i] for i in range(self.dim)]
+        # Single-linkage distance between clusters, updated lazily.
+        while len(clusters) > 1:
+            best_pair: tuple[int, int] | None = None
+            best_distance = np.inf
+            for i in range(len(clusters)):
+                for j in range(i + 1, len(clusters)):
+                    if len(clusters[i]) + len(clusters[j]) > self.max_group:
+                        continue
+                    d = distance[np.ix_(clusters[i], clusters[j])].min()
+                    if d < best_distance:
+                        best_distance = d
+                        best_pair = (i, j)
+            if best_pair is None:  # nothing mergeable under the cap
+                break
+            i, j = best_pair
+            clusters[i] = clusters[i] + clusters[j]
+            del clusters[j]
+        return clusters
+
+    @property
+    def is_final(self) -> bool:
+        return self.groups is not None

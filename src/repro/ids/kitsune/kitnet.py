@@ -1,0 +1,134 @@
+"""KitNET: the ensemble-of-autoencoders anomaly detector.
+
+Architecture per the paper: each feature group feeds a small sigmoid
+autoencoder; the per-autoencoder RMSEs feed an output autoencoder whose
+reconstruction RMSE is the final anomaly score. Training is online:
+a feature-mapping grace period, then an ensemble-training grace period,
+then pure execution.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.features.normalize import OnlineMinMaxScaler
+from repro.ids.kitsune.feature_mapper import FeatureMapper
+from repro.ml.autoencoder import Autoencoder
+from repro.utils.rng import SeededRNG
+from repro.utils.validation import check_positive
+
+
+class KitNET:
+    """Online anomaly detector over fixed-dimension feature vectors.
+
+    Parameters mirror the upstream defaults: ``max_group=10``,
+    ``hidden_ratio=0.75``, ``learning_rate=0.1``.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        fm_grace: int = 1000,
+        ad_grace: int = 9000,
+        max_group: int = 10,
+        hidden_ratio: float = 0.75,
+        learning_rate: float = 0.1,
+        rng: SeededRNG,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.fm_grace = int(check_positive("fm_grace", fm_grace))
+        self.ad_grace = int(check_positive("ad_grace", ad_grace))
+        self.hidden_ratio = hidden_ratio
+        self.learning_rate = learning_rate
+        self._rng = rng
+        self.mapper = FeatureMapper(dim, max_group=max_group)
+        # AfterImage normalisation does not clip: post-training regime
+        # shifts scale past [0, 1] and drive reconstruction RMSE up.
+        self.scaler = OnlineMinMaxScaler(dim, clip=False)
+        self.ensemble: list[Autoencoder] = []
+        self.output_layer: Autoencoder | None = None
+        self._output_scaler: OnlineMinMaxScaler | None = None
+        self.samples_seen = 0
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def in_feature_mapping(self) -> bool:
+        return self.samples_seen < self.fm_grace
+
+    @property
+    def in_training(self) -> bool:
+        return self.fm_grace <= self.samples_seen < self.fm_grace + self.ad_grace
+
+    def _build_ensemble(self) -> None:
+        groups = self.mapper.finalise()
+        self.ensemble = [
+            Autoencoder(
+                len(group),
+                hidden_ratio=self.hidden_ratio,
+                learning_rate=self.learning_rate,
+                rng=self._rng.child(f"ae-{i}"),
+            )
+            for i, group in enumerate(groups)
+        ]
+        self.output_layer = Autoencoder(
+            len(groups),
+            hidden_ratio=self.hidden_ratio,
+            learning_rate=self.learning_rate,
+            rng=self._rng.child("output"),
+        )
+        self._output_scaler = OnlineMinMaxScaler(len(groups))
+
+    def process(self, row: np.ndarray) -> float:
+        """Feed one instance; returns its anomaly score (0.0 while the
+        feature mapper is still collecting)."""
+        row = np.asarray(row, dtype=np.float64)
+        self.samples_seen += 1
+        if self.samples_seen <= self.fm_grace:
+            self.mapper.partial_fit(row)
+            self.scaler.partial_fit(row)
+            if self.samples_seen == self.fm_grace:
+                self._build_ensemble()
+            return 0.0
+        if self.output_layer is None:  # fm_grace satisfied mid-stream
+            self._build_ensemble()
+        if self.in_training:
+            return self._train_step(row)
+        return self._execute(row)
+
+    def _group_rmses(self, scaled: np.ndarray, *, train: bool) -> np.ndarray:
+        groups = self.mapper.groups or []
+        rmses = np.empty(len(groups))
+        for i, group in enumerate(groups):
+            sub = scaled[group]
+            if train:
+                rmses[i] = self.ensemble[i].train_score(sub)
+            else:
+                rmses[i] = self.ensemble[i].score(sub)
+        return rmses
+
+    def _train_step(self, row: np.ndarray) -> float:
+        scaled = self.scaler.fit_transform(row)
+        rmses = self._group_rmses(scaled, train=True)
+        assert self._output_scaler is not None and self.output_layer is not None
+        scaled_rmses = self._output_scaler.fit_transform(rmses)
+        score = self.output_layer.train_score(scaled_rmses)
+        if self.samples_seen == self.fm_grace + self.ad_grace:
+            self.scaler.freeze()
+            self._output_scaler.freeze()
+        return score
+
+    def _execute(self, row: np.ndarray) -> float:
+        assert self._output_scaler is not None and self.output_layer is not None
+        scaled = self.scaler.transform(row)
+        rmses = self._group_rmses(scaled, train=False)
+        return self.output_layer.score(self._output_scaler.transform(rmses))
+
+    def score_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Process a matrix row-by-row (online semantics preserved)."""
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        return np.array([self.process(row) for row in matrix])

@@ -1,0 +1,128 @@
+"""Persistence for trained anomaly detectors.
+
+Deploying an IDS means training once and executing for weeks, so the
+trained state must survive a process restart. This module serialises a
+trained :class:`repro.ids.kitsune.kitnet.KitNET` — feature-mapper
+groups, frozen scalers, and every autoencoder's weights — to a single
+``.npz`` file and restores it into execute mode.
+
+The damped NetStat stream state is deliberately *not* persisted: it is
+traffic state, not model state, and rebuilds online within a few decay
+horizons (exactly how Kitsune deployments behave after a restart).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.features.normalize import OnlineMinMaxScaler
+from repro.ids.kitsune.kitnet import KitNET
+from repro.ml.autoencoder import Autoencoder
+from repro.utils.rng import SeededRNG
+
+_FORMAT_VERSION = 1
+
+
+def _scaler_state(scaler: OnlineMinMaxScaler) -> dict[str, np.ndarray]:
+    return {"min": scaler.min.copy(), "max": scaler.max.copy()}
+
+
+def _restore_scaler(dim: int, minimum, maximum, *, clip: bool) -> OnlineMinMaxScaler:
+    scaler = OnlineMinMaxScaler(dim, clip=clip)
+    scaler.min = np.asarray(minimum, dtype=np.float64)
+    scaler.max = np.asarray(maximum, dtype=np.float64)
+    scaler.freeze()
+    return scaler
+
+
+def save_kitnet(kitnet: KitNET, path: str | Path) -> None:
+    """Serialise a trained KitNET to ``path`` (.npz).
+
+    Raises ``ValueError`` if the detector has not finished its grace
+    periods — persisting a half-trained model is a deployment bug.
+    """
+    if kitnet.in_feature_mapping or kitnet.in_training:
+        raise ValueError(
+            "KitNET is still in its grace periods; train before saving"
+        )
+    assert kitnet.output_layer is not None
+    assert kitnet._output_scaler is not None
+
+    arrays: dict[str, np.ndarray] = {}
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "dim": kitnet.dim,
+        "decaysamples_seen": kitnet.samples_seen,
+        "fm_grace": kitnet.fm_grace,
+        "ad_grace": kitnet.ad_grace,
+        "hidden_ratio": kitnet.hidden_ratio,
+        "learning_rate": kitnet.learning_rate,
+        "groups": kitnet.mapper.groups,
+        "ensemble_size": len(kitnet.ensemble),
+    }
+    arrays["scaler_min"] = kitnet.scaler.min
+    arrays["scaler_max"] = kitnet.scaler.max
+    arrays["output_scaler_min"] = kitnet._output_scaler.min
+    arrays["output_scaler_max"] = kitnet._output_scaler.max
+    for i, ae in enumerate([*kitnet.ensemble, kitnet.output_layer]):
+        arrays[f"ae{i}_enc_w"] = ae.encoder.weights
+        arrays[f"ae{i}_enc_b"] = ae.encoder.bias
+        arrays[f"ae{i}_dec_w"] = ae.decoder.weights
+        arrays[f"ae{i}_dec_b"] = ae.decoder.bias
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_kitnet(path: str | Path) -> KitNET:
+    """Restore a KitNET saved by :func:`save_kitnet`, in execute mode."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format {meta.get('format_version')!r}"
+            )
+        kitnet = KitNET(
+            meta["dim"],
+            fm_grace=meta["fm_grace"],
+            ad_grace=meta["ad_grace"],
+            hidden_ratio=meta["hidden_ratio"],
+            learning_rate=meta["learning_rate"],
+            rng=SeededRNG(0, "loaded-kitnet"),
+        )
+        kitnet.mapper.groups = [list(g) for g in meta["groups"]]
+        kitnet.scaler = _restore_scaler(
+            meta["dim"], data["scaler_min"], data["scaler_max"], clip=False
+        )
+        groups = kitnet.mapper.groups
+        # The input scaler is unclipped (AfterImage semantics); the
+        # output-RMSE scaler clips, matching KitNET._build_ensemble.
+        kitnet._output_scaler = _restore_scaler(
+            len(groups), data["output_scaler_min"], data["output_scaler_max"],
+            clip=True,
+        )
+
+        def restore_ae(index: int, dim: int) -> Autoencoder:
+            ae = Autoencoder(
+                dim,
+                hidden_ratio=meta["hidden_ratio"],
+                learning_rate=meta["learning_rate"],
+                rng=SeededRNG(index, "loaded-ae"),
+            )
+            ae.encoder.weights = np.asarray(data[f"ae{index}_enc_w"])
+            ae.encoder.bias = np.asarray(data[f"ae{index}_enc_b"])
+            ae.decoder.weights = np.asarray(data[f"ae{index}_dec_w"])
+            ae.decoder.bias = np.asarray(data[f"ae{index}_dec_b"])
+            return ae
+
+        kitnet.ensemble = [
+            restore_ae(i, len(group)) for i, group in enumerate(groups)
+        ]
+        kitnet.output_layer = restore_ae(len(groups), len(groups))
+        # Mark the grace periods as complete: the model executes only.
+        kitnet.samples_seen = meta["fm_grace"] + meta["ad_grace"] + 1
+    return kitnet

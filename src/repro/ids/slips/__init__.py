@@ -1,0 +1,26 @@
+"""A behavioural IPS modelled on Stratosphere Linux IPS (Slips) v1.0.7.
+
+Slips profiles traffic per source IP in fixed time windows, runs
+detection modules that emit weighted *evidence* (port scans, beaconing,
+suspicious ports, behavioural-letter Markov models), and raises an
+alert when a profile-window's accumulated evidence crosses a threat
+threshold. Alerted profile-windows mark their flows as malicious.
+
+The reimplementation keeps that architecture and its out-of-the-box
+thresholds; see DESIGN.md for the substitution notes (no Zeek/Redis).
+"""
+
+from repro.ids.slips.slips import SlipsIDS
+from repro.ids.slips.evidence import Evidence, EvidenceKind
+from repro.ids.slips.profiles import ProfileWindow, build_profile_windows
+from repro.ids.slips.markov import BehaviourModel, encode_letters
+
+__all__ = [
+    "SlipsIDS",
+    "Evidence",
+    "EvidenceKind",
+    "ProfileWindow",
+    "build_profile_windows",
+    "BehaviourModel",
+    "encode_letters",
+]

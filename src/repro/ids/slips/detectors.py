@@ -1,0 +1,238 @@
+"""Slips detection modules: each inspects one profile-window.
+
+Weights and thresholds follow the out-of-the-box character of Slips
+v1.0.7: individually conservative modules whose evidence must
+*accumulate* before a profile is alerted. This is why volumetric floods
+(one destination, one port) and content-style attacks produce no
+evidence at all — the behaviour behind Slips' zero rows in the paper's
+Table IV — while multi-behaviour infections (beaconing + scanning C2
+bots) cross the threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.ids.slips.evidence import Evidence, EvidenceKind
+from repro.ids.slips.markov import BehaviourModel, encode_letters
+from repro.ids.slips.profiles import ProfileWindow
+
+#: Ports whose use needs no justification (well-known services).
+WELL_KNOWN_PORTS = frozenset(
+    {20, 21, 22, 23, 25, 53, 80, 110, 123, 143, 443, 445, 465, 587, 993,
+     995, 1883, 3306, 3389, 5900, 8080, 8443, 8883}
+)
+
+
+def detect_vertical_portscan(
+    window: ProfileWindow, *, min_ports: int = 20, base_weight: float = 0.5
+) -> Iterator[Evidence]:
+    """Many distinct destination ports on a single destination IP."""
+    for dst_ip in window.distinct_dst_ips():
+        ports = window.distinct_dst_ports(dst_ip)
+        if len(ports) >= min_ports:
+            involved = [
+                window.flow_indices[i]
+                for i, flow in enumerate(window.flows)
+                if flow.dst_ip == dst_ip
+            ]
+            weight = base_weight + 0.05 * math.log2(len(ports))
+            yield Evidence(
+                kind=EvidenceKind.VERTICAL_PORTSCAN,
+                weight=weight,
+                description=(
+                    f"{window.profile_ip} probed {len(ports)} ports on {dst_ip}"
+                ),
+                profile_ip=window.profile_ip,
+                window_index=window.window_index,
+                flow_indices=involved,
+            )
+
+
+def detect_horizontal_portscan(
+    window: ProfileWindow, *, min_hosts: int = 30, base_weight: float = 0.4
+) -> Iterator[Evidence]:
+    """The same destination port probed across many destination IPs."""
+    by_port: dict[int, set[str]] = {}
+    for flow in window.flows:
+        by_port.setdefault(flow.dst_port, set()).add(flow.dst_ip)
+    for port, hosts in by_port.items():
+        if len(hosts) >= min_hosts:
+            involved = [
+                window.flow_indices[i]
+                for i, flow in enumerate(window.flows)
+                if flow.dst_port == port
+            ]
+            weight = base_weight + 0.04 * math.log2(len(hosts))
+            yield Evidence(
+                kind=EvidenceKind.HORIZONTAL_PORTSCAN,
+                weight=weight,
+                description=(
+                    f"{window.profile_ip} probed port {port} on {len(hosts)} hosts"
+                ),
+                profile_ip=window.profile_ip,
+                window_index=window.window_index,
+                flow_indices=involved,
+            )
+
+
+def detect_beaconing(
+    window: ProfileWindow,
+    *,
+    min_flows: int = 6,
+    max_flows: int = 500,
+    min_period: float = 5.0,
+    max_cv: float = 0.2,
+    max_mean_bytes: float = 5_000.0,
+    base_weight: float = 0.25,
+) -> Iterator[Evidence]:
+    """Low-volume, strongly periodic conversations (C2 check-ins).
+
+    The flow-count cap and the minimum period exclude floods: beaconing
+    is a low-and-slow behaviour, not a volumetric one.
+    """
+    for (dst_ip, dst_port), indices in window.conversation_groups().items():
+        if not min_flows <= len(indices) <= max_flows:
+            continue
+        flows = sorted((window.flows[i] for i in indices), key=lambda f: f.start_time)
+        gaps = [
+            later.start_time - earlier.start_time
+            for earlier, later in zip(flows, flows[1:])
+        ]
+        mean_gap = sum(gaps) / len(gaps)
+        if mean_gap < min_period:
+            continue
+        variance = sum((g - mean_gap) ** 2 for g in gaps) / len(gaps)
+        cv = math.sqrt(variance) / mean_gap if mean_gap > 0 else math.inf
+        mean_bytes = sum(f.total_bytes for f in flows) / len(flows)
+        if cv <= max_cv and mean_bytes <= max_mean_bytes:
+            weight = base_weight + 0.05 * math.log2(len(indices))
+            yield Evidence(
+                kind=EvidenceKind.BEACONING,
+                weight=weight,
+                description=(
+                    f"{window.profile_ip} beacons to {dst_ip}:{dst_port} "
+                    f"every ~{mean_gap:.0f}s x{len(indices)}"
+                ),
+                profile_ip=window.profile_ip,
+                window_index=window.window_index,
+                flow_indices=[window.flow_indices[i] for i in indices],
+            )
+
+
+def detect_suspicious_port(
+    window: ProfileWindow, *, min_flows: int = 3, weight: float = 0.25
+) -> Iterator[Evidence]:
+    """Repeated TCP conversations to a non-well-known port."""
+    for (dst_ip, dst_port), indices in window.conversation_groups().items():
+        if dst_port in WELL_KNOWN_PORTS or dst_port >= 32768:
+            continue  # ephemeral targets are responders, not services
+        tcp_indices = [i for i in indices if window.flows[i].protocol == "tcp"]
+        if len(tcp_indices) >= min_flows:
+            yield Evidence(
+                kind=EvidenceKind.SUSPICIOUS_PORT,
+                weight=weight,
+                description=(
+                    f"{window.profile_ip} repeatedly contacts {dst_ip}:{dst_port}"
+                ),
+                profile_ip=window.profile_ip,
+                window_index=window.window_index,
+                flow_indices=[window.flow_indices[i] for i in tcp_indices],
+            )
+
+
+def detect_long_connections(
+    window: ProfileWindow,
+    *,
+    min_duration: float = 1500.0,
+    weight: float = 0.05,
+    max_count: int = 5,
+) -> Iterator[Evidence]:
+    """Unusually long-lived connections (weak evidence, capped)."""
+    emitted = 0
+    for i, flow in enumerate(window.flows):
+        if flow.duration >= min_duration:
+            yield Evidence(
+                kind=EvidenceKind.LONG_CONNECTION,
+                weight=weight,
+                description=(
+                    f"{window.profile_ip} connection to {flow.dst_ip} lasted "
+                    f"{flow.duration:.0f}s"
+                ),
+                profile_ip=window.profile_ip,
+                window_index=window.window_index,
+                flow_indices=[window.flow_indices[i]],
+            )
+            emitted += 1
+            if emitted >= max_count:
+                return
+
+
+def detect_anomalous_flags(
+    window: ProfileWindow, *, min_flows: int = 3, weight: float = 0.1
+) -> Iterator[Evidence]:
+    """Flag combinations no normal stack sends (NULL/Xmas probes)."""
+    involved = []
+    for i, flow in enumerate(window.flows):
+        if flow.protocol != "tcp":
+            continue
+        has_syn = flow.flag_count("SYN") > 0
+        has_ack = flow.flag_count("ACK") > 0
+        has_fin = flow.flag_count("FIN") > 0
+        has_urg = flow.flag_count("URG") > 0
+        if (not has_syn and not has_ack) or (has_fin and has_urg and not has_syn):
+            involved.append(window.flow_indices[i])
+    if len(involved) >= min_flows:
+        yield Evidence(
+            kind=EvidenceKind.ANOMALOUS_FLAGS,
+            weight=weight,
+            description=f"{window.profile_ip} sent anomalous TCP flag probes",
+            profile_ip=window.profile_ip,
+            window_index=window.window_index,
+            flow_indices=involved,
+        )
+
+
+def detect_malicious_behaviour(
+    window: ProfileWindow,
+    model: BehaviourModel,
+    *,
+    min_flows: int = 8,
+    max_flows: int = 500,
+    min_period: float = 5.0,
+    threshold: float = -1.6,
+    weight: float = 0.4,
+) -> Iterator[Evidence]:
+    """Match conversation letter-strings against a malicious Markov model.
+
+    Like beaconing, behaviour models describe low-and-slow activity: a
+    sub-``min_period`` median inter-flow gap is volumetric traffic and
+    is excluded regardless of how periodic its letters look.
+    """
+    for (dst_ip, dst_port), indices in window.conversation_groups().items():
+        if not min_flows <= len(indices) <= max_flows:
+            continue
+        flows = sorted(
+            (window.flows[i] for i in indices), key=lambda f: f.start_time
+        )
+        gaps = sorted(
+            later.start_time - earlier.start_time
+            for earlier, later in zip(flows, flows[1:])
+        )
+        if gaps and gaps[len(gaps) // 2] < min_period:
+            continue
+        letters = encode_letters(flows)
+        rate = model.log_likelihood_rate(letters)
+        if rate > threshold:
+            yield Evidence(
+                kind=EvidenceKind.MALICIOUS_BEHAVIOUR_MODEL,
+                weight=weight,
+                description=(
+                    f"{window.profile_ip}->{dst_ip}:{dst_port} matches "
+                    f"behaviour model {model.name!r} (rate {rate:.2f})"
+                ),
+                profile_ip=window.profile_ip,
+                window_index=window.window_index,
+                flow_indices=[window.flow_indices[i] for i in indices],
+            )

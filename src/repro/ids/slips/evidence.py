@@ -1,0 +1,38 @@
+"""Evidence records emitted by Slips detection modules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EvidenceKind(enum.Enum):
+    """The detection modules' evidence categories."""
+
+    VERTICAL_PORTSCAN = "vertical-portscan"
+    HORIZONTAL_PORTSCAN = "horizontal-portscan"
+    BEACONING = "beaconing"
+    SUSPICIOUS_PORT = "suspicious-port"
+    LONG_CONNECTION = "long-connection"
+    MALICIOUS_BEHAVIOUR_MODEL = "malicious-behaviour-model"
+    ANOMALOUS_FLAGS = "anomalous-flags"
+
+
+@dataclass
+class Evidence:
+    """One weighted piece of evidence against a profile-window.
+
+    ``flow_indices`` points into the evaluated flow list at the flows
+    that triggered the evidence (used for attribution in reports).
+    """
+
+    kind: EvidenceKind
+    weight: float
+    description: str
+    profile_ip: str
+    window_index: int
+    flow_indices: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"evidence weight must be >= 0, got {self.weight}")

@@ -1,0 +1,115 @@
+"""Stratosphere behavioural letters and Markov-chain models.
+
+The Stratosphere project encodes each conversation (src, dst, dport
+group of flows) as a string of letters describing size / duration /
+periodicity of successive flows, then matches the string against
+Markov chains trained on known-malicious behaviours. Slips ships those
+pre-trained models; here the C2 model is constructed from template
+sequences exhibiting the canonical beaconing behaviour (small, short,
+highly periodic flows).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.flows.record import FlowRecord
+
+#: Letter alphabet: size class (s/m/l) x periodicity class (strong/weak).
+#: Uppercase = strongly periodic, lowercase = weakly periodic.
+_SIZE_BOUNDS = (1_000.0, 20_000.0)  # bytes: small < 1k <= medium < 20k <= large
+_PERIODIC_CV = 0.25  # coefficient of variation below this is "periodic"
+
+
+def encode_letters(flows: Sequence[FlowRecord]) -> str:
+    """Encode a conversation's flow sequence as behavioural letters.
+
+    Each flow maps to one letter: ``s/m/l`` by total bytes, uppercased
+    when the inter-flow gap matches the conversation's median gap
+    within ``_PERIODIC_CV`` relative deviation.
+    """
+    if not flows:
+        return ""
+    ordered = sorted(flows, key=lambda f: f.start_time)
+    gaps = [
+        later.start_time - earlier.start_time
+        for earlier, later in zip(ordered, ordered[1:])
+    ]
+    median_gap = sorted(gaps)[len(gaps) // 2] if gaps else 0.0
+    letters = []
+    for i, flow in enumerate(ordered):
+        total = flow.total_bytes
+        if total < _SIZE_BOUNDS[0]:
+            letter = "s"
+        elif total < _SIZE_BOUNDS[1]:
+            letter = "m"
+        else:
+            letter = "l"
+        periodic = False
+        if i > 0 and median_gap > 0:
+            gap = ordered[i].start_time - ordered[i - 1].start_time
+            periodic = abs(gap - median_gap) <= _PERIODIC_CV * median_gap
+        letters.append(letter.upper() if periodic else letter)
+    return "".join(letters)
+
+
+class BehaviourModel:
+    """A first-order Markov chain over behavioural letters."""
+
+    def __init__(self, name: str, alphabet: str = "smlSML") -> None:
+        self.name = name
+        self.alphabet = alphabet
+        size = len(alphabet)
+        self._index = {c: i for i, c in enumerate(alphabet)}
+        # Laplace-smoothed counts.
+        self._transition_counts = [[1.0] * size for _ in range(size)]
+        self._initial_counts = [1.0] * size
+        self.trained_sequences = 0
+
+    def train(self, sequence: str) -> None:
+        """Fold one letter sequence into the chain."""
+        if not sequence:
+            return
+        self._initial_counts[self._index[sequence[0]]] += 1.0
+        for a, b in zip(sequence, sequence[1:]):
+            self._transition_counts[self._index[a]][self._index[b]] += 1.0
+        self.trained_sequences += 1
+
+    def log_likelihood_rate(self, sequence: str) -> float:
+        """Average log-probability per transition of ``sequence``.
+
+        Comparable across sequences of different lengths; higher means
+        a better match to the modelled behaviour.
+        """
+        if len(sequence) < 2:
+            return -math.inf
+        initial_total = sum(self._initial_counts)
+        row_totals = [sum(row) for row in self._transition_counts]
+        logp = math.log(
+            self._initial_counts[self._index[sequence[0]]] / initial_total
+        )
+        for a, b in zip(sequence, sequence[1:]):
+            i, j = self._index[a], self._index[b]
+            logp += math.log(self._transition_counts[i][j] / row_totals[i])
+        return logp / (len(sequence) - 1)
+
+
+def default_c2_model() -> BehaviourModel:
+    """The shipped C2 model: small flows with strong periodicity.
+
+    Mirrors Slips shipping Markov models trained on known C2 captures:
+    training sequences are canonical beaconing strings (runs of
+    periodic-small letters with occasional size jitter).
+    """
+    model = BehaviourModel("c2-beaconing")
+    templates = (
+        "s" + "S" * 30,
+        "s" + "S" * 14 + "m" + "S" * 15,
+        "sS" * 16,
+        "s" + "S" * 8 + "s" + "S" * 20,
+        "m" + "S" * 24,
+    )
+    for template in templates:
+        model.train(template)
+    return model

@@ -1,0 +1,84 @@
+"""Profile construction: per source-IP, per time-window flow grouping.
+
+Slips' core abstraction: a *profile* is everything one IP originated,
+cut into fixed-width time windows. Detection modules then reason about
+one profile-window at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.flows.record import FlowRecord
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ProfileWindow:
+    """All flows a source IP originated within one time window."""
+
+    profile_ip: str
+    window_index: int
+    flow_indices: list[int] = field(default_factory=list)
+    flows: list[FlowRecord] = field(default_factory=list)
+
+    def add(self, index: int, flow: FlowRecord) -> None:
+        self.flow_indices.append(index)
+        self.flows.append(flow)
+
+    @property
+    def flow_count(self) -> int:
+        return len(self.flows)
+
+    def distinct_dst_ports(self, dst_ip: str | None = None) -> set[int]:
+        return {
+            f.dst_port
+            for f in self.flows
+            if dst_ip is None or f.dst_ip == dst_ip
+        }
+
+    def distinct_dst_ips(self, dst_port: int | None = None) -> set[str]:
+        return {
+            f.dst_ip
+            for f in self.flows
+            if dst_port is None or f.dst_port == dst_port
+        }
+
+    def flows_to(self, dst_ip: str, dst_port: int | None = None) -> list[FlowRecord]:
+        return [
+            f
+            for f in self.flows
+            if f.dst_ip == dst_ip and (dst_port is None or f.dst_port == dst_port)
+        ]
+
+    def conversation_groups(self) -> dict[tuple[str, int], list[int]]:
+        """Indices (into ``self.flows``) grouped by (dst_ip, dst_port)."""
+        groups: dict[tuple[str, int], list[int]] = {}
+        for i, flow in enumerate(self.flows):
+            groups.setdefault((flow.dst_ip, flow.dst_port), []).append(i)
+        return groups
+
+
+def build_profile_windows(
+    flows: Sequence[FlowRecord], *, window_width: float = 3600.0
+) -> dict[tuple[str, int], ProfileWindow]:
+    """Group flows into (source IP, window index) profiles.
+
+    Window indices are relative to the earliest flow start, so captures
+    need not begin at epoch 0.
+    """
+    check_positive("window_width", window_width)
+    if not flows:
+        return {}
+    t0 = min(flow.start_time for flow in flows)
+    windows: dict[tuple[str, int], ProfileWindow] = {}
+    for index, flow in enumerate(flows):
+        window_index = int((flow.start_time - t0) // window_width)
+        key = (flow.src_ip, window_index)
+        window = windows.get(key)
+        if window is None:
+            window = ProfileWindow(profile_ip=flow.src_ip, window_index=window_index)
+            windows[key] = window
+        window.add(index, flow)
+    return windows

@@ -1,0 +1,112 @@
+"""The Slips orchestrator: profiles -> modules -> evidence -> alerts."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.flows.record import FlowRecord
+from repro.ids.base import FlowIDS
+from repro.ids.slips import detectors
+from repro.ids.slips.evidence import Evidence
+from repro.ids.slips.markov import default_c2_model
+from repro.ids.slips.profiles import build_profile_windows
+
+
+class SlipsIDS(FlowIDS):
+    """Behavioural evidence accumulation over profile-windows.
+
+    * each profile-window's evidence weights are summed;
+    * a window whose total crosses ``alert_threshold`` is *alerted* and
+      every flow the profile originated in that window is scored with
+      the accumulated evidence (Slips acts per source IP);
+    * once a profile has alerted, later windows of the same profile use
+      a reduced threshold (``recidivist_factor``) — Slips trusts prior
+      detections when judging a known-bad source.
+
+    Unsupervised and training-free: ``fit`` is a no-op, matching how
+    Slips is deployed (its models ship pre-trained).
+    """
+
+    name = "Slips"
+    supervised = False
+
+    def __init__(
+        self,
+        *,
+        window_width: float = 3600.0,
+        alert_threshold: float = 1.0,
+        recidivist_factor: float = 0.6,
+    ) -> None:
+        if alert_threshold <= 0:
+            raise ValueError("alert_threshold must be positive")
+        if not 0 < recidivist_factor <= 1:
+            raise ValueError("recidivist_factor must be in (0, 1]")
+        self.window_width = window_width
+        self.alert_threshold = alert_threshold
+        self.recidivist_factor = recidivist_factor
+        self.c2_model = default_c2_model()
+        self.last_evidence: list[Evidence] = []
+        self.last_alerts: list[tuple[str, int, float]] = []
+
+    @classmethod
+    def default_config(cls) -> dict:
+        """v1.0.7-equivalent defaults: 1-hour windows, unit threat
+        threshold, recidivism discount."""
+        return {
+            "window_width": 3600.0,
+            "alert_threshold": 1.0,
+            "recidivist_factor": 0.6,
+        }
+
+    def fit(
+        self,
+        flows: Sequence[FlowRecord],
+        features: np.ndarray,
+        labels: np.ndarray | None,
+    ) -> None:
+        """No training: Slips ships its behaviour models pre-trained."""
+
+    def _window_evidence(self, window) -> list[Evidence]:
+        evidence: list[Evidence] = []
+        evidence.extend(detectors.detect_vertical_portscan(window))
+        evidence.extend(detectors.detect_horizontal_portscan(window))
+        evidence.extend(detectors.detect_beaconing(window))
+        evidence.extend(detectors.detect_suspicious_port(window))
+        evidence.extend(detectors.detect_long_connections(window))
+        evidence.extend(detectors.detect_anomalous_flags(window))
+        evidence.extend(
+            detectors.detect_malicious_behaviour(window, self.c2_model)
+        )
+        return evidence
+
+    def anomaly_scores(
+        self, flows: Sequence[FlowRecord], features: np.ndarray
+    ) -> np.ndarray:
+        """Per-flow threat scores from accumulated profile evidence."""
+        scores = np.zeros(len(flows))
+        windows = build_profile_windows(flows, window_width=self.window_width)
+        self.last_evidence = []
+        self.last_alerts = []
+        alerted_profiles: set[str] = set()
+        # Evaluate windows in chronological order so recidivism flows
+        # forward in time only.
+        for (profile_ip, window_index) in sorted(
+            windows, key=lambda key: (key[1], key[0])
+        ):
+            window = windows[(profile_ip, window_index)]
+            evidence = self._window_evidence(window)
+            if not evidence:
+                continue
+            self.last_evidence.extend(evidence)
+            total = sum(e.weight for e in evidence)
+            threshold = self.alert_threshold
+            if profile_ip in alerted_profiles:
+                threshold *= self.recidivist_factor
+            if total >= threshold:
+                alerted_profiles.add(profile_ip)
+                self.last_alerts.append((profile_ip, window_index, total))
+                for index in window.flow_indices:
+                    scores[index] = max(scores[index], total)
+        return scores

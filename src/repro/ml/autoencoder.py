@@ -1,0 +1,72 @@
+"""A small autoencoder with online (single-instance) training.
+
+This is the KitNET building block: a one-hidden-layer sigmoid
+autoencoder trained by plain SGD one instance at a time, scoring inputs
+by reconstruction RMSE. Inputs are expected in [0, 1] (Kitsune's
+OnlineMinMaxScaler handles that upstream).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ml.activations import sigmoid
+from repro.ml.dense import DenseLayer
+from repro.ml.optimizers import SGD
+from repro.utils.rng import SeededRNG
+
+
+class Autoencoder:
+    """``d -> hidden -> d`` sigmoid autoencoder with RMSE scoring."""
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        hidden_ratio: float = 0.75,
+        learning_rate: float = 0.1,
+        rng: SeededRNG,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        hidden = max(1, int(math.ceil(dim * hidden_ratio)))
+        self.dim = dim
+        self.hidden_dim = hidden
+        self.encoder = DenseLayer(dim, hidden, sigmoid, rng=rng.child("enc"))
+        self.decoder = DenseLayer(hidden, dim, sigmoid, rng=rng.child("dec"))
+        self.optimizer = SGD(learning_rate)
+        self.samples_trained = 0
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        return self.decoder.forward(self.encoder.forward(x))
+
+    def score(self, x: np.ndarray) -> float:
+        """Reconstruction RMSE of a single instance."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        reconstruction = self.reconstruct(x)
+        return float(np.sqrt(np.mean((reconstruction - x) ** 2)))
+
+    def train_score(self, x: np.ndarray) -> float:
+        """One online SGD step; returns the *pre-update* RMSE.
+
+        Returning the pre-update score mirrors KitNET's execute-then-
+        train semantics during its training phase.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        reconstruction = self.reconstruct(x)
+        rmse = float(np.sqrt(np.mean((reconstruction - x) ** 2)))
+        grad = 2.0 * (reconstruction - x) / x.size
+        grad = self.decoder.backward(grad)
+        self.encoder.backward(grad)
+        self.optimizer.step(self.decoder.parameters())
+        self.optimizer.step(self.encoder.parameters())
+        self.samples_trained += 1
+        return rmse
+
+    def score_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Row-wise RMSE for a matrix of instances (no training)."""
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        reconstruction = self.reconstruct(matrix)
+        return np.sqrt(np.mean((reconstruction - matrix) ** 2, axis=1))

@@ -1,0 +1,65 @@
+"""A fully-connected layer with backprop."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.activations import Activation, identity
+from repro.utils.rng import SeededRNG
+
+
+class DenseLayer:
+    """``y = act(x @ W + b)`` with Glorot-uniform initialisation.
+
+    Stores the forward cache needed for :meth:`backward`; gradients are
+    exposed as ``grad_w`` / ``grad_b`` for the optimizer to consume.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: Activation = identity,
+        *,
+        rng: SeededRNG,
+    ) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("layer dimensions must be positive")
+        limit = np.sqrt(6.0 / (in_dim + out_dim))
+        self.weights = rng.uniform(-limit, limit, size=(in_dim, out_dim))
+        self.bias = np.zeros(out_dim)
+        self.activation = activation
+        self.grad_w = np.zeros_like(self.weights)
+        self.grad_b = np.zeros_like(self.bias)
+        self._input: np.ndarray | None = None
+        self._output: np.ndarray | None = None
+
+    @property
+    def in_dim(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.weights.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(x)
+        self._input = x
+        self._output = self.activation.f(x @ self.weights + self.bias)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backprop ``dL/dy`` to ``dL/dx``, accumulating weight grads."""
+        if self._input is None or self._output is None:
+            raise RuntimeError("backward() called before forward()")
+        grad_output = np.atleast_2d(grad_output)
+        delta = grad_output * self.activation.df(self._output)
+        # Exact gradients: any batch averaging is the loss's job, so
+        # chained layers see consistent scales.
+        self.grad_w = self._input.T @ delta
+        self.grad_b = delta.sum(axis=0)
+        return delta @ self.weights.T
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs for the optimizer."""
+        return [(self.weights, self.grad_w), (self.bias, self.grad_b)]

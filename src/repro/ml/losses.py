@@ -1,0 +1,27 @@
+"""Loss functions returning (loss, gradient-w.r.t.-prediction)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def mean_squared_error(
+    prediction: np.ndarray, target: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """MSE and its gradient."""
+    diff = prediction - target
+    loss = float(np.mean(diff * diff))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def binary_cross_entropy(
+    prediction: np.ndarray, target: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """BCE over sigmoid outputs and its gradient."""
+    p = np.clip(prediction, _EPS, 1.0 - _EPS)
+    loss = float(np.mean(-(target * np.log(p) + (1 - target) * np.log(1 - p))))
+    grad = (p - target) / (p * (1 - p)) / p.size
+    return loss, grad

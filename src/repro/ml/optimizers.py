@@ -1,0 +1,55 @@
+"""Gradient-descent optimizers operating on (param, grad) pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class SGD:
+    """Plain stochastic gradient descent (what KitNET's online
+    autoencoders use, lr 0.1 by default)."""
+
+    def __init__(self, learning_rate: float = 0.1) -> None:
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+
+    def step(self, parameters: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        for param, grad in parameters:
+            param -= self.learning_rate * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015) with per-parameter state keyed by id."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, parameters: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        self._t += 1
+        for param, grad in parameters:
+            key = id(param)
+            if key not in self._m:
+                self._m[key] = np.zeros_like(param)
+                self._v[key] = np.zeros_like(param)
+            m = self._m[key]
+            v = self._v[key]
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,61 @@
+"""Packet substrate: protocol layers, serialization and pcap files.
+
+This subpackage replaces the role scapy/pyshark and the dataset authors'
+pcap files play in the paper: it defines a typed in-memory packet model
+(:class:`repro.net.packet.Packet`), binary codecs for the protocol layers
+the evaluated IDSs observe (Ethernet, IPv4, TCP, UDP, ICMP, ARP, and
+application-layer DNS/HTTP payloads), and a reader/writer for the classic
+libpcap capture file format so synthetic datasets can be persisted and
+re-read exactly like the public captures.
+"""
+
+from repro.net.addresses import (
+    ip_to_int,
+    int_to_ip,
+    mac_to_bytes,
+    bytes_to_mac,
+    is_private_ip,
+    random_mac,
+)
+from repro.net.checksum import ones_complement_checksum
+from repro.net.packet import Packet
+from repro.net.ethernet import EthernetHeader, ETHERTYPE_IPV4, ETHERTYPE_ARP
+from repro.net.ipv4 import IPv4Header, PROTO_TCP, PROTO_UDP, PROTO_ICMP
+from repro.net.tcp import TCPHeader, TCPFlags
+from repro.net.udp import UDPHeader
+from repro.net.icmp import ICMPHeader
+from repro.net.arp import ARPHeader
+from repro.net.dns import DNSMessage, DNSQuestion
+from repro.net.http import HTTPRequest, HTTPResponse
+from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+
+__all__ = [
+    "Packet",
+    "EthernetHeader",
+    "IPv4Header",
+    "TCPHeader",
+    "TCPFlags",
+    "UDPHeader",
+    "ICMPHeader",
+    "ARPHeader",
+    "DNSMessage",
+    "DNSQuestion",
+    "HTTPRequest",
+    "HTTPResponse",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_bytes",
+    "bytes_to_mac",
+    "is_private_ip",
+    "random_mac",
+    "ones_complement_checksum",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_ARP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_ICMP",
+]

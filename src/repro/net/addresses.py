@@ -1,0 +1,82 @@
+"""IPv4 and MAC address helpers.
+
+Addresses are carried as dotted-quad strings in the object model (for
+readability in tests and reports) and converted to integers/bytes at the
+wire-format boundary.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import SeededRNG
+
+
+def ip_to_int(ip: str) -> int:
+    """Convert dotted-quad ``"a.b.c.d"`` to a 32-bit integer.
+
+    >>> ip_to_int("192.168.0.1")
+    3232235521
+    """
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {ip!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 octet {part!r} in {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad notation.
+
+    >>> int_to_ip(3232235521)
+    '192.168.0.1'
+    """
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 integer out of range: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mac_to_bytes(mac: str) -> bytes:
+    """Convert ``"aa:bb:cc:dd:ee:ff"`` to 6 raw bytes."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"invalid MAC address {mac!r}")
+    try:
+        return bytes(int(p, 16) for p in parts)
+    except ValueError as exc:
+        raise ValueError(f"invalid MAC address {mac!r}") from exc
+
+
+def bytes_to_mac(raw: bytes) -> str:
+    """Convert 6 raw bytes to colon-separated hex notation."""
+    if len(raw) != 6:
+        raise ValueError(f"MAC must be 6 bytes, got {len(raw)}")
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+def is_private_ip(ip: str) -> bool:
+    """True for RFC1918 private ranges (10/8, 172.16/12, 192.168/16)."""
+    value = ip_to_int(ip)
+    if value >> 24 == 10:
+        return True
+    if value >> 20 == (172 << 4) | 1:  # 172.16.0.0/12
+        return True
+    if value >> 16 == (192 << 8) | 168:
+        return True
+    return False
+
+
+def random_mac(rng: SeededRNG, *, vendor_prefix: bytes | None = None) -> str:
+    """Generate a locally-administered unicast MAC address."""
+    if vendor_prefix is not None:
+        if len(vendor_prefix) != 3:
+            raise ValueError("vendor_prefix must be 3 bytes")
+        head = bytearray(vendor_prefix)
+    else:
+        head = bytearray(int(x) for x in rng.integers(0, 256, size=3))
+        head[0] = (head[0] | 0x02) & 0xFE  # locally administered, unicast
+    tail = bytes(int(x) for x in rng.integers(0, 256, size=3))
+    return bytes_to_mac(bytes(head) + tail)

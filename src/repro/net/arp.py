@@ -1,0 +1,53 @@
+"""ARP codec (RFC 826) for Ethernet/IPv4."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.addresses import bytes_to_mac, int_to_ip, ip_to_int, mac_to_bytes
+
+HEADER_LEN = 28
+
+OP_REQUEST = 1
+OP_REPLY = 2
+
+
+@dataclass
+class ARPHeader:
+    """An ARP message for the Ethernet/IPv4 combination."""
+
+    operation: int = OP_REQUEST
+    sender_mac: str = "00:00:00:00:00:00"
+    sender_ip: str = "0.0.0.0"
+    target_mac: str = "00:00:00:00:00:00"
+    target_ip: str = "0.0.0.0"
+
+    def to_bytes(self) -> bytes:
+        return (
+            struct.pack("!HHBBH", 1, 0x0800, 6, 4, self.operation)
+            + mac_to_bytes(self.sender_mac)
+            + struct.pack("!I", ip_to_int(self.sender_ip))
+            + mac_to_bytes(self.target_mac)
+            + struct.pack("!I", ip_to_int(self.target_ip))
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> tuple["ARPHeader", bytes]:
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"ARP message too short: {len(data)} bytes")
+        htype, ptype, hlen, plen, oper = struct.unpack("!HHBBH", data[:8])
+        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
+            raise ValueError("unsupported ARP hardware/protocol combination")
+        header = cls(
+            operation=oper,
+            sender_mac=bytes_to_mac(data[8:14]),
+            sender_ip=int_to_ip(struct.unpack("!I", data[14:18])[0]),
+            target_mac=bytes_to_mac(data[18:24]),
+            target_ip=int_to_ip(struct.unpack("!I", data[24:28])[0]),
+        )
+        return header, data[HEADER_LEN:]
+
+    @property
+    def header_len(self) -> int:
+        return HEADER_LEN

@@ -1,0 +1,23 @@
+"""RFC 1071 ones-complement checksum used by IPv4, ICMP, TCP and UDP."""
+
+from __future__ import annotations
+
+
+def ones_complement_checksum(data: bytes) -> int:
+    """Compute the 16-bit ones-complement checksum of ``data``.
+
+    Odd-length input is zero-padded on the right, per RFC 1071.
+
+    >>> ones_complement_checksum(b"\\x00\\x00")
+    65535
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    # Fold any remaining carries.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF

@@ -1,0 +1,157 @@
+"""Minimal DNS message codec (RFC 1035) — queries and A-record answers.
+
+IoT benign-traffic models emit periodic DNS lookups, and Slips' baseline
+"connection without DNS resolution" heuristic needs to see them, so the
+codec supports exactly the subset the generators produce: a single
+question, optional A answers, no compression pointers on encode (they
+are accepted on decode for robustness).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+QTYPE_A = 1
+QCLASS_IN = 1
+
+FLAG_QR_RESPONSE = 0x8000
+FLAG_RD = 0x0100
+FLAG_RA = 0x0080
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a domain name as length-prefixed labels."""
+    out = bytearray()
+    for label in name.rstrip(".").split("."):
+        raw = label.encode("ascii")
+        if not 0 < len(raw) < 64:
+            raise ValueError(f"invalid DNS label {label!r}")
+        out.append(len(raw))
+        out.extend(raw)
+    out.append(0)
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode a (possibly compressed) domain name.
+
+    Returns ``(name, next_offset)`` where ``next_offset`` is the offset
+    just past the name in the original stream.
+    """
+    labels: list[str] = []
+    jumped = False
+    next_offset = offset
+    seen: set[int] = set()
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated DNS name")
+        length = data[offset]
+        if length & 0xC0 == 0xC0:  # compression pointer
+            if offset + 1 >= len(data):
+                raise ValueError("truncated DNS compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if pointer in seen:
+                raise ValueError("DNS compression loop")
+            seen.add(pointer)
+            if not jumped:
+                next_offset = offset + 2
+                jumped = True
+            offset = pointer
+            continue
+        offset += 1
+        if length == 0:
+            break
+        labels.append(data[offset : offset + length].decode("ascii", "replace"))
+        offset += length
+    if not jumped:
+        next_offset = offset
+    return ".".join(labels), next_offset
+
+
+@dataclass
+class DNSQuestion:
+    """One DNS question entry."""
+
+    name: str
+    qtype: int = QTYPE_A
+    qclass: int = QCLASS_IN
+
+    def to_bytes(self) -> bytes:
+        return encode_name(self.name) + struct.pack("!HH", self.qtype, self.qclass)
+
+
+@dataclass
+class DNSAnswer:
+    """One DNS A-record answer."""
+
+    name: str
+    address: str
+    ttl: int = 300
+
+    def to_bytes(self) -> bytes:
+        from repro.net.addresses import ip_to_int
+
+        return (
+            encode_name(self.name)
+            + struct.pack("!HHIH", QTYPE_A, QCLASS_IN, self.ttl, 4)
+            + struct.pack("!I", ip_to_int(self.address))
+        )
+
+
+@dataclass
+class DNSMessage:
+    """A DNS message restricted to single-question A lookups."""
+
+    transaction_id: int = 0
+    is_response: bool = False
+    questions: list[DNSQuestion] = field(default_factory=list)
+    answers: list[DNSAnswer] = field(default_factory=list)
+
+    def to_bytes(self) -> bytes:
+        flags = FLAG_RD
+        if self.is_response:
+            flags |= FLAG_QR_RESPONSE | FLAG_RA
+        header = struct.pack(
+            "!HHHHHH",
+            self.transaction_id & 0xFFFF,
+            flags,
+            len(self.questions),
+            len(self.answers),
+            0,
+            0,
+        )
+        body = b"".join(q.to_bytes() for q in self.questions)
+        body += b"".join(a.to_bytes() for a in self.answers)
+        return header + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DNSMessage":
+        if len(data) < 12:
+            raise ValueError("DNS message too short")
+        tid, flags, qdcount, ancount, _ns, _ar = struct.unpack("!HHHHHH", data[:12])
+        message = cls(transaction_id=tid, is_response=bool(flags & FLAG_QR_RESPONSE))
+        offset = 12
+        for _ in range(qdcount):
+            name, offset = decode_name(data, offset)
+            if offset + 4 > len(data):
+                raise ValueError("truncated DNS question")
+            qtype, qclass = struct.unpack("!HH", data[offset : offset + 4])
+            offset += 4
+            message.questions.append(DNSQuestion(name=name, qtype=qtype, qclass=qclass))
+        for _ in range(ancount):
+            name, offset = decode_name(data, offset)
+            if offset + 10 > len(data):
+                raise ValueError("truncated DNS answer")
+            rtype, rclass, ttl, rdlength = struct.unpack(
+                "!HHIH", data[offset : offset + 10]
+            )
+            offset += 10
+            rdata = data[offset : offset + rdlength]
+            offset += rdlength
+            if rtype == QTYPE_A and rclass == QCLASS_IN and rdlength == 4:
+                from repro.net.addresses import int_to_ip
+
+                address = int_to_ip(struct.unpack("!I", rdata)[0])
+                message.answers.append(DNSAnswer(name=name, address=address, ttl=ttl))
+        return message

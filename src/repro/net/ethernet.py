@@ -1,0 +1,44 @@
+"""Ethernet II frame header."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.addresses import bytes_to_mac, mac_to_bytes
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+HEADER_LEN = 14
+
+
+@dataclass
+class EthernetHeader:
+    """An Ethernet II header (no 802.1Q tag support — none of the
+    evaluated datasets rely on VLAN tagging)."""
+
+    src_mac: str = "00:00:00:00:00:01"
+    dst_mac: str = "00:00:00:00:00:02"
+    ethertype: int = ETHERTYPE_IPV4
+
+    def to_bytes(self) -> bytes:
+        return (
+            mac_to_bytes(self.dst_mac)
+            + mac_to_bytes(self.src_mac)
+            + struct.pack("!H", self.ethertype)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> tuple["EthernetHeader", bytes]:
+        """Parse a header, returning ``(header, remaining_payload)``."""
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"Ethernet frame too short: {len(data)} bytes")
+        dst = bytes_to_mac(data[0:6])
+        src = bytes_to_mac(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(src_mac=src, dst_mac=dst, ethertype=ethertype), data[14:]
+
+    @property
+    def header_len(self) -> int:
+        return HEADER_LEN

@@ -1,0 +1,87 @@
+"""Minimal HTTP/1.1 request/response codecs.
+
+The enterprise benign-traffic model and the web-attack generators
+(brute force, DoS slow-rate, web attacks from CICIDS2017) exchange HTTP
+payloads; the codecs cover start-line + headers + opaque body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_CRLF = "\r\n"
+
+
+@dataclass
+class HTTPRequest:
+    """An HTTP/1.1 request with an opaque byte body."""
+
+    method: str = "GET"
+    path: str = "/"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        headers = dict(self.headers)
+        if self.body and "Content-Length" not in headers:
+            headers["Content-Length"] = str(len(self.body))
+        lines = [f"{self.method} {self.path} HTTP/1.1"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        head = _CRLF.join(lines) + _CRLF + _CRLF
+        return head.encode("latin-1") + self.body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HTTPRequest":
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1", "replace").split(_CRLF)
+        parts = lines[0].split(" ") if lines else []
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ValueError("malformed HTTP request line")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, sep, value = line.partition(":")
+            if not sep:
+                raise ValueError(f"malformed HTTP header line {line!r}")
+            headers[key.strip()] = value.strip()
+        return cls(method=method, path=path, headers=headers, body=body)
+
+
+@dataclass
+class HTTPResponse:
+    """An HTTP/1.1 response with an opaque byte body."""
+
+    status: int = 200
+    reason: str = "OK"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        headers = dict(self.headers)
+        if self.body and "Content-Length" not in headers:
+            headers["Content-Length"] = str(len(self.body))
+        lines = [f"HTTP/1.1 {self.status} {self.reason}"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        head = _CRLF.join(lines) + _CRLF + _CRLF
+        return head.encode("latin-1") + self.body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HTTPResponse":
+        head, _, body = data.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1", "replace").split(_CRLF)
+        parts = lines[0].split(" ", 2) if lines else []
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ValueError("malformed HTTP status line")
+        status = int(parts[1])
+        reason = parts[2] if len(parts) == 3 else ""
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, sep, value = line.partition(":")
+            if not sep:
+                raise ValueError(f"malformed HTTP header line {line!r}")
+            headers[key.strip()] = value.strip()
+        return cls(status=status, reason=reason, headers=headers, body=body)

@@ -1,0 +1,58 @@
+"""ICMP header codec (RFC 792) — echo, unreachable, and generic types."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import ones_complement_checksum
+
+HEADER_LEN = 8
+
+TYPE_ECHO_REPLY = 0
+TYPE_DEST_UNREACHABLE = 3
+TYPE_ECHO_REQUEST = 8
+TYPE_TIME_EXCEEDED = 11
+
+
+@dataclass
+class ICMPHeader:
+    """An ICMP header; ``identifier``/``sequence`` are meaningful for echo
+    messages and carried opaquely for other types."""
+
+    icmp_type: int = TYPE_ECHO_REQUEST
+    code: int = 0
+    identifier: int = 0
+    sequence: int = 0
+
+    def to_bytes(self, payload: bytes = b"") -> bytes:
+        header = struct.pack(
+            "!BBHHH",
+            self.icmp_type & 0xFF,
+            self.code & 0xFF,
+            0,
+            self.identifier & 0xFFFF,
+            self.sequence & 0xFFFF,
+        )
+        checksum = ones_complement_checksum(header + payload)
+        return header[:2] + struct.pack("!H", checksum) + header[4:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> tuple["ICMPHeader", bytes]:
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"ICMP header too short: {len(data)} bytes")
+        icmp_type, code, _checksum, identifier, sequence = struct.unpack(
+            "!BBHHH", data[:HEADER_LEN]
+        )
+        header = cls(
+            icmp_type=icmp_type, code=code, identifier=identifier, sequence=sequence
+        )
+        return header, data[HEADER_LEN:]
+
+    @property
+    def header_len(self) -> int:
+        return HEADER_LEN
+
+    @property
+    def is_echo(self) -> bool:
+        return self.icmp_type in (TYPE_ECHO_REQUEST, TYPE_ECHO_REPLY)

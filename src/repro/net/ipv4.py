@@ -1,0 +1,110 @@
+"""IPv4 header codec (RFC 791), without options."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.addresses import int_to_ip, ip_to_int
+from repro.net.checksum import ones_complement_checksum
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+HEADER_LEN = 20
+
+PROTOCOL_NAMES = {PROTO_ICMP: "icmp", PROTO_TCP: "tcp", PROTO_UDP: "udp"}
+
+
+@dataclass
+class IPv4Header:
+    """An IPv4 header with a fixed 20-byte length (IHL=5).
+
+    ``total_length`` covers header plus payload; when left at 0 it is
+    filled in during :meth:`to_bytes` from the supplied payload length.
+    """
+
+    src_ip: str = "0.0.0.0"
+    dst_ip: str = "0.0.0.0"
+    protocol: int = PROTO_TCP
+    ttl: int = 64
+    identification: int = 0
+    total_length: int = 0
+    dscp: int = 0
+    flags: int = 2  # DF set, as typical for modern stacks
+    fragment_offset: int = 0
+    checksum: int = field(default=0, repr=False)
+
+    def to_bytes(self, payload_len: int | None = None) -> bytes:
+        total = self.total_length
+        if payload_len is not None:
+            total = HEADER_LEN + payload_len
+        if total == 0:
+            total = HEADER_LEN
+        version_ihl = (4 << 4) | 5
+        flags_frag = ((self.flags & 0x7) << 13) | (self.fragment_offset & 0x1FFF)
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl,
+            self.dscp & 0xFF,
+            total & 0xFFFF,
+            self.identification & 0xFFFF,
+            flags_frag,
+            self.ttl & 0xFF,
+            self.protocol & 0xFF,
+            0,  # checksum placeholder
+            struct.pack("!I", ip_to_int(self.src_ip)),
+            struct.pack("!I", ip_to_int(self.dst_ip)),
+        )
+        checksum = ones_complement_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> tuple["IPv4Header", bytes]:
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"IPv4 header too short: {len(data)} bytes")
+        (
+            version_ihl,
+            dscp,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src_raw,
+            dst_raw,
+        ) = struct.unpack("!BBHHHBBH4s4s", data[:HEADER_LEN])
+        version = version_ihl >> 4
+        if version != 4:
+            raise ValueError(f"not an IPv4 packet (version={version})")
+        ihl = (version_ihl & 0xF) * 4
+        if ihl < HEADER_LEN or len(data) < ihl:
+            raise ValueError(f"invalid IHL {ihl}")
+        header = cls(
+            src_ip=int_to_ip(struct.unpack("!I", src_raw)[0]),
+            dst_ip=int_to_ip(struct.unpack("!I", dst_raw)[0]),
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+            total_length=total_length,
+            dscp=dscp,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            checksum=checksum,
+        )
+        payload_end = min(len(data), total_length) if total_length >= ihl else len(data)
+        return header, data[ihl:payload_end]
+
+    @property
+    def header_len(self) -> int:
+        return HEADER_LEN
+
+    @property
+    def protocol_name(self) -> str:
+        return PROTOCOL_NAMES.get(self.protocol, f"proto-{self.protocol}")
+
+    def verify_checksum(self, raw_header: bytes) -> bool:
+        """Check the checksum over the raw 20-byte header."""
+        return ones_complement_checksum(raw_header[:HEADER_LEN]) == 0

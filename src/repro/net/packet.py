@@ -1,0 +1,170 @@
+"""The in-memory packet model shared by generators, features and IDSs.
+
+A :class:`Packet` is a timestamped stack of typed layers (Ethernet →
+IPv4 → TCP/UDP/ICMP, or Ethernet → ARP) plus an opaque payload. Ground
+truth (``label``/``attack_type``) rides on the object as metadata; it is
+deliberately *not* part of the wire format, so writing a packet to pcap
+and reading it back loses labels — exactly the situation the paper
+describes for unlabelled public captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.arp import ARPHeader
+from repro.net.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetHeader
+from repro.net.icmp import ICMPHeader
+from repro.net.ipv4 import PROTO_ICMP, PROTO_TCP, PROTO_UDP, IPv4Header
+from repro.net.tcp import TCPHeader
+from repro.net.udp import UDPHeader
+
+Transport = TCPHeader | UDPHeader | ICMPHeader
+
+
+@dataclass
+class Packet:
+    """A parsed (or generated) network packet.
+
+    Attributes
+    ----------
+    timestamp:
+        Seconds since the epoch, float (microsecond precision survives
+        a pcap round-trip).
+    ether / ip / transport / arp:
+        Typed layer objects; ``None`` where a layer is absent.
+    payload:
+        Application-layer bytes after the innermost parsed header.
+    label:
+        Ground-truth 0 (benign) / 1 (attack); metadata only.
+    attack_type:
+        Human-readable attack family (e.g. ``"ddos-http"``), or ``""``.
+    """
+
+    timestamp: float = 0.0
+    ether: EthernetHeader | None = None
+    ip: IPv4Header | None = None
+    transport: Transport | None = None
+    arp: ARPHeader | None = None
+    payload: bytes = b""
+    label: int = 0
+    attack_type: str = ""
+    meta: dict = field(default_factory=dict)
+
+    # -- convenience accessors -----------------------------------------
+    @property
+    def src_ip(self) -> str | None:
+        if self.ip is not None:
+            return self.ip.src_ip
+        if self.arp is not None:
+            return self.arp.sender_ip
+        return None
+
+    @property
+    def dst_ip(self) -> str | None:
+        if self.ip is not None:
+            return self.ip.dst_ip
+        if self.arp is not None:
+            return self.arp.target_ip
+        return None
+
+    @property
+    def src_port(self) -> int | None:
+        if isinstance(self.transport, (TCPHeader, UDPHeader)):
+            return self.transport.src_port
+        return None
+
+    @property
+    def dst_port(self) -> int | None:
+        if isinstance(self.transport, (TCPHeader, UDPHeader)):
+            return self.transport.dst_port
+        return None
+
+    @property
+    def protocol_name(self) -> str:
+        if self.arp is not None:
+            return "arp"
+        if isinstance(self.transport, TCPHeader):
+            return "tcp"
+        if isinstance(self.transport, UDPHeader):
+            return "udp"
+        if isinstance(self.transport, ICMPHeader):
+            return "icmp"
+        if self.ip is not None:
+            return self.ip.protocol_name
+        return "unknown"
+
+    @property
+    def is_tcp(self) -> bool:
+        return isinstance(self.transport, TCPHeader)
+
+    @property
+    def is_udp(self) -> bool:
+        return isinstance(self.transport, UDPHeader)
+
+    @property
+    def is_icmp(self) -> bool:
+        return isinstance(self.transport, ICMPHeader)
+
+    @property
+    def wire_len(self) -> int:
+        """Total serialized frame length in bytes."""
+        length = 0
+        if self.ether is not None:
+            length += self.ether.header_len
+        if self.arp is not None:
+            return length + self.arp.header_len
+        if self.ip is not None:
+            length += self.ip.header_len
+        if self.transport is not None:
+            length += self.transport.header_len
+        return length + len(self.payload)
+
+    # -- serialization ---------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the layer stack to wire bytes (Ethernet frame)."""
+        if self.arp is not None:
+            ether = self.ether or EthernetHeader(ethertype=ETHERTYPE_ARP)
+            if ether.ethertype != ETHERTYPE_ARP:
+                raise ValueError("ARP packet requires ethertype 0x0806")
+            return ether.to_bytes() + self.arp.to_bytes()
+        if self.ip is None:
+            raise ValueError("cannot serialize a packet with no IP or ARP layer")
+        inner = b""
+        if isinstance(self.transport, TCPHeader):
+            inner = self.transport.to_bytes() + self.payload
+        elif isinstance(self.transport, UDPHeader):
+            inner = self.transport.to_bytes(payload_len=len(self.payload)) + self.payload
+        elif isinstance(self.transport, ICMPHeader):
+            inner = self.transport.to_bytes(self.payload) + self.payload
+        else:
+            inner = self.payload
+        ether = self.ether or EthernetHeader(ethertype=ETHERTYPE_IPV4)
+        return ether.to_bytes() + self.ip.to_bytes(payload_len=len(inner)) + inner
+
+    @classmethod
+    def from_bytes(cls, data: bytes, timestamp: float = 0.0) -> "Packet":
+        """Parse wire bytes into a :class:`Packet`.
+
+        Unknown ethertypes and IP protocols keep their bytes in
+        ``payload`` rather than failing, mirroring how capture tooling
+        degrades gracefully on unusual traffic.
+        """
+        ether, rest = EthernetHeader.from_bytes(data)
+        packet = cls(timestamp=timestamp, ether=ether)
+        if ether.ethertype == ETHERTYPE_ARP:
+            packet.arp, _ = ARPHeader.from_bytes(rest)
+            return packet
+        if ether.ethertype != ETHERTYPE_IPV4:
+            packet.payload = rest
+            return packet
+        packet.ip, rest = IPv4Header.from_bytes(rest)
+        if packet.ip.protocol == PROTO_TCP:
+            packet.transport, packet.payload = TCPHeader.from_bytes(rest)
+        elif packet.ip.protocol == PROTO_UDP:
+            packet.transport, packet.payload = UDPHeader.from_bytes(rest)
+        elif packet.ip.protocol == PROTO_ICMP:
+            packet.transport, packet.payload = ICMPHeader.from_bytes(rest)
+        else:
+            packet.payload = rest
+        return packet

@@ -1,0 +1,143 @@
+"""Classic libpcap capture-file reader and writer.
+
+Implements the original ``.pcap`` format (magic ``0xa1b2c3d4``,
+microsecond timestamps, LINKTYPE_ETHERNET) that the public datasets in
+the paper ship in. Both byte orders are accepted on read.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.net.packet import Packet
+
+MAGIC_US = 0xA1B2C3D4  # microsecond timestamps
+MAGIC_NS = 0xA1B23C4D  # nanosecond timestamps
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("IHHiIII")
+_RECORD_HEADER = struct.Struct("IIII")
+
+
+class PcapFormatError(ValueError):
+    """Raised when a capture file is malformed."""
+
+
+class PcapWriter:
+    """Streams packets to a libpcap file.
+
+    Use as a context manager::
+
+        with PcapWriter(path) as writer:
+            for packet in packets:
+                writer.write(packet)
+    """
+
+    def __init__(self, path: str | Path, *, snaplen: int = 65535) -> None:
+        self.path = Path(path)
+        self.snaplen = snaplen
+        self._fh: BinaryIO | None = None
+        self.packets_written = 0
+
+    def __enter__(self) -> "PcapWriter":
+        self._fh = open(self.path, "wb")
+        header = struct.pack(
+            "<IHHiIII", MAGIC_US, 2, 4, 0, 0, self.snaplen, LINKTYPE_ETHERNET
+        )
+        self._fh.write(header)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def write(self, packet: Packet) -> None:
+        """Append one packet. Frames longer than ``snaplen`` are truncated
+        on capture length, preserving the original length field."""
+        if self._fh is None:
+            raise RuntimeError("PcapWriter must be used as a context manager")
+        frame = packet.to_bytes()
+        ts_sec = int(packet.timestamp)
+        ts_usec = int(round((packet.timestamp - ts_sec) * 1_000_000))
+        if ts_usec >= 1_000_000:  # rounding carried into the next second
+            ts_sec += 1
+            ts_usec -= 1_000_000
+        captured = frame[: self.snaplen]
+        self._fh.write(
+            struct.pack("<IIII", ts_sec, ts_usec, len(captured), len(frame))
+        )
+        self._fh.write(captured)
+        self.packets_written += 1
+
+
+class PcapReader:
+    """Iterates packets out of a libpcap file.
+
+    Handles both byte orders and both microsecond and nanosecond magic.
+    Yields :class:`Packet` objects with timestamps restored; labels are
+    absent (pcap carries no ground truth — see module docstring of
+    :mod:`repro.net.packet`).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._endian = "<"
+        self._ts_divisor = 1_000_000
+
+    def __iter__(self) -> Iterator[Packet]:
+        with open(self.path, "rb") as fh:
+            self._read_global_header(fh)
+            while True:
+                record = fh.read(16)
+                if not record:
+                    return
+                if len(record) < 16:
+                    raise PcapFormatError("truncated pcap record header")
+                ts_sec, ts_frac, incl_len, orig_len = struct.unpack(
+                    f"{self._endian}IIII", record
+                )
+                frame = fh.read(incl_len)
+                if len(frame) < incl_len:
+                    raise PcapFormatError("truncated pcap packet body")
+                timestamp = ts_sec + ts_frac / self._ts_divisor
+                packet = Packet.from_bytes(frame, timestamp=timestamp)
+                packet.meta["orig_len"] = orig_len
+                yield packet
+
+    def _read_global_header(self, fh: BinaryIO) -> None:
+        header = fh.read(24)
+        if len(header) < 24:
+            raise PcapFormatError("file too short for pcap global header")
+        (magic,) = struct.unpack("<I", header[:4])
+        if magic in (MAGIC_US, MAGIC_NS):
+            self._endian = "<"
+        else:
+            (magic_be,) = struct.unpack(">I", header[:4])
+            if magic_be not in (MAGIC_US, MAGIC_NS):
+                raise PcapFormatError(f"bad pcap magic {magic:#x}")
+            magic = magic_be
+            self._endian = ">"
+        self._ts_divisor = 1_000_000 if magic == MAGIC_US else 1_000_000_000
+        _vmaj, _vmin, _tz, _sig, _snap, linktype = struct.unpack(
+            f"{self._endian}HHiIII", header[4:]
+        )
+        if linktype != LINKTYPE_ETHERNET:
+            raise PcapFormatError(
+                f"unsupported linktype {linktype}; only Ethernet is supported"
+            )
+
+
+def write_pcap(path: str | Path, packets: Iterable[Packet]) -> int:
+    """Write ``packets`` to ``path``; returns the number written."""
+    with PcapWriter(path) as writer:
+        for packet in packets:
+            writer.write(packet)
+        return writer.packets_written
+
+
+def read_pcap(path: str | Path) -> list[Packet]:
+    """Read every packet from ``path`` into a list."""
+    return list(PcapReader(path))

@@ -1,0 +1,77 @@
+"""TCP header codec (RFC 793), without options."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntFlag
+
+HEADER_LEN = 20
+
+
+class TCPFlags(IntFlag):
+    """TCP control flags. Combine with ``|``: ``TCPFlags.SYN | TCPFlags.ACK``."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+@dataclass
+class TCPHeader:
+    """A TCP header with data offset fixed at 5 words (no options)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: TCPFlags = TCPFlags.ACK
+    window: int = 65535
+    urgent: int = 0
+
+    def to_bytes(self) -> bytes:
+        offset_flags = (5 << 12) | int(self.flags)
+        return struct.pack(
+            "!HHIIHHHH",
+            self.src_port & 0xFFFF,
+            self.dst_port & 0xFFFF,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            offset_flags,
+            self.window & 0xFFFF,
+            0,  # checksum: omitted — synthetic captures do not model it
+            self.urgent & 0xFFFF,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> tuple["TCPHeader", bytes]:
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"TCP header too short: {len(data)} bytes")
+        (src, dst, seq, ack, offset_flags, window, _checksum, urgent) = struct.unpack(
+            "!HHIIHHHH", data[:HEADER_LEN]
+        )
+        offset = (offset_flags >> 12) * 4
+        if offset < HEADER_LEN or len(data) < offset:
+            raise ValueError(f"invalid TCP data offset {offset}")
+        header = cls(
+            src_port=src,
+            dst_port=dst,
+            seq=seq,
+            ack=ack,
+            flags=TCPFlags(offset_flags & 0x1FF),
+            window=window,
+            urgent=urgent,
+        )
+        return header, data[offset:]
+
+    @property
+    def header_len(self) -> int:
+        return HEADER_LEN
+
+    def has(self, flag: TCPFlags) -> bool:
+        return bool(self.flags & flag)

@@ -1,0 +1,44 @@
+"""UDP header codec (RFC 768)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+HEADER_LEN = 8
+
+
+@dataclass
+class UDPHeader:
+    """A UDP header. ``length`` covers header + payload; 0 means "fill
+    in at serialization time"."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    length: int = 0
+
+    def to_bytes(self, payload_len: int | None = None) -> bytes:
+        length = self.length
+        if payload_len is not None:
+            length = HEADER_LEN + payload_len
+        if length == 0:
+            length = HEADER_LEN
+        return struct.pack(
+            "!HHHH",
+            self.src_port & 0xFFFF,
+            self.dst_port & 0xFFFF,
+            length & 0xFFFF,
+            0,  # checksum: optional in IPv4, omitted in synthetic captures
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> tuple["UDPHeader", bytes]:
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"UDP header too short: {len(data)} bytes")
+        src, dst, length, _checksum = struct.unpack("!HHHH", data[:HEADER_LEN])
+        payload_end = min(len(data), length) if length >= HEADER_LEN else len(data)
+        return cls(src_port=src, dst_port=dst, length=length), data[HEADER_LEN:payload_end]
+
+    @property
+    def header_len(self) -> int:
+        return HEADER_LEN

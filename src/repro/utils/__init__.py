@@ -1,0 +1,30 @@
+"""Shared utilities: deterministic RNG, validation helpers, text tables.
+
+Every stochastic component in :mod:`repro` draws randomness through
+:class:`repro.utils.rng.SeededRNG` so that a full pipeline run is
+reproducible bit-for-bit from a single integer seed.
+"""
+
+from repro.utils.rng import SeededRNG, derive_seed, spawn_child
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+)
+from repro.utils.tables import TextTable, format_float, render_markdown_table
+
+__all__ = [
+    "SeededRNG",
+    "derive_seed",
+    "spawn_child",
+    "check_fraction",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability_vector",
+    "TextTable",
+    "format_float",
+    "render_markdown_table",
+]

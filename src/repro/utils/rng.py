@@ -1,0 +1,109 @@
+"""Deterministic, hierarchical random number generation.
+
+The reproduction pipeline runs many stochastic components (traffic
+generators, samplers, neural-network initializers). To make full runs
+reproducible while keeping components independent, every component
+receives its own :class:`SeededRNG` derived from a parent seed and a
+string label. Re-ordering component construction therefore never
+perturbs another component's stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(parent_seed: int, label: str) -> int:
+    """Derive a child seed deterministically from ``parent_seed`` and a label.
+
+    Uses SHA-256 over the parent seed and label so that distinct labels
+    yield statistically independent child seeds.
+
+    >>> derive_seed(42, "traffic") != derive_seed(42, "sampler")
+    True
+    >>> derive_seed(42, "traffic") == derive_seed(42, "traffic")
+    True
+    """
+    if not isinstance(parent_seed, int):
+        raise TypeError(f"parent_seed must be int, got {type(parent_seed).__name__}")
+    payload = f"{parent_seed & _MASK64}:{label}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class SeededRNG:
+    """A labelled wrapper around :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        Any 64-bit integer. Negative seeds are mapped into range.
+    label:
+        Human-readable label recorded for debugging and used when
+        spawning children.
+    """
+
+    def __init__(self, seed: int, label: str = "root") -> None:
+        self.seed = seed & _MASK64
+        self.label = label
+        self._gen = np.random.Generator(np.random.PCG64(self.seed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeededRNG(seed={self.seed}, label={self.label!r})"
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying numpy generator."""
+        return self._gen
+
+    def child(self, label: str) -> "SeededRNG":
+        """Spawn an independent child RNG keyed by ``label``."""
+        return SeededRNG(derive_seed(self.seed, label), label=f"{self.label}/{label}")
+
+    # -- convenience passthroughs -------------------------------------
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        return self._gen.uniform(low, high, size)
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+        return self._gen.normal(loc, scale, size)
+
+    def exponential(self, scale: float = 1.0, size=None):
+        return self._gen.exponential(scale, size)
+
+    def integers(self, low: int, high: int | None = None, size=None):
+        return self._gen.integers(low, high, size)
+
+    def choice(self, seq, size=None, replace=True, p=None):
+        return self._gen.choice(seq, size=size, replace=replace, p=p)
+
+    def shuffle(self, array) -> None:
+        self._gen.shuffle(array)
+
+    def permutation(self, x):
+        return self._gen.permutation(x)
+
+    def random(self, size=None):
+        return self._gen.random(size)
+
+    def poisson(self, lam: float = 1.0, size=None):
+        return self._gen.poisson(lam, size)
+
+    def pareto(self, a: float, size=None):
+        return self._gen.pareto(a, size)
+
+    def lognormal(self, mean: float = 0.0, sigma: float = 1.0, size=None):
+        return self._gen.lognormal(mean, sigma, size)
+
+    def geometric(self, p: float, size=None):
+        return self._gen.geometric(p, size)
+
+
+def spawn_child(rng: SeededRNG | int, label: str) -> SeededRNG:
+    """Spawn a child RNG from either a :class:`SeededRNG` or a raw seed."""
+    if isinstance(rng, SeededRNG):
+        return rng.child(label)
+    return SeededRNG(derive_seed(int(rng), label), label=label)

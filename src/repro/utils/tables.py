@@ -1,0 +1,68 @@
+"""Plain-text and markdown table rendering for paper-style reports.
+
+The benchmark harness prints the same rows the paper reports; these
+helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format a metric value the way the paper prints it (e.g. ``0.8537``)."""
+    if value != value:  # NaN
+        return "n/a"
+    return f"{value:.{digits}f}"
+
+
+def render_markdown_table(header: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+class TextTable:
+    """A fixed-width text table with column auto-sizing.
+
+    >>> t = TextTable(["Dataset", "F1"])
+    >>> t.add_row(["Mirai", "0.9354"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    Dataset  F1
+    -------  ------
+    Mirai    0.9354
+    """
+
+    def __init__(self, header: Sequence[str], *, padding: int = 2) -> None:
+        if not header:
+            raise ValueError("header must not be empty")
+        self.header = [str(h) for h in header]
+        self.padding = padding
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Sequence[object]) -> None:
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(self.header):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.header)}"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.header]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        pad = " " * self.padding
+        out = [
+            pad.join(h.ljust(widths[i]) for i, h in enumerate(self.header)).rstrip(),
+            pad.join("-" * widths[i] for i in range(len(widths))).rstrip(),
+        ]
+        for row in self.rows:
+            out.append(
+                pad.join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+            )
+        return "\n".join(out)

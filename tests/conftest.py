@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.traffic import Host, Network
+from repro.net.ethernet import EthernetHeader
+from repro.net.ipv4 import IPv4Header, PROTO_TCP, PROTO_UDP
+from repro.net.packet import Packet
+from repro.net.tcp import TCPFlags, TCPHeader
+from repro.net.udp import UDPHeader
+from repro.utils.rng import SeededRNG
+
+
+@pytest.fixture
+def rng() -> SeededRNG:
+    return SeededRNG(12345, "test")
+
+
+@pytest.fixture
+def network(rng) -> Network:
+    return Network(subnet="192.168", rng=rng.child("net"))
+
+
+def make_tcp_packet(
+    ts: float = 0.0,
+    src: str = "10.0.0.1",
+    dst: str = "10.0.0.2",
+    sport: int = 1234,
+    dport: int = 80,
+    flags: TCPFlags = TCPFlags.ACK,
+    payload: bytes = b"",
+    label: int = 0,
+    attack_type: str = "",
+) -> Packet:
+    """A fully-layered TCP packet for tests."""
+    return Packet(
+        timestamp=ts,
+        ether=EthernetHeader(),
+        ip=IPv4Header(src_ip=src, dst_ip=dst, protocol=PROTO_TCP),
+        transport=TCPHeader(src_port=sport, dst_port=dport, flags=flags),
+        payload=payload,
+        label=label,
+        attack_type=attack_type,
+    )
+
+
+def make_udp_packet(
+    ts: float = 0.0,
+    src: str = "10.0.0.1",
+    dst: str = "10.0.0.2",
+    sport: int = 1234,
+    dport: int = 53,
+    payload: bytes = b"",
+    label: int = 0,
+) -> Packet:
+    return Packet(
+        timestamp=ts,
+        ether=EthernetHeader(),
+        ip=IPv4Header(src_ip=src, dst_ip=dst, protocol=PROTO_UDP),
+        transport=UDPHeader(src_port=sport, dst_port=dport),
+        payload=payload,
+        label=label,
+    )
+
+
+def simple_http_flow_packets(start: float = 0.0) -> list[Packet]:
+    """A 5-packet TCP conversation ending in FIN."""
+    return [
+        make_tcp_packet(start + 0.00, flags=TCPFlags.SYN),
+        make_tcp_packet(start + 0.01, src="10.0.0.2", dst="10.0.0.1",
+                        sport=80, dport=1234,
+                        flags=TCPFlags.SYN | TCPFlags.ACK),
+        make_tcp_packet(start + 0.02, flags=TCPFlags.ACK | TCPFlags.PSH,
+                        payload=b"GET / HTTP/1.1\r\n\r\n"),
+        make_tcp_packet(start + 0.05, src="10.0.0.2", dst="10.0.0.1",
+                        sport=80, dport=1234, flags=TCPFlags.ACK,
+                        payload=b"x" * 512),
+        make_tcp_packet(start + 0.06, flags=TCPFlags.FIN | TCPFlags.ACK),
+    ]

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tables_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.which == "all"
+
+    def test_evaluate_rejects_unknown_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "Zeek", "Mirai"])
+
+
+class TestCommands:
+    def test_tables_prints_inventories(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Kitsune" in out
+        assert "KDD-Cup99" in out
+
+    def test_tables_single(self, capsys):
+        assert main(["tables", "--which", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table III" not in out
+
+    def test_generate_with_pcap(self, capsys, tmp_path):
+        path = tmp_path / "out.pcap"
+        assert main(["generate", "Mirai", "--scale", "0.05",
+                     "--output", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Mirai" in out
+        assert path.exists()
+
+    def test_generate_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            main(["generate", "NoSuchSet"])
+
+    def test_evaluate_cell(self, capsys):
+        assert main(["evaluate", "Slips", "Mirai", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "threshold" in out
+
+    def test_evaluate_unknown_dataset_errors(self, capsys):
+        assert main(["evaluate", "Slips", "NoSuchSet"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_table4_restricted(self, capsys):
+        assert main(["table4", "--scale", "0.05", "--ids", "Slips",
+                     "--datasets", "Mirai"]) == 0
+        out = capsys.readouterr().out
+        assert "IDS: Slips" in out
+        assert "Average:" in out

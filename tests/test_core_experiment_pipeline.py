@@ -1,0 +1,139 @@
+"""Integration tests: the experiment matrix, single cells, and the
+pipeline with report rendering.
+
+These run at very small scale; the benchmark harness runs the
+full-scale versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import (
+    DATASET_ORDER,
+    EXPERIMENT_MATRIX,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.core.pipeline import IDSAnalysisPipeline
+from repro.core.report import (
+    render_shape_checks,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+
+class TestExperimentMatrix:
+    def test_twenty_cells(self):
+        assert len(EXPERIMENT_MATRIX) == 20
+
+    def test_every_ids_covers_every_dataset(self):
+        for ids_name in ("Kitsune", "HELAD", "DNN", "Slips"):
+            for dataset in DATASET_ORDER:
+                assert (ids_name, dataset) in EXPERIMENT_MATRIX
+
+    def test_dnn_uses_cross_corpus_training(self):
+        for dataset in DATASET_ORDER:
+            assert EXPERIMENT_MATRIX[("DNN", dataset)].cross_corpus_train
+
+    def test_slips_is_training_free(self):
+        for dataset in DATASET_ORDER:
+            config = EXPERIMENT_MATRIX[("Slips", dataset)]
+            assert config.flow_train_fraction == 0.0
+
+    def test_unknown_ids_rejected(self):
+        config = ExperimentConfig(ids_name="Zeek", dataset_name="Mirai")
+        with pytest.raises(KeyError, match="unknown IDS"):
+            run_experiment(config)
+
+
+class TestSingleCells:
+    def test_slips_cell_runs(self):
+        config = ExperimentConfig(
+            ids_name="Slips", dataset_name="Stratosphere", scale=0.05,
+            flow_train_fraction=0.0, threshold_strategy="fixed",
+        )
+        result = run_experiment(config)
+        assert result.metrics.support == len(result.y_true)
+        assert result.runtime_seconds > 0
+        assert result.notes["schema"] == "netflow"
+
+    def test_dnn_cell_runs(self):
+        config = ExperimentConfig(
+            ids_name="DNN", dataset_name="BoT-IoT", scale=0.05,
+            cross_corpus_train=True, test_prevalence=0.9,
+            threshold_strategy="fixed",
+        )
+        result = run_experiment(config)
+        assert 0.0 <= result.metrics.f1 <= 1.0
+
+    def test_kitsune_cell_runs(self):
+        config = ExperimentConfig(
+            ids_name="Kitsune", dataset_name="Mirai", scale=0.05,
+            max_test_packets=2000, max_train_packets=1500,
+            threshold_strategy="detection-priority",
+        )
+        result = run_experiment(config)
+        assert len(result.scores) == len(result.y_true)
+        assert result.metrics.recall > 0.5  # floods are unmistakable
+
+    def test_determinism(self):
+        config = ExperimentConfig(
+            ids_name="Slips", dataset_name="Mirai", scale=0.05,
+            flow_train_fraction=0.0, threshold_strategy="fixed",
+        )
+        a = run_experiment(config)
+        b = run_experiment(config)
+        assert a.metrics == b.metrics
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+
+class TestPipelineIntegration:
+    @pytest.fixture(scope="class")
+    def mini_pipeline(self):
+        pipeline = IDSAnalysisPipeline(
+            seed=0, scale=0.08,
+            ids_names=("DNN", "Slips"),
+            dataset_names=("BoT-IoT", "Stratosphere"),
+        )
+        pipeline.run_all()
+        return pipeline
+
+    def test_all_cells_present(self, mini_pipeline):
+        assert len(mini_pipeline.results) == 4
+
+    def test_averages(self, mini_pipeline):
+        avg = mini_pipeline.average_for("DNN")
+        assert 0.0 <= avg.f1 <= 1.0
+
+    def test_table4_rendering(self, mini_pipeline):
+        table = render_table4(mini_pipeline)
+        assert "IDS: DNN" in table
+        assert "IDS: Slips" in table
+        assert "Average:" in table
+        assert "BoT-IoT" in table
+
+    def test_row_cells(self, mini_pipeline):
+        cells = mini_pipeline.row("Slips")
+        assert [c.dataset_name for c in cells] == ["BoT-IoT", "Stratosphere"]
+
+
+class TestStaticReports:
+    def test_table1_contains_all_systems(self):
+        table = render_table1()
+        assert "Kitsune" in table
+        assert "Used in Paper" in table
+        assert "Dependency errors" in table
+        assert len(table.splitlines()) == 2 + 15
+
+    def test_table2_lists_used_datasets(self):
+        table = render_table2()
+        for name in DATASET_ORDER:
+            assert name in table
+
+    def test_table3_lists_excluded(self):
+        table = render_table3()
+        assert "KDD-Cup99" in table
+        assert "250gb" in table
+        assert len(table.splitlines()) == 2 + 13

@@ -1,0 +1,50 @@
+"""Tests for JSON/markdown result exports."""
+
+import json
+
+import pytest
+
+from repro.core.export import results_to_dict, results_to_json, results_to_markdown
+from repro.core.pipeline import IDSAnalysisPipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    p = IDSAnalysisPipeline(
+        seed=0, scale=0.05,
+        ids_names=("Slips",),
+        dataset_names=("Mirai", "Stratosphere"),
+    )
+    p.run_all()
+    return p
+
+
+class TestJsonExport:
+    def test_roundtrips_through_json(self, pipeline):
+        payload = json.loads(results_to_json(pipeline))
+        assert payload["seed"] == 0
+        assert len(payload["cells"]) == 2
+
+    def test_cells_carry_provenance(self, pipeline):
+        payload = results_to_dict(pipeline)
+        cell = payload["cells"][0]
+        assert {"ids", "dataset", "f1", "threshold", "threshold_strategy",
+                "notes"} <= set(cell)
+        assert cell["tp"] + cell["fp"] + cell["tn"] + cell["fn"] > 0
+
+    def test_average_f1_present(self, pipeline):
+        payload = results_to_dict(pipeline)
+        assert "Slips" in payload["average_f1"]
+
+    def test_notes_are_serialisable(self, pipeline):
+        # tuples (e.g. missing_features) must become lists.
+        json.dumps(results_to_dict(pipeline))
+
+
+class TestMarkdownExport:
+    def test_structure(self, pipeline):
+        md = results_to_markdown(pipeline)
+        assert "### Slips" in md
+        assert "| Dataset | Acc. | Prec. | Rec. | F1 |" in md
+        assert "**Average**" in md
+        assert "Mirai" in md and "Stratosphere" in md

@@ -1,0 +1,102 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    MetricReport,
+    average_metrics,
+    compute_metrics,
+    confusion_matrix,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        assert confusion_matrix(y_true, y_pred) == (2, 1, 1, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3), np.zeros(4))
+
+
+class TestComputeMetrics:
+    def test_perfect(self):
+        y = np.array([0, 1, 0, 1])
+        m = compute_metrics(y, y)
+        assert (m.accuracy, m.precision, m.recall, m.f1) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_zero_detections_give_zeros_not_nan(self):
+        """The paper's Slips rows: 0.0000, not NaN."""
+        y_true = np.array([1, 1, 0, 0])
+        y_pred = np.zeros(4, dtype=int)
+        m = compute_metrics(y_true, y_pred)
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+        assert m.accuracy == 0.5
+
+    def test_all_positive_collapse_pattern(self):
+        """The DNN pattern: accuracy == precision == prevalence and
+        recall == 1 when everything is flagged."""
+        y_true = np.array([1] * 21 + [0] * 79)
+        y_pred = np.ones(100, dtype=int)
+        m = compute_metrics(y_true, y_pred)
+        assert m.accuracy == pytest.approx(0.21)
+        assert m.precision == pytest.approx(0.21)
+        assert m.recall == 1.0
+
+    def test_known_values(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0, 0, 0, 0])
+        m = compute_metrics(y_true, y_pred)
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.recall == pytest.approx(2 / 3)
+        assert m.f1 == pytest.approx(2 / 3)
+        assert m.accuracy == pytest.approx(6 / 8)
+
+    def test_derived_properties(self):
+        y_true = np.array([1, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 0])
+        m = compute_metrics(y_true, y_pred)
+        assert m.support == 4
+        assert m.positives == 1
+        assert m.prevalence == 0.25
+        assert m.false_positive_rate == pytest.approx(1 / 3)
+
+    def test_row_formatting(self):
+        m = MetricReport(accuracy=0.85374, precision=0.5, recall=1.0, f1=0.75)
+        assert m.row() == ("0.8537", "0.5000", "1.0000", "0.7500")
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=60),
+        st.lists(st.booleans(), min_size=1, max_size=60),
+    )
+    def test_invariants_property(self, true_bits, pred_bits):
+        n = min(len(true_bits), len(pred_bits))
+        y_true = np.array(true_bits[:n], dtype=int)
+        y_pred = np.array(pred_bits[:n], dtype=int)
+        m = compute_metrics(y_true, y_pred)
+        for value in (m.accuracy, m.precision, m.recall, m.f1):
+            assert 0.0 <= value <= 1.0
+        assert m.tp + m.fp + m.tn + m.fn == n
+        # F1 is the harmonic mean when both components are non-zero.
+        if m.precision > 0 and m.recall > 0:
+            expected = 2 * m.precision * m.recall / (m.precision + m.recall)
+            assert m.f1 == pytest.approx(expected)
+
+
+class TestAverageMetrics:
+    def test_unweighted_mean(self):
+        a = MetricReport(accuracy=1.0, precision=1.0, recall=1.0, f1=1.0)
+        b = MetricReport(accuracy=0.0, precision=0.0, recall=0.0, f1=0.0)
+        avg = average_metrics([a, b])
+        assert avg.accuracy == 0.5
+        assert avg.f1 == 0.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            average_metrics([])

@@ -1,0 +1,161 @@
+"""Tests for dataset-to-IDS adaptation (sampling, rebalancing, encoding)."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessing import (
+    flow_feature_dicts,
+    prepare_flow_experiment,
+    prepare_packet_experiment,
+    rebalance_flows,
+    rebalance_packets,
+)
+from repro.datasets import generate_dataset
+from repro.flows.assembler import FlowAssembler
+from repro.flows.key import flow_key_for_packet
+from repro.utils.rng import SeededRNG
+
+from tests.conftest import make_udp_packet
+
+
+def _mixed_packets(benign_flows=30, attack_flows=30, per_flow=5):
+    packets = []
+    for f in range(benign_flows):
+        for i in range(per_flow):
+            packets.append(make_udp_packet(f + i * 0.01, sport=4000 + f))
+    for f in range(attack_flows):
+        for i in range(per_flow):
+            p = make_udp_packet(f + i * 0.01 + 0.5, sport=20000 + f, label=1)
+            packets.append(p)
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
+class TestRebalancePackets:
+    def test_reduces_attack_prevalence(self):
+        packets = _mixed_packets(10, 50)
+        out = rebalance_packets(packets, 0.2, SeededRNG(1))
+        prevalence = np.mean([p.label for p in out])
+        assert prevalence == pytest.approx(0.2, abs=0.08)
+
+    def test_increases_attack_prevalence(self):
+        packets = _mixed_packets(50, 10)
+        out = rebalance_packets(packets, 0.6, SeededRNG(2))
+        prevalence = np.mean([p.label for p in out])
+        assert prevalence == pytest.approx(0.6, abs=0.1)
+
+    def test_none_keeps_composition(self):
+        packets = _mixed_packets(10, 10)
+        out = rebalance_packets(packets, None, SeededRNG(3))
+        assert len(out) == len(packets)
+
+    def test_whole_flows_kept(self):
+        packets = _mixed_packets(10, 40)
+        out = rebalance_packets(packets, 0.3, SeededRNG(4))
+        by_flow: dict = {}
+        for p in out:
+            by_flow.setdefault(flow_key_for_packet(p), 0)
+            by_flow[flow_key_for_packet(p)] += 1
+        assert all(count == 5 for count in by_flow.values())
+
+    def test_max_packets_budget(self):
+        packets = _mixed_packets(40, 40)
+        out = rebalance_packets(packets, None, SeededRNG(5), max_packets=100)
+        assert len(out) <= 110  # flow-granular thinning overshoots slightly
+
+    def test_sorted_output(self):
+        out = rebalance_packets(_mixed_packets(), 0.5, SeededRNG(6))
+        stamps = [p.timestamp for p in out]
+        assert stamps == sorted(stamps)
+
+
+class TestRebalanceFlows:
+    def _flows(self, benign=40, attack=40):
+        return FlowAssembler().assemble(_mixed_packets(benign, attack))
+
+    def test_target_prevalence(self):
+        flows = self._flows(10, 60)
+        out = rebalance_flows(flows, 0.25, SeededRNG(1))
+        prevalence = np.mean([f.label for f in out])
+        assert prevalence == pytest.approx(0.25, abs=0.08)
+
+    def test_max_flows(self):
+        flows = self._flows()
+        out = rebalance_flows(flows, None, SeededRNG(2), max_flows=20)
+        assert len(out) == 20
+
+    def test_sorted_by_start(self):
+        out = rebalance_flows(self._flows(), 0.5, SeededRNG(3))
+        starts = [f.start_time for f in out]
+        assert starts == sorted(starts)
+
+
+class TestPreparePacketExperiment:
+    def test_benign_prefix_preferred(self):
+        dataset = generate_dataset("Mirai", seed=0, scale=0.05)
+        data = prepare_packet_experiment(dataset, SeededRNG(1))
+        assert data.notes["trained_on"] == "benign-prefix"
+        assert all(p.label == 0 for p in data.train_packets)
+
+    def test_time_prefix_fallback(self):
+        dataset = generate_dataset("UNSW-NB15", seed=0, scale=0.05)
+        data = prepare_packet_experiment(dataset, SeededRNG(2),
+                                         prefer_benign_prefix=False)
+        assert data.notes["trained_on"] == "time-prefix"
+
+    def test_prevalence_target_applied(self):
+        dataset = generate_dataset("CICIDS2017", seed=0, scale=0.05)
+        data = prepare_packet_experiment(dataset, SeededRNG(3),
+                                         test_prevalence=0.1)
+        assert data.notes["test_prevalence"] == pytest.approx(0.1, abs=0.07)
+
+    def test_labels_align_with_test_packets(self):
+        dataset = generate_dataset("BoT-IoT", seed=0, scale=0.05)
+        data = prepare_packet_experiment(dataset, SeededRNG(4))
+        assert len(data.y_true) == len(data.test_packets)
+        assert all(
+            int(p.label) == y
+            for p, y in zip(data.test_packets, data.y_true)
+        )
+
+
+class TestPrepareFlowExperiment:
+    def test_chronological_split(self):
+        dataset = generate_dataset("UNSW-NB15", seed=0, scale=0.05)
+        data = prepare_flow_experiment(dataset, SeededRNG(1),
+                                       train_fraction=0.6)
+        assert data.train_flows and data.test_flows
+        latest_train = max(f.end_time for f in data.train_flows)
+        earliest_test = min(f.end_time for f in data.test_flows)
+        assert latest_train <= earliest_test + 1e-9
+
+    def test_cross_corpus_training(self):
+        from repro.datasets import kddcup
+
+        dataset = generate_dataset("Stratosphere", seed=0, scale=0.05)
+        reference = kddcup.generate(seed=0, scale=0.1)
+        data = prepare_flow_experiment(dataset, SeededRNG(2),
+                                       train_dataset=reference)
+        assert data.notes["cross_corpus_training"]
+        assert data.notes["train_prevalence"] > 0.5  # KDD is attack-heavy
+
+    def test_schema_mismatch_zero_fills(self):
+        dataset = generate_dataset("Stratosphere", seed=0, scale=0.05)
+        data = prepare_flow_experiment(dataset, SeededRNG(3), schema="netflow")
+        assert data.notes["missing_features"]  # conn.log lacks Argus stats
+        missing_idx = [
+            data.encoder.feature_names.index(name)
+            for name in data.encoder.missing_features
+        ]
+        assert np.all(data.test_features[:, missing_idx] == 0.0)
+
+    def test_zero_train_fraction_uses_everything_for_test(self):
+        dataset = generate_dataset("Mirai", seed=0, scale=0.05)
+        data = prepare_flow_experiment(dataset, SeededRNG(4),
+                                       train_fraction=0.0)
+        assert data.train_flows == []
+        assert len(data.test_flows) > 0
+
+    def test_unknown_schema(self):
+        with pytest.raises(ValueError, match="unknown flow schema"):
+            flow_feature_dicts([], "bogus")

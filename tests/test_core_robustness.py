@@ -1,0 +1,29 @@
+"""Tests for the multi-seed robustness module."""
+
+import pytest
+
+from repro.core.robustness import CellStability, MetricSummary, seed_sweep
+
+
+class TestSeedSweep:
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            seed_sweep("Slips", "Mirai", seeds=())
+
+    def test_summary_statistics(self):
+        stability = seed_sweep("Slips", "Mirai", seeds=(0, 1), scale=0.05)
+        assert isinstance(stability, CellStability)
+        assert stability.seeds == (0, 1)
+        assert 0.0 <= stability.accuracy.mean <= 1.0
+        assert stability.accuracy.std >= 0.0
+
+    def test_single_seed_zero_std(self):
+        stability = seed_sweep("Slips", "Stratosphere", seeds=(0,),
+                               scale=0.05)
+        assert stability.f1.std == 0.0
+
+    def test_cv_handles_zero_mean(self):
+        summary = MetricSummary(0.0, 0.0)
+        cell = CellStability("Slips", "UNSW-NB15", (0,), summary, summary,
+                             summary, summary)
+        assert cell.f1_coefficient_of_variation == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the Table I registry and selection criteria."""
+
+from repro.core.selection import (
+    evaluate_record,
+    run_selection,
+    selected_names,
+)
+from repro.ids.registry import INVESTIGATED_IDS, evaluated_ids_factories
+
+
+class TestRegistry:
+    def test_fifteen_systems_investigated(self):
+        assert len(INVESTIGATED_IDS) == 15
+
+    def test_four_used(self):
+        used = [r for r in INVESTIGATED_IDS if r.used]
+        assert {r.name for r in used} == {
+            "Deep Neural Network (DNN)", "Kitsune", "HELAD",
+            "StratosphereIPS (Slips)",
+        }
+
+    def test_excluded_have_issues(self):
+        for record in INVESTIGATED_IDS:
+            if not record.used:
+                assert record.issue, record.name
+
+    def test_factories_cover_table4_rows(self):
+        assert set(evaluated_ids_factories()) == {
+            "Kitsune", "HELAD", "DNN", "Slips"
+        }
+
+    def test_status_property(self):
+        used = next(r for r in INVESTIGATED_IDS if r.used)
+        assert used.status == "Used in Paper"
+
+
+class TestSelection:
+    def test_selected_match_used_flags(self):
+        names = selected_names()
+        expected = {r.name for r in INVESTIGATED_IDS if r.used}
+        assert set(names) == expected
+
+    def test_every_record_evaluated(self):
+        outcomes = run_selection()
+        assert len(outcomes) == len(INVESTIGATED_IDS)
+
+    def test_usability_is_dominant_failure(self):
+        """The paper's observation: most exclusions are usability."""
+        outcomes = [o for o in run_selection() if not o.selected]
+        usability = [o for o in outcomes if o.failed_criterion == "usability"]
+        assert len(usability) >= len(outcomes) / 2
+
+    def test_suricata_fails_ml_documentation(self):
+        record = next(r for r in INVESTIGATED_IDS if r.name == "Suricata")
+        outcome = evaluate_record(record)
+        assert not outcome.selected
+        assert outcome.failed_criterion == "documentation"
+
+    def test_automl_fails_code_availability(self):
+        record = next(r for r in INVESTIGATED_IDS if r.name == "AutoML")
+        outcome = evaluate_record(record)
+        assert outcome.failed_criterion == "code-availability"
+
+    def test_xnids_fails_usability(self):
+        record = next(r for r in INVESTIGATED_IDS if r.name == "xNIDS")
+        outcome = evaluate_record(record)
+        assert not outcome.selected

@@ -1,0 +1,130 @@
+"""Tests for the standardized threshold-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import compute_metrics
+from repro.core.thresholds import (
+    best_f1_threshold,
+    detection_priority_threshold,
+    fpr_budget_threshold,
+    percentile_threshold,
+    standard_threshold,
+)
+
+
+def _separable():
+    """Benign scores ~0.1, attack scores ~0.9."""
+    y = np.array([0] * 50 + [1] * 50)
+    scores = np.concatenate([np.linspace(0.0, 0.2, 50),
+                             np.linspace(0.8, 1.0, 50)])
+    return y, scores
+
+
+def _inseparable():
+    """Scores carry no class information."""
+    rng = np.random.default_rng(0)
+    y = rng.integers(0, 2, 200)
+    scores = rng.random(200)
+    return y, scores
+
+
+class TestFprBudget:
+    def test_separable_full_recall_zero_fpr(self):
+        y, scores = _separable()
+        t = fpr_budget_threshold(y, scores, max_fpr=0.05)
+        m = compute_metrics(y, scores >= t)
+        assert m.recall == 1.0
+        assert m.false_positive_rate <= 0.05
+
+    def test_budget_respected_on_noise(self):
+        y, scores = _inseparable()
+        t = fpr_budget_threshold(y, scores, max_fpr=0.05)
+        m = compute_metrics(y, scores >= t)
+        assert m.false_positive_rate <= 0.05
+
+    def test_all_same_scores_flags_nothing(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.ones(4)
+        t = fpr_budget_threshold(y, scores, max_fpr=0.1)
+        assert (scores >= t).sum() == 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            fpr_budget_threshold(np.array([0, 1]), np.array([0.1, 0.9]),
+                                 max_fpr=1.5)
+
+
+class TestDetectionPriority:
+    def test_separable_picks_clean_boundary(self):
+        y, scores = _separable()
+        t = detection_priority_threshold(y, scores, lambda_fpr=0.5)
+        m = compute_metrics(y, scores >= t)
+        assert m.recall == 1.0
+        assert m.false_positive_rate == 0.0
+
+    def test_inseparable_flags_nearly_everything(self):
+        """The Kitsune-on-CICIDS2017 behaviour: maximising recall with a
+        soft FP penalty floods the alert channel when scores don't
+        separate."""
+        y, scores = _inseparable()
+        t = detection_priority_threshold(y, scores, lambda_fpr=0.3)
+        flagged_fraction = (scores >= t).mean()
+        assert flagged_fraction > 0.9
+
+    def test_rejects_negative_lambda(self):
+        with pytest.raises(ValueError):
+            detection_priority_threshold(np.array([0, 1]),
+                                         np.array([0.1, 0.9]),
+                                         lambda_fpr=-1.0)
+
+
+class TestBestF1:
+    def test_finds_optimum_on_separable(self):
+        y, scores = _separable()
+        t = best_f1_threshold(y, scores)
+        assert compute_metrics(y, scores >= t).f1 == 1.0
+
+    def test_beats_or_ties_other_strategies(self):
+        y, scores = _inseparable()
+        t_best = best_f1_threshold(y, scores)
+        t_budget = fpr_budget_threshold(y, scores, max_fpr=0.05)
+        f1_best = compute_metrics(y, scores >= t_best).f1
+        f1_budget = compute_metrics(y, scores >= t_budget).f1
+        assert f1_best >= f1_budget
+
+
+class TestPercentile:
+    def test_value(self):
+        train = np.arange(101, dtype=float)
+        assert percentile_threshold(train, percentile=99.0) == pytest.approx(99.0)
+
+    def test_empty_train(self):
+        assert percentile_threshold(np.array([])) == 0.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            percentile_threshold(np.array([1.0]), percentile=150)
+
+
+class TestStandardDispatch:
+    def test_known_strategies(self):
+        y, scores = _separable()
+        for strategy in ("fpr-budget", "detection-priority", "best-f1"):
+            t = standard_threshold(y, scores, strategy=strategy)
+            assert np.isfinite(t)
+
+    def test_fixed(self):
+        t = standard_threshold(np.array([0, 1]), np.array([0.2, 0.8]),
+                               strategy="fixed", fixed_value=0.5)
+        assert t == 0.5
+
+    def test_percentile_needs_train_scores(self):
+        with pytest.raises(ValueError):
+            standard_threshold(np.array([0, 1]), np.array([0.1, 0.9]),
+                               strategy="percentile")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown threshold"):
+            standard_threshold(np.array([0, 1]), np.array([0.1, 0.9]),
+                               strategy="magic")

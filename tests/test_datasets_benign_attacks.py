@@ -1,0 +1,154 @@
+"""Statistical and structural tests for benign and attack generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.attacks import (
+    c2_beaconing,
+    data_exfiltration,
+    mirai_scan_phase,
+    network_sweep,
+    port_scan,
+    slowloris,
+    ssh_bruteforce,
+    syn_flood,
+    udp_flood_ddos,
+    web_attack_session,
+)
+from repro.datasets.benign import (
+    iot_heartbeat,
+    iot_telemetry,
+    web_browsing_session,
+)
+from repro.datasets.traffic import Network
+from repro.net.tcp import TCPFlags, TCPHeader
+from repro.utils.rng import SeededRNG
+
+
+@pytest.fixture
+def rng():
+    return SeededRNG(7, "gen-test")
+
+
+@pytest.fixture
+def network(rng):
+    return Network(subnet="192.168", rng=rng.child("net"))
+
+
+class TestBenignModels:
+    def test_iot_telemetry_is_regular(self, rng, network):
+        device, broker = network.hosts(2)
+        packets = iot_telemetry(rng, 0.0, device, broker, network,
+                                reports=30, period=5.0)
+        # Client data packets arrive near-periodically: CV of gaps between
+        # consecutive telemetry payload packets is small.
+        data = [p for p in packets if p.src_ip == device.ip and p.payload]
+        gaps = np.diff([p.timestamp for p in data])
+        gaps = gaps[gaps > 1.0]  # the inter-report gaps
+        assert gaps.std() / gaps.mean() < 0.2
+
+    def test_iot_heartbeat_period(self, rng, network):
+        device, server = network.hosts(2)
+        packets = iot_heartbeat(rng, 0.0, device, server, network,
+                                beats=20, period=10.0)
+        requests = [p for p in packets if p.src_ip == device.ip]
+        gaps = np.diff([p.timestamp for p in requests])
+        assert abs(gaps.mean() - 10.0) < 0.5
+
+    def test_web_browsing_is_benign_and_bursty(self, rng, network):
+        client, server, resolver = network.hosts(3)
+        sizes = []
+        for i in range(30):
+            packets = web_browsing_session(rng.child(f"s{i}"), 0.0, client,
+                                           server, network, resolver=resolver)
+            assert all(p.label == 0 for p in packets)
+            sizes.append(sum(len(p.payload) for p in packets))
+        # Heavy-tailed: max session dwarfs the median.
+        assert max(sizes) > 4 * np.median(sizes)
+
+
+class TestAttackGenerators:
+    def test_all_attack_packets_labelled(self, rng, network):
+        attacker, victim = network.hosts(2)
+        for packets in (
+            port_scan(rng.child("ps"), 0.0, attacker, victim, ports=30),
+            syn_flood(rng.child("sf"), 0.0, attacker, victim,
+                      packets_count=50),
+            ssh_bruteforce(rng.child("bf"), 0.0, attacker, victim, network,
+                           attempts=5),
+            web_attack_session(rng.child("wa"), 0.0, attacker, victim,
+                               network),
+            data_exfiltration(rng.child("ex"), 0.0, attacker, victim,
+                              network, volume=10_000),
+        ):
+            assert packets, "generator produced nothing"
+            assert all(p.label == 1 for p in packets)
+            assert all(p.attack_type for p in packets)
+
+    def test_port_scan_covers_distinct_ports(self, rng, network):
+        attacker, victim = network.hosts(2)
+        packets = port_scan(rng, 0.0, attacker, victim, ports=100)
+        probed = {p.dst_port for p in packets if p.src_ip == attacker.ip}
+        assert len(probed) >= 95  # a few random collisions allowed
+
+    def test_port_scan_open_ports_answer_synack(self, rng, network):
+        attacker, victim = network.hosts(2)
+        packets = port_scan(rng, 0.0, attacker, victim, ports=25,
+                            open_ports=(22,))
+        synacks = [
+            p for p in packets
+            if isinstance(p.transport, TCPHeader)
+            and p.transport.flags == TCPFlags.SYN | TCPFlags.ACK
+        ]
+        assert len(synacks) == 1 and synacks[0].src_port == 22
+
+    def test_syn_flood_rate(self, rng, network):
+        attacker, victim = network.hosts(2)
+        packets = syn_flood(rng, 0.0, attacker, victim, packets_count=1000,
+                            rate=2000.0)
+        sent = [p for p in packets if p.src_ip == attacker.ip]
+        duration = sent[-1].timestamp - sent[0].timestamp
+        assert 1000 / duration > 1000  # well above benign rates
+
+    def test_udp_flood_multiple_sources(self, rng, network):
+        bots = network.hosts(4)
+        victim = network.host()
+        packets = udp_flood_ddos(rng, 0.0, bots, victim, packets_per_bot=50)
+        assert {p.src_ip for p in packets} == {b.ip for b in bots}
+        assert all(p.dst_ip == victim.ip for p in packets)
+
+    def test_c2_beaconing_periodicity(self, rng, network):
+        bot, c2 = network.hosts(2)
+        packets = c2_beaconing(rng, 0.0, bot, c2, network, beacons=20,
+                               period=30.0)
+        syns = [p for p in packets
+                if isinstance(p.transport, TCPHeader)
+                and p.transport.flags == TCPFlags.SYN]
+        gaps = np.diff([p.timestamp for p in syns])
+        assert gaps.std() / gaps.mean() < 0.1
+
+    def test_mirai_scan_targets_telnet(self, rng, network):
+        bots = network.hosts(2)
+        space = network.hosts(30)
+        packets = mirai_scan_phase(rng, 0.0, bots, space, probes_per_bot=100)
+        probes = [p for p in packets if p.label and p.dst_port in (23, 2323)]
+        assert len(probes) >= 200 * 0.9
+
+    def test_network_sweep_covers_hosts(self, rng, network):
+        scanner = network.host()
+        targets = network.hosts(40)
+        packets = network_sweep(rng, 0.0, scanner, targets, port=445)
+        assert {p.dst_ip for p in packets if p.src_ip == scanner.ip} == {
+            t.ip for t in targets
+        }
+
+    def test_slowloris_connections_are_long(self, rng, network):
+        attacker, victim = network.hosts(2)
+        packets = slowloris(rng, 0.0, attacker, victim, network,
+                            connections=5, duration=60.0)
+        by_port: dict = {}
+        for p in packets:
+            if p.src_ip == attacker.ip:
+                by_port.setdefault(p.src_port, []).append(p.timestamp)
+        spans = [max(ts) - min(ts) for ts in by_port.values()]
+        assert np.median(spans) > 30.0

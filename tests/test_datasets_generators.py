@@ -1,0 +1,172 @@
+"""Tests for the five dataset emulations and the registry."""
+
+import pytest
+
+from repro.datasets import (
+    EXCLUDED_DATASETS,
+    USED_DATASETS,
+    USED_DATASET_INFO,
+    all_dataset_infos,
+    generate_dataset,
+)
+from repro.datasets import kddcup
+from repro.datasets.base import SyntheticDataset, merge_streams
+
+from tests.conftest import make_udp_packet
+
+SMALL = 0.05
+
+
+class TestRegistry:
+    def test_five_used_datasets(self):
+        assert set(USED_DATASETS) == {
+            "CICIDS2017", "UNSW-NB15", "BoT-IoT", "Stratosphere", "Mirai"
+        }
+
+    def test_thirteen_excluded(self):
+        assert len(EXCLUDED_DATASETS) == 13
+        assert all(not info.used for info in EXCLUDED_DATASETS)
+
+    def test_all_infos(self):
+        infos = all_dataset_infos()
+        assert len(infos) == 18
+        assert sum(info.used for info in infos) == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            generate_dataset("NoSuchSet")
+
+    def test_exclusion_reasons_recorded(self):
+        kdd = next(i for i in EXCLUDED_DATASETS if i.name == "KDD-Cup99")
+        assert "pcap" in kdd.exclusion_reason
+        assert not kdd.has_pcap
+
+
+@pytest.mark.parametrize("name", sorted(USED_DATASETS))
+class TestEachDataset:
+    def test_generates_ordered_labelled_packets(self, name):
+        dataset = generate_dataset(name, seed=1, scale=SMALL)
+        assert len(dataset) > 200
+        stamps = [p.timestamp for p in dataset.packets]
+        assert stamps == sorted(stamps)
+        assert 0.0 < dataset.attack_prevalence < 1.0
+
+    def test_deterministic(self, name):
+        a = generate_dataset(name, seed=5, scale=SMALL)
+        b = generate_dataset(name, seed=5, scale=SMALL)
+        assert len(a) == len(b)
+        assert [p.timestamp for p in a.packets[:50]] == [
+            p.timestamp for p in b.packets[:50]
+        ]
+        assert a.labels[:200] == b.labels[:200]
+
+    def test_seed_changes_traffic(self, name):
+        a = generate_dataset(name, seed=1, scale=SMALL)
+        b = generate_dataset(name, seed=2, scale=SMALL)
+        assert [p.timestamp for p in a.packets[:100]] != [
+            p.timestamp for p in b.packets[:100]
+        ]
+
+    def test_attack_families_match_info(self, name):
+        dataset = generate_dataset(name, seed=3, scale=SMALL)
+        observed = set(dataset.attack_type_counts())
+        declared = set(dataset.info.attack_families)
+        # Every observed family was declared (generators may drop some
+        # minor families at tiny scales, hence subset not equality).
+        assert observed <= declared | {"mirai-infection", "generic",
+                                       "backdoor", "shellcode", "fuzzers",
+                                       "exploits", "web-attack"}
+
+    def test_flows_exportable(self, name):
+        dataset = generate_dataset(name, seed=4, scale=SMALL)
+        flows = dataset.flows()
+        assert flows
+        assert sum(f.label for f in flows) > 0
+
+
+class TestDatasetProfiles:
+    """The distributional contrasts the paper's analysis rests on."""
+
+    def test_bot_iot_is_attack_dominated(self):
+        dataset = generate_dataset("BoT-IoT", seed=1, scale=SMALL)
+        assert dataset.attack_prevalence > 0.8
+
+    def test_enterprise_sets_are_benign_majority_or_mixed(self):
+        for name in ("CICIDS2017", "UNSW-NB15"):
+            dataset = generate_dataset(name, seed=1, scale=SMALL)
+            assert dataset.attack_prevalence < 0.6
+
+    def test_mirai_has_clean_benign_prefix(self):
+        dataset = generate_dataset("Mirai", seed=1, scale=SMALL)
+        prefix = dataset.benign_prefix()
+        assert len(prefix) > 100
+        assert all(p.label == 0 for p in prefix)
+
+    def test_stratosphere_provides_conn_log_schema_only(self):
+        dataset = generate_dataset("Stratosphere", seed=1, scale=SMALL)
+        from repro.flows.netflow import NETFLOW_FEATURE_NAMES
+
+        provided = set(dataset.provided_flow_features)
+        assert "sload" not in provided  # rich Argus features absent
+        assert "dur" in provided
+        assert provided < set(NETFLOW_FEATURE_NAMES) | provided
+
+    def test_cicids_provides_full_cicflow_schema(self):
+        from repro.flows.cicflow import CICFLOW_FEATURE_NAMES
+
+        dataset = generate_dataset("CICIDS2017", seed=1, scale=SMALL)
+        assert set(dataset.provided_flow_features) == set(CICFLOW_FEATURE_NAMES)
+
+
+class TestKDDReference:
+    def test_attack_dominated(self):
+        dataset = kddcup.generate(seed=1, scale=0.2)
+        assert dataset.attack_prevalence > 0.6
+
+    def test_never_marked_used(self):
+        assert not kddcup.INFO.used
+
+
+class TestSyntheticDatasetHelpers:
+    def _tiny(self):
+        packets = [make_udp_packet(float(i), label=int(i >= 5))
+                   for i in range(10)]
+        info = USED_DATASET_INFO["Mirai"]
+        return SyntheticDataset(name="tiny", packets=packets, info=info)
+
+    def test_rejects_unsorted(self):
+        packets = [make_udp_packet(2.0), make_udp_packet(1.0)]
+        with pytest.raises(ValueError, match="ordered"):
+            SyntheticDataset(name="bad", packets=packets,
+                             info=USED_DATASET_INFO["Mirai"])
+
+    def test_split_by_time(self):
+        train, test = self._tiny().split_by_time(0.3)
+        assert len(train) == 3 and len(test) == 7
+
+    def test_benign_prefix_stops_at_first_attack(self):
+        prefix = self._tiny().benign_prefix()
+        assert len(prefix) == 5
+
+    def test_benign_prefix_cap(self):
+        prefix = self._tiny().benign_prefix(max_packets=2)
+        assert len(prefix) == 2
+
+    def test_prevalence_and_duration(self):
+        dataset = self._tiny()
+        assert dataset.attack_prevalence == 0.5
+        assert dataset.duration == 9.0
+
+    def test_pcap_roundtrip_count(self, tmp_path):
+        dataset = self._tiny()
+        path = tmp_path / "tiny.pcap"
+        assert dataset.to_pcap(path) == 10
+        from repro.net.pcap import read_pcap
+
+        assert len(read_pcap(path)) == 10
+
+    def test_merge_streams(self):
+        a = [make_udp_packet(3.0)]
+        b = [make_udp_packet(1.0), make_udp_packet(2.0)]
+        merged = merge_streams([a, b])
+        assert [p.timestamp for p in merged] == [1.0, 2.0, 3.0]

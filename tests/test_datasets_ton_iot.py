@@ -1,0 +1,43 @@
+"""Tests for the ToN-IoT emulation and its registry wiring."""
+
+import pytest
+
+from repro.datasets import EXCLUDED_DATASETS, generate_dataset
+from repro.datasets.registry import EXTRA_DATASETS
+
+
+class TestTonIot:
+    def test_reachable_by_name(self):
+        dataset = generate_dataset("ToN-IoT", seed=0, scale=0.05)
+        assert dataset.name == "ToN-IoT"
+        assert len(dataset) > 200
+
+    def test_registered_as_extra_not_used(self):
+        assert "ToN-IoT" in EXTRA_DATASETS
+        info = next(i for i in EXCLUDED_DATASETS if i.name == "ToN-IoT")
+        assert not info.used
+        assert "BoT-IoT" in info.exclusion_reason
+
+    def test_mixed_attack_palette(self):
+        dataset = generate_dataset("ToN-IoT", seed=0, scale=0.1)
+        families = set(dataset.attack_type_counts())
+        # Broader than BoT-IoT: includes credential and web attacks.
+        assert "bruteforce-ssh" in families
+        assert "web-attack" in families
+        assert any("flood" in f for f in families)
+
+    def test_less_extreme_balance_than_bot_iot(self):
+        ton = generate_dataset("ToN-IoT", seed=0, scale=0.05)
+        bot = generate_dataset("BoT-IoT", seed=0, scale=0.05)
+        assert ton.attack_prevalence < bot.attack_prevalence
+
+    def test_deterministic(self):
+        a = generate_dataset("ToN-IoT", seed=3, scale=0.05)
+        b = generate_dataset("ToN-IoT", seed=3, scale=0.05)
+        assert len(a) == len(b)
+        assert a.labels[:100] == b.labels[:100]
+
+    def test_flows_and_schema(self):
+        dataset = generate_dataset("ToN-IoT", seed=1, scale=0.05)
+        assert dataset.flows()
+        assert "sload" in dataset.provided_flow_features

@@ -1,0 +1,138 @@
+"""Tests for the traffic generator engine primitives."""
+
+import pytest
+
+from repro.datasets.traffic import (
+    Network,
+    dns_lookup,
+    icmp_ping,
+    tcp_conversation,
+    udp_exchange,
+)
+from repro.net.dns import DNSMessage
+from repro.net.tcp import TCPFlags, TCPHeader
+from repro.utils.rng import SeededRNG
+
+
+@pytest.fixture
+def rng():
+    return SeededRNG(99, "traffic-test")
+
+
+@pytest.fixture
+def network(rng):
+    return Network(subnet="10.1", rng=rng.child("net"))
+
+
+class TestNetwork:
+    def test_unique_hosts(self, network):
+        hosts = network.hosts(50)
+        assert len({h.ip for h in hosts}) == 50
+        assert len({h.mac for h in hosts}) == 50
+
+    def test_subnet_prefix(self, network):
+        assert network.host().ip.startswith("10.1.")
+
+    def test_ephemeral_ports_wrap(self, network):
+        network._next_port = 60999
+        first = network.ephemeral_port()
+        second = network.ephemeral_port()
+        assert first == 60999
+        assert second == 32768
+
+
+class TestTCPConversation:
+    def _conv(self, rng, network, **kwargs):
+        client, server = network.hosts(2)
+        defaults = dict(sport=network.ephemeral_port(), dport=80,
+                        request_sizes=[100], response_sizes=[2000])
+        defaults.update(kwargs)
+        return tcp_conversation(rng, 0.0, client, server, **defaults)
+
+    def test_handshake_shape(self, rng, network):
+        packets = self._conv(rng, network)
+        assert packets[0].transport.flags == TCPFlags.SYN
+        assert packets[1].transport.flags == TCPFlags.SYN | TCPFlags.ACK
+        assert packets[2].transport.flags == TCPFlags.ACK
+
+    def test_graceful_close(self, rng, network):
+        packets = self._conv(rng, network)
+        fins = [p for p in packets
+                if isinstance(p.transport, TCPHeader)
+                and p.transport.has(TCPFlags.FIN)]
+        assert len(fins) == 2  # both directions
+
+    def test_no_close_when_disabled(self, rng, network):
+        packets = self._conv(rng, network, graceful_close=False)
+        assert not any(
+            p.transport.has(TCPFlags.FIN) for p in packets
+            if isinstance(p.transport, TCPHeader)
+        )
+
+    def test_mss_segmentation(self, rng, network):
+        packets = self._conv(rng, network, request_sizes=[5000],
+                             response_sizes=[0])
+        data = [p for p in packets if p.payload]
+        assert len(data) == 4  # ceil(5000/1448)
+        assert sum(len(p.payload) for p in data) == 5000
+        assert all(len(p.payload) <= 1448 for p in data)
+
+    def test_timestamps_monotonic(self, rng, network):
+        packets = self._conv(rng, network,
+                             request_sizes=[100, 200, 300],
+                             response_sizes=[1000, 2000, 3000])
+        stamps = [p.timestamp for p in packets]
+        assert stamps == sorted(stamps)
+
+    def test_labels_propagate(self, rng, network):
+        packets = self._conv(rng, network, label=1, attack_type="test-attack")
+        assert all(p.label == 1 for p in packets)
+        assert all(p.attack_type == "test-attack" for p in packets)
+
+    def test_deterministic(self, network):
+        client, server = network.hosts(2)
+        a = tcp_conversation(SeededRNG(5), 0.0, client, server, sport=40000,
+                             dport=80, request_sizes=[64],
+                             response_sizes=[128])
+        b = tcp_conversation(SeededRNG(5), 0.0, client, server, sport=40000,
+                             dport=80, request_sizes=[64],
+                             response_sizes=[128])
+        assert [p.timestamp for p in a] == [p.timestamp for p in b]
+
+
+class TestUDPAndDNSAndICMP:
+    def test_udp_exchange_round(self, rng, network):
+        client, server = network.hosts(2)
+        packets = udp_exchange(rng, 1.0, client, server, sport=4000,
+                               dport=53, request_size=30, response_size=200)
+        assert len(packets) == 2
+        assert packets[0].src_ip == client.ip
+        assert packets[1].src_ip == server.ip
+        assert len(packets[1].payload) == 200
+
+    def test_udp_no_response(self, rng, network):
+        client, server = network.hosts(2)
+        packets = udp_exchange(rng, 1.0, client, server, sport=4000,
+                               dport=9999, request_size=30)
+        assert len(packets) == 1
+
+    def test_dns_lookup_parses(self, rng, network):
+        client, resolver = network.hosts(2)
+        packets = dns_lookup(rng, 0.0, client, resolver, "broker.iot",
+                             "10.1.0.77", sport=5353)
+        query = DNSMessage.from_bytes(packets[0].payload)
+        reply = DNSMessage.from_bytes(packets[1].payload)
+        assert query.questions[0].name == "broker.iot"
+        assert not query.is_response
+        assert reply.is_response
+        assert reply.answers[0].address == "10.1.0.77"
+        assert query.transaction_id == reply.transaction_id
+
+    def test_icmp_ping_pairs(self, rng, network):
+        client, server = network.hosts(2)
+        packets = icmp_ping(rng, 0.0, client, server, count=3)
+        assert len(packets) == 6
+        requests = [p for p in packets if p.transport.icmp_type == 8]
+        replies = [p for p in packets if p.transport.icmp_type == 0]
+        assert len(requests) == 3 and len(replies) == 3
+        assert {p.transport.sequence for p in requests} == {0, 1, 2}

@@ -1,0 +1,89 @@
+"""Tests for the stream database and the 100-dim NetStat vector."""
+
+import numpy as np
+import pytest
+
+from repro.features.afterimage import DEFAULT_DECAYS, IncStatDB
+from repro.features.netstat import KITSUNE_FEATURE_COUNT, NetStat
+
+from tests.conftest import make_tcp_packet, make_udp_packet
+
+
+class TestIncStatDB:
+    def test_1d_output_size(self):
+        db = IncStatDB()
+        out = db.update_get_1d("k", 100.0, 0.0)
+        assert len(out) == 3 * len(DEFAULT_DECAYS)
+
+    def test_2d_output_size(self):
+        db = IncStatDB()
+        out = db.update_get_2d("a>b", "b>a", 100.0, 0.0)
+        assert len(out) == 7 * len(DEFAULT_DECAYS)
+
+    def test_stream_reuse(self):
+        db = IncStatDB()
+        db.update_get_1d("k", 100.0, 0.0)
+        db.update_get_1d("k", 100.0, 0.0)
+        assert len(db) == 1
+
+    def test_rejects_empty_decays(self):
+        with pytest.raises(ValueError):
+            IncStatDB(())
+
+    def test_pruning_bounds_memory(self):
+        db = IncStatDB(max_streams=10)
+        for i in range(50):
+            db.update_get_1d(f"k{i}", 1.0, float(i))
+        assert len(db) <= 30  # pruning halves when the bound is crossed
+
+
+class TestNetStat:
+    def test_feature_count(self):
+        assert NetStat().feature_count == KITSUNE_FEATURE_COUNT == 100
+
+    def test_vector_shape_and_finiteness(self):
+        ns = NetStat()
+        vec = ns.update(make_tcp_packet(0.0))
+        assert vec.shape == (100,)
+        assert np.isfinite(vec).all()
+
+    def test_extract_all_shape(self):
+        ns = NetStat()
+        packets = [make_tcp_packet(float(i) * 0.1) for i in range(20)]
+        matrix = ns.extract_all(packets)
+        assert matrix.shape == (20, 100)
+
+    def test_extract_all_empty(self):
+        assert NetStat().extract_all([]).shape == (0, 100)
+
+    def test_weight_grows_with_repeated_traffic(self):
+        ns = NetStat()
+        first = ns.update(make_tcp_packet(0.0))
+        later = None
+        for i in range(1, 10):
+            later = ns.update(make_tcp_packet(float(i) * 0.001))
+        # Feature 0 is the slowest-decay MAC-IP stream weight.
+        assert later is not None
+        assert later[0] > first[0]
+
+    def test_distinct_sources_distinct_streams(self):
+        ns = NetStat()
+        ns.update(make_tcp_packet(0.0, src="10.0.0.1"))
+        vec = ns.update(make_tcp_packet(0.001, src="99.0.0.1"))
+        # A brand-new source starts with weight 1 in its own stream.
+        assert vec[0] == pytest.approx(1.0)
+
+    def test_reduced_decay_set(self):
+        ns = NetStat(decays=(1.0, 0.1))
+        vec = ns.update(make_udp_packet(0.0))
+        assert vec.shape == (40,)
+
+    def test_flood_inflates_channel_weight(self):
+        ns = NetStat()
+        for i in range(50):
+            ns.update(make_udp_packet(float(i) * 0.001, sport=5000))
+        burst = ns.update(make_udp_packet(0.051, sport=5000))
+        fresh = NetStat().update(make_udp_packet(0.0, sport=5000))
+        # Channel block: indices 30..64; its weight entries reflect the
+        # sustained flood.
+        assert burst[30] > fresh[30]

@@ -1,0 +1,98 @@
+"""Tests for bidirectional flow assembly."""
+
+import pytest
+
+from repro.flows.assembler import FlowAssembler
+from repro.net.packet import Packet
+from repro.net.tcp import TCPFlags
+
+from tests.conftest import make_tcp_packet, make_udp_packet, simple_http_flow_packets
+
+
+class TestAssembly:
+    def test_single_conversation_one_flow(self):
+        flows = FlowAssembler().assemble(simple_http_flow_packets())
+        assert len(flows) == 1
+        assert flows[0].total_packets == 5
+        assert flows[0].terminated
+
+    def test_fin_closes_flow_midstream(self):
+        packets = simple_http_flow_packets(0.0) + simple_http_flow_packets(10.0)
+        flows = FlowAssembler().assemble(packets)
+        # Same 5-tuple reused after FIN: two separate flows.
+        assert len(flows) == 2
+
+    def test_rst_closes_flow(self):
+        packets = [
+            make_tcp_packet(0.0, flags=TCPFlags.SYN),
+            make_tcp_packet(0.1, flags=TCPFlags.RST),
+            make_tcp_packet(5.0, flags=TCPFlags.SYN),
+        ]
+        assembler = FlowAssembler()
+        flows = assembler.assemble(packets)
+        assert len(flows) == 2
+        assert flows[0].terminated
+
+    def test_idle_timeout_expires_flow(self):
+        packets = [
+            make_udp_packet(0.0),
+            make_udp_packet(1.0),
+            make_udp_packet(500.0),  # far past the 120s idle timeout
+        ]
+        flows = FlowAssembler(idle_timeout=120.0).assemble(packets)
+        assert len(flows) == 2
+        assert flows[0].total_packets == 2
+
+    def test_active_timeout_splits_long_flow(self):
+        packets = [make_udp_packet(float(t)) for t in range(0, 400, 50)]
+        flows = FlowAssembler(idle_timeout=1000.0, active_timeout=200.0).assemble(
+            packets
+        )
+        assert len(flows) >= 2
+
+    def test_interleaved_flows_separate(self):
+        packets = sorted(
+            [make_udp_packet(float(i) * 0.1, sport=1000) for i in range(5)]
+            + [make_udp_packet(float(i) * 0.1 + 0.05, sport=2000)
+               for i in range(5)],
+            key=lambda p: p.timestamp,
+        )
+        flows = FlowAssembler().assemble(packets)
+        assert len(flows) == 2
+        assert all(f.total_packets == 5 for f in flows)
+
+    def test_unsorted_input_rejected(self):
+        packets = [make_udp_packet(1.0), make_udp_packet(0.5)]
+        assembler = FlowAssembler()
+        with pytest.raises(ValueError, match="sorted"):
+            list(assembler.process(packets))
+
+    def test_non_ip_packets_counted_not_flowed(self):
+        assembler = FlowAssembler()
+        flows = assembler.assemble([Packet(timestamp=0.0), make_udp_packet(1.0)])
+        assert assembler.non_ip_packets == 1
+        assert len(flows) == 1
+
+    def test_flush_closes_open_flows(self):
+        assembler = FlowAssembler()
+        emitted = list(assembler.process([make_udp_packet(0.0)]))
+        assert emitted == []
+        assert assembler.open_flows == 1
+        flushed = list(assembler.flush())
+        assert len(flushed) == 1
+        assert assembler.open_flows == 0
+
+    def test_flows_sorted_by_start_time(self):
+        packets = sorted(
+            [make_udp_packet(float(i), sport=3000 + i) for i in range(5)],
+            key=lambda p: p.timestamp,
+        )
+        flows = FlowAssembler().assemble(packets)
+        starts = [f.start_time for f in flows]
+        assert starts == sorted(starts)
+
+    def test_invalid_timeouts_rejected(self):
+        with pytest.raises(ValueError):
+            FlowAssembler(idle_timeout=0)
+        with pytest.raises(ValueError):
+            FlowAssembler(active_timeout=-5)

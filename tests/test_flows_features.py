@@ -1,0 +1,113 @@
+"""Tests for the CICFlowMeter-style and UNSW-style feature exporters."""
+
+import math
+
+import pytest
+
+from repro.flows.assembler import FlowAssembler
+from repro.flows.cicflow import CICFLOW_FEATURE_NAMES, cicflow_features
+from repro.flows.netflow import NETFLOW_FEATURE_NAMES, netflow_features
+from repro.net.tcp import TCPFlags
+
+from tests.conftest import make_tcp_packet, make_udp_packet, simple_http_flow_packets
+
+
+@pytest.fixture
+def http_flow():
+    return FlowAssembler().assemble(simple_http_flow_packets())[0]
+
+
+@pytest.fixture
+def udp_flow():
+    packets = [make_udp_packet(float(i) * 0.5, payload=b"z" * 100)
+               for i in range(4)]
+    return FlowAssembler().assemble(packets)[0]
+
+
+class TestCICFlowFeatures:
+    def test_complete_schema(self, http_flow):
+        features = cicflow_features(http_flow)
+        assert set(features) == set(CICFLOW_FEATURE_NAMES)
+
+    def test_all_finite(self, http_flow, udp_flow):
+        for flow in (http_flow, udp_flow):
+            for name, value in cicflow_features(flow).items():
+                assert math.isfinite(value), f"{name} is {value}"
+
+    def test_direction_counts(self, http_flow):
+        features = cicflow_features(http_flow)
+        assert features["total_fwd_packets"] == 3.0
+        assert features["total_bwd_packets"] == 2.0
+        assert features["total_length_bwd_packets"] == 512.0
+
+    def test_flag_counts(self, http_flow):
+        features = cicflow_features(http_flow)
+        assert features["syn_flag_count"] == 2.0  # SYN + SYN/ACK
+        assert features["fin_flag_count"] == 1.0
+        assert features["psh_flag_count"] == 1.0
+
+    def test_protocol_one_hot(self, http_flow, udp_flow):
+        assert cicflow_features(http_flow)["protocol_tcp"] == 1.0
+        assert cicflow_features(udp_flow)["protocol_udp"] == 1.0
+        assert cicflow_features(udp_flow)["protocol_tcp"] == 0.0
+
+    def test_destination_port(self, http_flow):
+        assert cicflow_features(http_flow)["destination_port"] == 80.0
+
+    def test_zero_duration_flow_rates_are_zero(self):
+        flow = FlowAssembler().assemble([make_udp_packet(1.0)])[0]
+        features = cicflow_features(flow)
+        assert features["flow_bytes_per_s"] == 0.0
+        assert features["flow_packets_per_s"] == 0.0
+
+    def test_rates_positive_for_active_flow(self, udp_flow):
+        features = cicflow_features(udp_flow)
+        assert features["flow_packets_per_s"] > 0
+        assert features["flow_bytes_per_s"] > 0
+
+    def test_down_up_ratio(self, http_flow):
+        features = cicflow_features(http_flow)
+        assert features["down_up_ratio"] == pytest.approx(2.0 / 3.0)
+
+
+class TestNetflowFeatures:
+    def test_complete_schema(self, http_flow):
+        features = netflow_features(http_flow)
+        assert set(features) == set(NETFLOW_FEATURE_NAMES)
+
+    def test_all_finite(self, http_flow, udp_flow):
+        for flow in (http_flow, udp_flow):
+            for name, value in netflow_features(flow).items():
+                assert math.isfinite(value), f"{name} is {value}"
+
+    def test_state_one_hot_fin(self, http_flow):
+        features = netflow_features(http_flow)
+        assert features["state_fin"] == 1.0
+        assert features["state_con"] == 0.0
+
+    def test_state_rst(self):
+        packets = [
+            make_tcp_packet(0.0, flags=TCPFlags.SYN),
+            make_tcp_packet(0.2, flags=TCPFlags.RST),
+        ]
+        flow = FlowAssembler().assemble(packets)[0]
+        features = netflow_features(flow)
+        assert features["state_rst"] == 1.0
+        assert features["state_fin"] == 0.0
+
+    def test_directional_volume(self, http_flow):
+        features = netflow_features(http_flow)
+        assert features["spkts"] == 3.0
+        assert features["dpkts"] == 2.0
+        assert features["sbytes"] > 0
+        assert features["dbytes"] > features["sbytes"]  # 512B response
+
+    def test_load_is_bits_per_second(self, udp_flow):
+        features = netflow_features(udp_flow)
+        expected = udp_flow.forward.bytes * 8.0 / udp_flow.duration
+        assert features["sload"] == pytest.approx(expected)
+
+    def test_ports(self, http_flow):
+        features = netflow_features(http_flow)
+        assert features["sport"] == 1234.0
+        assert features["dsport"] == 80.0

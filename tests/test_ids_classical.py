@@ -1,0 +1,101 @@
+"""Tests for the classical-ML baseline IDSs."""
+
+import numpy as np
+import pytest
+
+from repro.ids.classical import (
+    DecisionTreeIDS,
+    GaussianNBIDS,
+    KNNIDS,
+    LogisticRegressionIDS,
+    RandomForestIDS,
+)
+from repro.utils.rng import SeededRNG
+
+ALL_CLASSIFIERS = [
+    LogisticRegressionIDS,
+    GaussianNBIDS,
+    KNNIDS,
+    DecisionTreeIDS,
+    RandomForestIDS,
+]
+
+
+def _blobs(seed=0, n=150, d=8, gap=2.5):
+    rng = SeededRNG(seed, "blobs")
+    x = np.vstack([rng.normal(0, 1, (n, d)), rng.normal(gap, 1, (n, d))])
+    y = np.array([0] * n + [1] * n)
+    order = rng.permutation(2 * n)
+    return x[order], y[order]
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSIFIERS)
+class TestCommonBehaviour:
+    def test_learns_separable_blobs(self, cls):
+        x, y = _blobs()
+        ids = cls()
+        ids.fit([], x, y)
+        scores = ids.anomaly_scores([], x)
+        predictions = (scores >= 0.5).astype(int)
+        assert (predictions == y).mean() > 0.9, cls.name
+
+    def test_scores_in_unit_interval(self, cls):
+        x, y = _blobs(seed=1, n=60)
+        ids = cls()
+        ids.fit([], x, y)
+        scores = ids.anomaly_scores([], x)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_requires_labels(self, cls):
+        x, _ = _blobs(n=20)
+        with pytest.raises(ValueError):
+            cls().fit([], x, None)
+
+    def test_score_before_fit_raises(self, cls):
+        x, _ = _blobs(n=10)
+        with pytest.raises(RuntimeError):
+            cls().anomaly_scores([], x)
+
+
+class TestSpecifics:
+    def test_knn_subsamples_large_training_sets(self):
+        x, y = _blobs(n=300)
+        ids = KNNIDS(k=3, max_train=100)
+        ids.fit([], x, y)
+        assert ids._x is not None and ids._x.shape[0] == 100
+
+    def test_knn_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNNIDS(k=0)
+
+    def test_nb_single_class_training(self):
+        x = np.random.default_rng(0).normal(size=(20, 4))
+        y = np.ones(20, dtype=int)
+        ids = GaussianNBIDS()
+        ids.fit([], x, y)
+        assert np.all(ids.anomaly_scores([], x) == 1.0)
+
+    def test_tree_depth_limits_structure(self):
+        x, y = _blobs(n=100)
+        shallow = DecisionTreeIDS(max_depth=1)
+        shallow.fit([], x, y)
+        deep = DecisionTreeIDS(max_depth=8)
+        deep.fit([], x, y)
+        # Both learn something; the deep tree is at least as accurate.
+        s_acc = ((shallow.anomaly_scores([], x) >= 0.5) == y).mean()
+        d_acc = ((deep.anomaly_scores([], x) >= 0.5) == y).mean()
+        assert d_acc >= s_acc
+
+    def test_forest_rejects_zero_trees(self):
+        with pytest.raises(ValueError):
+            RandomForestIDS(trees=0)
+
+    def test_forest_is_deterministic_per_seed(self):
+        x, y = _blobs(n=80)
+        a = RandomForestIDS(trees=5, seed=3)
+        a.fit([], x, y)
+        b = RandomForestIDS(trees=5, seed=3)
+        b.fit([], x, y)
+        np.testing.assert_array_equal(
+            a.anomaly_scores([], x), b.anomaly_scores([], x)
+        )

@@ -1,0 +1,113 @@
+"""Tests for the HELAD and DNN IDSs."""
+
+import numpy as np
+import pytest
+
+from repro.flows.assembler import FlowAssembler
+from repro.ids.dnn import DNNClassifierIDS
+from repro.ids.helad import HELAD
+
+from tests.conftest import make_udp_packet
+
+
+class TestHELAD:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            HELAD(window=1)
+        with pytest.raises(ValueError):
+            HELAD(blend=1.5)
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            HELAD().anomaly_scores([make_udp_packet(0.0)])
+
+    def test_flags_sustained_flood(self):
+        benign = [make_udp_packet(float(i) * 0.5, sport=5000,
+                                  payload=b"x" * 64)
+                  for i in range(600)]
+        flood = [make_udp_packet(300.0 + i * 0.001, src="66.6.6.6",
+                                 sport=1024 + i, dport=80,
+                                 payload=b"z" * 512, label=1)
+                 for i in range(300)]
+        ids = HELAD(seed=0)
+        ids.fit(benign[:500])
+        assert ids.trained
+        scores = ids.anomaly_scores(benign[500:] + flood)
+        benign_scores = scores[:100]
+        flood_scores = scores[120:]  # skip the onset ramp
+        assert np.median(flood_scores) > np.quantile(benign_scores, 0.95)
+
+    def test_suppresses_isolated_benign_spike(self):
+        """One burst packet after a calm history scores below the
+        squash ceiling — the LSTM blend dampens singletons."""
+        benign = [make_udp_packet(float(i) * 0.5, sport=5000,
+                                  payload=b"x" * 64)
+                  for i in range(500)]
+        ids = HELAD(seed=1, blend=0.6)
+        ids.fit(benign[:450])
+        spike = make_udp_packet(226.0, src="9.9.9.9", sport=2000,
+                                payload=b"q" * 1400)
+        scores = ids.anomaly_scores(benign[450:] + [spike])
+        assert scores[-1] <= 0.6 * 1.0 + 0.4 * 1.0  # bounded by blend
+        assert scores[-1] < 1.0
+
+    def test_default_config(self):
+        config = HELAD.default_config()
+        assert "window" in config and "blend" in config
+
+    def test_scores_length(self):
+        packets = [make_udp_packet(float(i) * 0.1) for i in range(60)]
+        ids = HELAD(seed=2, window=4)
+        ids.fit(packets[:40])
+        assert len(ids.anomaly_scores(packets[40:])) == 20
+
+
+def _labelled_flows(n_benign=60, n_attack=60):
+    packets = []
+    for i in range(n_benign):
+        packets.append(make_udp_packet(float(i), sport=3000 + i,
+                                       payload=b"x" * 100))
+    for i in range(n_attack):
+        packets.append(make_udp_packet(float(i) + 0.5, sport=10_000 + i,
+                                       dport=80, payload=b"z" * 1400,
+                                       label=1))
+    packets.sort(key=lambda p: p.timestamp)
+    flows = FlowAssembler().assemble(packets)
+    from repro.flows.netflow import netflow_features, NETFLOW_FEATURE_NAMES
+    from repro.features.encoding import FlowVectorEncoder
+
+    encoder = FlowVectorEncoder(NETFLOW_FEATURE_NAMES)
+    features = encoder.encode([netflow_features(f) for f in flows])
+    labels = np.array([f.label for f in flows])
+    return flows, features, labels
+
+
+class TestDNNClassifierIDS:
+    def test_requires_labels(self):
+        flows, features, _ = _labelled_flows()
+        with pytest.raises(ValueError, match="labels"):
+            DNNClassifierIDS().fit(flows, features, None)
+
+    def test_score_before_fit_raises(self):
+        flows, features, _ = _labelled_flows()
+        with pytest.raises(RuntimeError):
+            DNNClassifierIDS().anomaly_scores(flows, features)
+
+    def test_learns_labelled_flows(self):
+        flows, features, labels = _labelled_flows()
+        ids = DNNClassifierIDS(hidden_dims=(16, 12, 8), epochs=20, seed=0)
+        ids.fit(flows, features, labels)
+        scores = ids.anomaly_scores(flows, features)
+        predictions = (scores >= 0.5).astype(int)
+        assert (predictions == labels).mean() > 0.9
+
+    def test_scores_are_probabilities(self):
+        flows, features, labels = _labelled_flows(20, 20)
+        ids = DNNClassifierIDS(hidden_dims=(8,), epochs=3, seed=1)
+        ids.fit(flows, features, labels)
+        scores = ids.anomaly_scores(flows, features)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_default_config_shape(self):
+        config = DNNClassifierIDS.default_config()
+        assert len(config["hidden_dims"]) == 3  # the paper's 3 layers

@@ -1,0 +1,65 @@
+"""Tests for KitNET model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.ids.kitsune.kitnet import KitNET
+from repro.ids.persistence import load_kitnet, save_kitnet
+from repro.utils.rng import SeededRNG
+
+
+@pytest.fixture
+def trained_kitnet():
+    net = KitNET(12, fm_grace=40, ad_grace=200, max_group=4, rng=SeededRNG(1))
+    rng = SeededRNG(2)
+    for _ in range(250):
+        net.process(rng.uniform(0.3, 0.7, size=12))
+    assert not net.in_training
+    return net
+
+
+class TestSaveLoad:
+    def test_refuses_untrained_model(self, tmp_path):
+        net = KitNET(8, fm_grace=100, ad_grace=100, rng=SeededRNG(3))
+        with pytest.raises(ValueError, match="grace"):
+            save_kitnet(net, tmp_path / "model.npz")
+
+    def test_roundtrip_scores_identical(self, trained_kitnet, tmp_path):
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(trained_kitnet, path)
+        loaded = load_kitnet(path)
+
+        rng = SeededRNG(4)
+        rows = rng.uniform(0.0, 1.5, size=(30, 12))
+        original = [trained_kitnet._execute(row) for row in rows]
+        restored = [loaded.process(row) for row in rows]
+        np.testing.assert_allclose(restored, original, rtol=1e-12)
+
+    def test_loaded_model_is_in_execute_mode(self, trained_kitnet, tmp_path):
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(trained_kitnet, path)
+        loaded = load_kitnet(path)
+        assert not loaded.in_feature_mapping
+        assert not loaded.in_training
+
+    def test_groups_preserved(self, trained_kitnet, tmp_path):
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(trained_kitnet, path)
+        loaded = load_kitnet(path)
+        assert loaded.mapper.groups == trained_kitnet.mapper.groups
+
+    def test_bad_format_version_rejected(self, trained_kitnet, tmp_path):
+        import json
+
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(trained_kitnet, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["meta"]).decode())
+        meta["format_version"] = 99
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="format"):
+            load_kitnet(path)

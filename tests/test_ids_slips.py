@@ -1,0 +1,237 @@
+"""Tests for the Slips behavioural IPS: detectors, Markov model,
+evidence accumulation, alerting."""
+
+import numpy as np
+import pytest
+
+from repro.flows.assembler import FlowAssembler
+from repro.ids.slips import SlipsIDS, encode_letters
+from repro.ids.slips.detectors import (
+    detect_beaconing,
+    detect_horizontal_portscan,
+    detect_suspicious_port,
+    detect_vertical_portscan,
+)
+from repro.ids.slips.evidence import Evidence, EvidenceKind
+from repro.ids.slips.markov import BehaviourModel, default_c2_model
+from repro.ids.slips.profiles import build_profile_windows
+
+from tests.conftest import make_tcp_packet, make_udp_packet
+
+
+def _flows(packets):
+    packets.sort(key=lambda p: p.timestamp)
+    return FlowAssembler().assemble(packets)
+
+
+def _windows(flows):
+    return build_profile_windows(flows, window_width=3600.0)
+
+
+class TestProfiles:
+    def test_grouping_by_source_and_window(self):
+        flows = _flows(
+            [make_udp_packet(0.0, sport=1000),
+             make_udp_packet(1.0, src="10.0.0.9", sport=2000),
+             make_udp_packet(4000.0, sport=3000)]
+        )
+        windows = _windows(flows)
+        assert ("10.0.0.1", 0) in windows
+        assert ("10.0.0.9", 0) in windows
+        assert ("10.0.0.1", 1) in windows
+
+    def test_empty(self):
+        assert build_profile_windows([]) == {}
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_profile_windows([], window_width=0)
+
+
+class TestDetectors:
+    def test_vertical_portscan_fires(self):
+        packets = [
+            make_tcp_packet(float(i) * 0.01, sport=40000, dport=port)
+            for i, port in enumerate(range(1000, 1030))
+        ]
+        windows = _windows(_flows(packets))
+        evidence = list(detect_vertical_portscan(next(iter(windows.values()))))
+        assert len(evidence) == 1
+        assert evidence[0].kind is EvidenceKind.VERTICAL_PORTSCAN
+        assert evidence[0].weight > 0.5
+
+    def test_vertical_portscan_quiet_below_threshold(self):
+        packets = [
+            make_tcp_packet(float(i) * 0.01, sport=40000, dport=port)
+            for i, port in enumerate(range(1000, 1010))
+        ]
+        windows = _windows(_flows(packets))
+        assert list(detect_vertical_portscan(next(iter(windows.values())))) == []
+
+    def test_horizontal_portscan_fires(self):
+        packets = [
+            make_tcp_packet(float(i) * 0.01, dst=f"10.9.{i}.1", sport=40000,
+                            dport=23)
+            for i in range(40)
+        ]
+        windows = _windows(_flows(packets))
+        evidence = list(detect_horizontal_portscan(next(iter(windows.values()))))
+        assert len(evidence) == 1
+        assert "port 23" in evidence[0].description
+
+    def test_beaconing_fires_on_periodic_small_flows(self):
+        from repro.net.tcp import TCPFlags
+
+        packets = []
+        for i in range(12):
+            t = i * 30.0
+            packets.append(make_tcp_packet(t, sport=30000 + i, dport=6667,
+                                           payload=b"x" * 40))
+            packets.append(make_tcp_packet(t + 0.2, sport=30000 + i,
+                                           dport=6667, flags=TCPFlags.FIN))
+        windows = _windows(_flows(packets))
+        evidence = list(detect_beaconing(next(iter(windows.values()))))
+        assert any(e.kind is EvidenceKind.BEACONING for e in evidence)
+
+    def test_beaconing_ignores_floods(self):
+        """Thousands of sub-second flows are volumetric, not beaconing."""
+        packets = [
+            make_tcp_packet(i * 0.002, sport=20000 + i, dport=80)
+            for i in range(600)
+        ]
+        windows = _windows(_flows(packets))
+        assert list(detect_beaconing(next(iter(windows.values())))) == []
+
+    def test_suspicious_port_fires(self):
+        packets = []
+        for i in range(4):
+            packets.append(make_tcp_packet(float(i) * 10, sport=30000 + i,
+                                           dport=31337))
+        windows = _windows(_flows(packets))
+        evidence = list(detect_suspicious_port(next(iter(windows.values()))))
+        assert len(evidence) == 1
+
+    def test_well_known_port_not_suspicious(self):
+        packets = [make_tcp_packet(float(i) * 10, sport=30000 + i, dport=443)
+                   for i in range(5)]
+        windows = _windows(_flows(packets))
+        assert list(detect_suspicious_port(next(iter(windows.values())))) == []
+
+
+class TestMarkovModel:
+    def test_letters_encode_size_classes(self):
+        flows = _flows([
+            make_udp_packet(0.0, sport=1000, payload=b"x" * 10),
+            make_udp_packet(30.0, sport=1001, payload=b"x" * 1400),
+        ])
+        letters = encode_letters(flows)
+        assert letters[0] == "s"
+        assert letters[1] in "mM"
+
+    def test_periodicity_uppercases(self):
+        flows = _flows([
+            make_udp_packet(i * 30.0, sport=1000 + i, payload=b"x" * 10)
+            for i in range(6)
+        ])
+        letters = encode_letters(flows)
+        assert letters[1:] == letters[1:].upper()
+
+    def test_empty_sequence(self):
+        assert encode_letters([]) == ""
+
+    def test_c2_model_prefers_beaconing_strings(self):
+        model = default_c2_model()
+        beacon_rate = model.log_likelihood_rate("s" + "S" * 20)
+        random_rate = model.log_likelihood_rate("slmslmLMsml")
+        assert beacon_rate > random_rate
+
+    def test_short_sequence_is_minus_inf(self):
+        model = BehaviourModel("x")
+        assert model.log_likelihood_rate("s") == -np.inf
+
+
+class TestEvidence:
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            Evidence(EvidenceKind.BEACONING, -0.1, "", "1.2.3.4", 0)
+
+
+class TestSlipsEndToEnd:
+    def _c2_scenario(self):
+        """An infected host beacons to a C2 on an odd port; a clean
+        host does ordinary web requests."""
+        packets = []
+        from repro.net.tcp import TCPFlags
+
+        for i in range(20):  # periodic small beacons, infected host
+            t = i * 30.0
+            packets.append(make_tcp_packet(t, src="10.0.0.66", dst="7.7.7.7",
+                                           sport=30000 + i, dport=6667,
+                                           payload=b"x" * 30, label=1))
+            packets.append(make_tcp_packet(t + 0.1, src="10.0.0.66",
+                                           dst="7.7.7.7", sport=30000 + i,
+                                           dport=6667, flags=TCPFlags.FIN,
+                                           label=1))
+        for i in range(8):  # benign browsing, clean host
+            packets.append(make_tcp_packet(i * 60.0 + 5.0, src="10.0.0.2",
+                                           dst="10.0.0.50", sport=41000 + i,
+                                           dport=80, payload=b"GET"))
+        return _flows(packets)
+
+    def test_alerts_on_c2_profile_only(self):
+        flows = self._c2_scenario()
+        ids = SlipsIDS()
+        scores = ids.anomaly_scores(flows, np.zeros((len(flows), 1)))
+        labels = np.array([f.label for f in flows])
+        assert scores[labels == 1].max() > 0  # C2 flows flagged
+        assert scores[labels == 0].max() == 0  # clean host untouched
+        assert ids.last_alerts and ids.last_alerts[0][0] == "10.0.0.66"
+
+    def test_silent_on_plain_flood(self):
+        """A volumetric single-destination flood produces no evidence —
+        the behaviour behind Slips' zero BoT-IoT row."""
+        packets = [
+            make_tcp_packet(i * 0.002, src="10.0.0.9", dst="10.0.0.80",
+                            sport=20000 + (i % 40000), dport=80, label=1)
+            for i in range(800)
+        ]
+        flows = _flows(packets)
+        ids = SlipsIDS()
+        scores = ids.anomaly_scores(flows, np.zeros((len(flows), 1)))
+        assert scores.max() == 0.0
+
+    def test_recidivism_lowers_threshold(self):
+        """After one alert, a later window of the same profile alerts on
+        evidence that alone would sit under the base threshold."""
+        from repro.net.tcp import TCPFlags
+
+        packets = []
+        # Window 0: strong C2 beaconing -> alert.
+        for i in range(20):
+            t = i * 30.0
+            packets.append(make_tcp_packet(t, src="10.0.0.66", dst="7.7.7.7",
+                                           sport=30000 + i, dport=6667,
+                                           payload=b"x" * 30))
+            packets.append(make_tcp_packet(t + 0.1, src="10.0.0.66",
+                                           dst="7.7.7.7", sport=30000 + i,
+                                           dport=6667, flags=TCPFlags.FIN))
+        # Window 2: a horizontal scan (alone ~0.6-0.9 < 1.0).
+        for i in range(60):
+            packets.append(make_tcp_packet(7300.0 + i * 0.05,
+                                           src="10.0.0.66",
+                                           dst=f"10.8.{i}.1",
+                                           sport=40000, dport=23))
+        flows = _flows(packets)
+        ids = SlipsIDS()
+        ids.anomaly_scores(flows, np.zeros((len(flows), 1)))
+        alerted_windows = [alert[1] for alert in ids.last_alerts]
+        assert 0 in alerted_windows and 2 in alerted_windows
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SlipsIDS(alert_threshold=0)
+        with pytest.raises(ValueError):
+            SlipsIDS(recidivist_factor=0)
+
+    def test_fit_is_noop(self):
+        SlipsIDS().fit([], np.zeros((0, 1)), None)

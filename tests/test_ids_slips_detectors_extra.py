@@ -1,0 +1,104 @@
+"""Additional detector coverage: long connections, anomalous flags,
+behaviour-model guards."""
+
+import numpy as np
+
+from repro.flows.assembler import FlowAssembler
+from repro.ids.slips.detectors import (
+    detect_anomalous_flags,
+    detect_long_connections,
+    detect_malicious_behaviour,
+)
+from repro.ids.slips.evidence import EvidenceKind
+from repro.ids.slips.markov import default_c2_model
+from repro.ids.slips.profiles import build_profile_windows
+from repro.net.tcp import TCPFlags
+
+from tests.conftest import make_tcp_packet, make_udp_packet
+
+
+def _window(packets):
+    packets.sort(key=lambda p: p.timestamp)
+    flows = FlowAssembler(idle_timeout=5000.0).assemble(packets)
+    windows = build_profile_windows(flows, window_width=36000.0)
+    return next(iter(windows.values()))
+
+
+class TestLongConnections:
+    def test_fires_on_long_flow(self):
+        packets = [make_udp_packet(0.0), make_udp_packet(2000.0)]
+        window = _window(packets)
+        evidence = list(detect_long_connections(window))
+        assert len(evidence) == 1
+        assert evidence[0].kind is EvidenceKind.LONG_CONNECTION
+
+    def test_quiet_on_short_flow(self):
+        packets = [make_udp_packet(0.0), make_udp_packet(10.0)]
+        assert list(detect_long_connections(_window(packets))) == []
+
+    def test_count_cap(self):
+        packets = []
+        for i in range(12):
+            packets.append(make_udp_packet(0.0, sport=2000 + i))
+            packets.append(make_udp_packet(2000.0, sport=2000 + i))
+        evidence = list(detect_long_connections(_window(packets)))
+        assert len(evidence) == 5  # capped
+
+
+class TestAnomalousFlags:
+    def test_fires_on_null_probes(self):
+        packets = [
+            make_tcp_packet(float(i), sport=3000 + i, flags=TCPFlags(0))
+            for i in range(4)
+        ]
+        evidence = list(detect_anomalous_flags(_window(packets)))
+        assert len(evidence) == 1
+        assert evidence[0].kind is EvidenceKind.ANOMALOUS_FLAGS
+
+    def test_fires_on_xmas_probes(self):
+        xmas = TCPFlags.FIN | TCPFlags.PSH | TCPFlags.URG
+        packets = [
+            make_tcp_packet(float(i), sport=3000 + i, flags=xmas)
+            for i in range(4)
+        ]
+        assert list(detect_anomalous_flags(_window(packets)))
+
+    def test_quiet_on_normal_traffic(self):
+        packets = [
+            make_tcp_packet(float(i), sport=3000 + i,
+                            flags=TCPFlags.SYN if i % 2 else TCPFlags.ACK)
+            for i in range(6)
+        ]
+        assert list(detect_anomalous_flags(_window(packets))) == []
+
+
+class TestBehaviourModelGuards:
+    def test_volumetric_group_excluded_by_min_period(self):
+        """Sub-second 'beacon-looking' flows are floods, not C2."""
+        packets = []
+        for i in range(40):
+            t = i * 0.05
+            packets.append(make_tcp_packet(t, sport=20000 + i, dport=80,
+                                           payload=b"x" * 30))
+            packets.append(make_tcp_packet(t + 0.01, sport=20000 + i,
+                                           dport=80, flags=TCPFlags.FIN))
+        window = _window(packets)
+        evidence = list(
+            detect_malicious_behaviour(window, default_c2_model())
+        )
+        assert evidence == []
+
+    def test_slow_periodic_group_matches(self):
+        packets = []
+        for i in range(15):
+            t = i * 30.0
+            packets.append(make_tcp_packet(t, sport=20000 + i, dport=6667,
+                                           payload=b"x" * 30))
+            packets.append(make_tcp_packet(t + 0.1, sport=20000 + i,
+                                           dport=6667, flags=TCPFlags.FIN))
+        window = _window(packets)
+        evidence = list(
+            detect_malicious_behaviour(window, default_c2_model())
+        )
+        assert evidence
+        assert evidence[0].kind is EvidenceKind.MALICIOUS_BEHAVIOUR_MODEL

@@ -1,0 +1,129 @@
+"""Coverage for remaining edges: profile helpers, encoder heuristics,
+feature-exporter edge cases, metric report plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import MetricReport
+from repro.features.encoding import FlowVectorEncoder
+from repro.flows.assembler import FlowAssembler
+from repro.flows.netflow import netflow_features
+from repro.flows.record import RunningStats
+from repro.ids.slips.profiles import build_profile_windows
+
+from tests.conftest import make_tcp_packet, make_udp_packet
+
+
+class TestProfileWindowHelpers:
+    def _window(self):
+        packets = [
+            make_tcp_packet(0.0, dst="10.0.0.2", sport=1000, dport=80),
+            make_tcp_packet(1.0, dst="10.0.0.2", sport=1001, dport=443),
+            make_tcp_packet(2.0, dst="10.0.0.3", sport=1002, dport=80),
+        ]
+        flows = FlowAssembler().assemble(packets)
+        windows = build_profile_windows(flows)
+        return windows[("10.0.0.1", 0)]
+
+    def test_distinct_dst_ports_scoped_by_ip(self):
+        window = self._window()
+        assert window.distinct_dst_ports("10.0.0.2") == {80, 443}
+        assert window.distinct_dst_ports() == {80, 443}
+
+    def test_distinct_dst_ips_scoped_by_port(self):
+        window = self._window()
+        assert window.distinct_dst_ips(80) == {"10.0.0.2", "10.0.0.3"}
+        assert window.distinct_dst_ips() == {"10.0.0.2", "10.0.0.3"}
+
+    def test_flows_to(self):
+        window = self._window()
+        assert len(window.flows_to("10.0.0.2")) == 2
+        assert len(window.flows_to("10.0.0.2", 443)) == 1
+
+    def test_conversation_groups_partition(self):
+        window = self._window()
+        groups = window.conversation_groups()
+        assert sum(len(v) for v in groups.values()) == window.flow_count
+
+
+class TestEncoderHeuristics:
+    @pytest.mark.parametrize("name", [
+        "sbytes", "total_fwd_packets", "flow_bytes_per_s", "sload", "rate",
+        "spkts",
+    ])
+    def test_magnitude_names_get_log_scaled(self, name):
+        encoder = FlowVectorEncoder([name])
+        row = encoder.encode_one({name: 1000.0})
+        assert row[0] == pytest.approx(np.log1p(1000.0))
+
+    @pytest.mark.parametrize("name", ["dur", "sport", "state_fin", "sjit"])
+    def test_non_magnitude_names_untouched(self, name):
+        encoder = FlowVectorEncoder([name])
+        assert encoder.encode_one({name: 1000.0})[0] == 1000.0
+
+
+class TestNetflowEdgeCases:
+    def test_one_sided_flow_ratios(self):
+        """A flow with zero backward traffic must not divide by zero."""
+        packets = [make_udp_packet(float(i) * 0.1, payload=b"z" * 50)
+                   for i in range(5)]
+        flow = FlowAssembler().assemble(packets)[0]
+        features = netflow_features(flow)
+        assert features["dpkts"] == 0.0
+        assert features["byte_ratio"] == 1.0  # "forward has bytes" marker
+        assert features["pkt_ratio"] == 1.0
+        assert np.isfinite(features["dload"])
+
+
+class TestRunningStatsMergeEdge:
+    def test_merge_into_empty(self):
+        a = RunningStats()
+        b = RunningStats()
+        for v in (1.0, 2.0, 3.0):
+            b.add(v)
+        a.merge(b)
+        assert a.count == 3
+        assert a.mean == pytest.approx(2.0)
+
+
+class TestMetricReportPlumbing:
+    def test_prevalence_of_empty_report(self):
+        report = MetricReport(accuracy=0, precision=0, recall=0, f1=0)
+        assert report.prevalence == 0.0
+        assert report.false_positive_rate == 0.0
+
+    def test_support_counts(self):
+        report = MetricReport(accuracy=0.5, precision=0.5, recall=0.5,
+                              f1=0.5, tp=1, fp=2, tn=3, fn=4)
+        assert report.support == 10
+        assert report.positives == 5
+
+
+class TestExperimentConfigDescribe:
+    def test_describe_mentions_cell(self):
+        from repro.core.experiment import ExperimentConfig
+
+        config = ExperimentConfig(ids_name="DNN", dataset_name="Mirai",
+                                  seed=7)
+        assert "DNN" in config.describe()
+        assert "Mirai" in config.describe()
+        assert "7" in config.describe()
+
+
+class TestShapeCheckRendering:
+    def test_render_includes_pass_fail_marks(self):
+        from repro.core.pipeline import IDSAnalysisPipeline
+        from repro.core.report import render_shape_checks
+
+        pipeline = IDSAnalysisPipeline(
+            seed=0, scale=0.05,
+            ids_names=("Slips", "DNN", "Kitsune", "HELAD"),
+            dataset_names=("BoT-IoT", "Stratosphere", "Mirai",
+                           "UNSW-NB15", "CICIDS2017"),
+        )
+        # Tiny scale: some checks will fail; rendering must still work
+        # and mark each claim PASS or FAIL.
+        pipeline.run_all()
+        text = render_shape_checks(pipeline)
+        assert text.count("[") >= 6
+        assert "PASS" in text or "FAIL" in text

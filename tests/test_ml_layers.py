@@ -1,0 +1,152 @@
+"""Tests for activations, dense layers (numerical gradient check),
+losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.activations import by_name, identity, relu, sigmoid, tanh
+from repro.ml.dense import DenseLayer
+from repro.ml.losses import binary_cross_entropy, mean_squared_error
+from repro.ml.optimizers import SGD, Adam
+from repro.utils.rng import SeededRNG
+
+
+class TestActivations:
+    def test_sigmoid_range_and_midpoint(self):
+        x = np.linspace(-100, 100, 41)
+        y = sigmoid.f(x)
+        assert np.all((y >= 0) & (y <= 1))
+        assert sigmoid.f(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_sigmoid_derivative_matches_numeric(self):
+        x = np.array([0.3, -1.2, 2.0])
+        eps = 1e-6
+        numeric = (sigmoid.f(x + eps) - sigmoid.f(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(sigmoid.df(sigmoid.f(x)), numeric, rtol=1e-4)
+
+    def test_relu(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(relu.f(x), [0.0, 0.0, 3.0])
+        np.testing.assert_array_equal(relu.df(relu.f(x)), [0.0, 0.0, 1.0])
+
+    def test_tanh_derivative(self):
+        x = np.array([0.5])
+        y = tanh.f(x)
+        assert tanh.df(y)[0] == pytest.approx(1 - np.tanh(0.5) ** 2)
+
+    def test_identity(self):
+        x = np.array([4.0])
+        assert identity.f(x)[0] == 4.0
+        assert identity.df(x)[0] == 1.0
+
+    def test_lookup(self):
+        assert by_name("relu") is relu
+        with pytest.raises(KeyError):
+            by_name("swish")
+
+
+class TestDenseLayer:
+    def test_forward_shape(self):
+        layer = DenseLayer(4, 3, rng=SeededRNG(1))
+        out = layer.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            DenseLayer(0, 3, rng=SeededRNG(1))
+
+    def test_backward_before_forward_raises(self):
+        layer = DenseLayer(2, 2, rng=SeededRNG(1))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_gradient_check(self):
+        """Analytic weight gradients match central differences."""
+        rng = SeededRNG(42)
+        layer = DenseLayer(3, 2, sigmoid, rng=rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss_fn():
+            out = layer.forward(x)
+            return 0.5 * np.sum((out - target) ** 2) / x.shape[0]
+
+        out = layer.forward(x)
+        grad_out = (out - target) / x.shape[0]
+        layer.backward(grad_out)
+        analytic = layer.grad_w.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(layer.weights)
+        for i in range(layer.weights.shape[0]):
+            for j in range(layer.weights.shape[1]):
+                layer.weights[i, j] += eps
+                plus = loss_fn()
+                layer.weights[i, j] -= 2 * eps
+                minus = loss_fn()
+                layer.weights[i, j] += eps
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_input_gradient_check(self):
+        rng = SeededRNG(43)
+        layer = DenseLayer(3, 2, tanh, rng=rng)
+        x = rng.normal(size=(1, 3))
+        target = rng.normal(size=(1, 2))
+        out = layer.forward(x)
+        grad_out = out - target
+        grad_in = layer.backward(grad_out)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for j in range(x.shape[1]):
+            xp = x.copy()
+            xp[0, j] += eps
+            lp = 0.5 * np.sum((layer.forward(xp) - target) ** 2)
+            xm = x.copy()
+            xm[0, j] -= eps
+            lm = 0.5 * np.sum((layer.forward(xm) - target) ** 2)
+            numeric[0, j] = (lp - lm) / (2 * eps)
+        np.testing.assert_allclose(grad_in, numeric, rtol=1e-4, atol=1e-7)
+
+
+class TestLosses:
+    def test_mse_zero_at_match(self):
+        loss, grad = mean_squared_error(np.ones(3), np.ones(3))
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_bce_penalises_confident_mistakes(self):
+        good, _ = binary_cross_entropy(np.array([0.9]), np.array([1.0]))
+        bad, _ = binary_cross_entropy(np.array([0.1]), np.array([1.0]))
+        assert bad > good
+
+    def test_bce_gradient_direction(self):
+        _, grad = binary_cross_entropy(np.array([0.3]), np.array([1.0]))
+        assert grad[0] < 0  # raise the prediction toward the target
+
+
+class TestOptimizers:
+    def test_sgd_moves_against_gradient(self):
+        param = np.array([1.0])
+        grad = np.array([0.5])
+        SGD(learning_rate=0.1).step([(param, grad)])
+        assert param[0] == pytest.approx(0.95)
+
+    def test_sgd_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0)
+
+    def test_adam_converges_on_quadratic(self):
+        param = np.array([5.0])
+        adam = Adam(learning_rate=0.1)
+        for _ in range(500):
+            grad = 2 * param  # d/dx x^2
+            adam.step([(param, grad)])
+        assert abs(param[0]) < 0.05
+
+    def test_adam_state_is_per_parameter(self):
+        a, b = np.array([1.0]), np.array([1.0])
+        adam = Adam(learning_rate=0.1)
+        adam.step([(a, np.array([1.0])), (b, np.array([-1.0]))])
+        assert a[0] < 1.0 < b[0]

@@ -1,0 +1,146 @@
+"""Tests for the autoencoder, LSTM and MLP models."""
+
+import numpy as np
+import pytest
+
+from repro.ml.autoencoder import Autoencoder
+from repro.ml.lstm import LSTMRegressor
+from repro.ml.mlp import MLPClassifier
+from repro.utils.rng import SeededRNG
+
+
+class TestAutoencoder:
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            Autoencoder(0, rng=SeededRNG(1))
+
+    def test_hidden_dim_ratio(self):
+        ae = Autoencoder(10, hidden_ratio=0.5, rng=SeededRNG(1))
+        assert ae.hidden_dim == 5
+
+    def test_training_reduces_reconstruction_error(self):
+        rng = SeededRNG(2)
+        ae = Autoencoder(6, rng=rng.child("ae"))
+        data = rng.uniform(0.3, 0.7, size=(500, 6))
+        early = np.mean([ae.train_score(row) for row in data[:50]])
+        for row in data[50:]:
+            ae.train_score(row)
+        late = ae.score_batch(data[:50]).mean()
+        assert late < early
+
+    def test_anomaly_scores_higher_than_normal(self):
+        rng = SeededRNG(3)
+        ae = Autoencoder(8, rng=rng.child("ae"))
+        for _ in range(400):
+            ae.train_score(rng.uniform(0.45, 0.55, size=8))
+        normal = ae.score(rng.uniform(0.45, 0.55, size=8))
+        anomaly = ae.score(np.zeros(8))
+        assert anomaly > 2 * normal
+
+    def test_score_does_not_train(self):
+        rng = SeededRNG(4)
+        ae = Autoencoder(4, rng=rng.child("ae"))
+        row = rng.uniform(size=4)
+        before = ae.score(row)
+        for _ in range(10):
+            ae.score(row)
+        assert ae.score(row) == pytest.approx(before)
+        assert ae.samples_trained == 0
+
+    def test_score_batch_matches_score(self):
+        rng = SeededRNG(5)
+        ae = Autoencoder(4, rng=rng.child("ae"))
+        rows = rng.uniform(size=(3, 4))
+        batch = ae.score_batch(rows)
+        singles = [ae.score(row) for row in rows]
+        np.testing.assert_allclose(batch, singles, rtol=1e-12)
+
+
+class TestLSTM:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            LSTMRegressor(input_dim=0, rng=SeededRNG(1))
+
+    def test_learns_constant_series(self):
+        lstm = LSTMRegressor(hidden_dim=8, rng=SeededRNG(6))
+        series = np.full(200, 0.7)
+        errors = [
+            lstm.train_window(series[i - 8 : i], series[i])
+            for i in range(8, 200)
+        ]
+        assert np.mean(errors[-30:]) < np.mean(errors[:30])
+        assert lstm.predict_window(series[:8]) == pytest.approx(0.7, abs=0.15)
+
+    def test_learns_periodic_series(self):
+        lstm = LSTMRegressor(hidden_dim=12, learning_rate=0.05,
+                             rng=SeededRNG(7))
+        t = np.arange(600) * 0.4
+        series = 0.5 + 0.3 * np.sin(t)
+        errors = [
+            lstm.train_window(series[i - 10 : i], series[i])
+            for i in range(10, 600)
+        ]
+        assert np.mean(errors[-50:]) < 0.5 * np.mean(errors[:50])
+
+    def test_window_shape_validation(self):
+        lstm = LSTMRegressor(input_dim=2, rng=SeededRNG(8))
+        with pytest.raises(ValueError, match="feature dim"):
+            lstm.predict_window(np.zeros((5, 3)))
+
+    def test_1d_window_accepted(self):
+        lstm = LSTMRegressor(rng=SeededRNG(9))
+        value = lstm.predict_window(np.zeros(5))
+        assert np.isfinite(value)
+
+
+class TestMLP:
+    def _blobs(self, rng, n=200, d=6, gap=3.0):
+        x = np.vstack([rng.normal(0, 1, (n, d)), rng.normal(gap, 1, (n, d))])
+        y = np.array([0] * n + [1] * n)
+        return x, y
+
+    def test_rejects_bad_architecture(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(0, rng=SeededRNG(1))
+        with pytest.raises(ValueError):
+            MLPClassifier(4, hidden_dims=(), rng=SeededRNG(1))
+
+    def test_learns_separable_blobs(self):
+        rng = SeededRNG(10)
+        x, y = self._blobs(rng.child("data"))
+        clf = MLPClassifier(6, (16, 12, 8), rng=rng.child("model"))
+        clf.fit(x, y, epochs=10, rng=rng.child("fit"))
+        assert (clf.predict(x) == y).mean() > 0.95
+
+    def test_proba_in_unit_interval(self):
+        rng = SeededRNG(11)
+        x, y = self._blobs(rng.child("data"), n=50)
+        clf = MLPClassifier(6, (8,), rng=rng.child("model"))
+        clf.fit(x, y, epochs=2, rng=rng.child("fit"))
+        proba = clf.predict_proba(x)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_loss_decreases(self):
+        rng = SeededRNG(12)
+        x, y = self._blobs(rng.child("data"), n=100)
+        clf = MLPClassifier(6, (8, 8), rng=rng.child("model"))
+        clf.fit(x, y, epochs=8, rng=rng.child("fit"))
+        assert clf.loss_history[-1] < clf.loss_history[0]
+
+    def test_fit_validates_shapes(self):
+        clf = MLPClassifier(4, (4,), rng=SeededRNG(13))
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((3, 4)), np.zeros(2), rng=SeededRNG(14))
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((0, 4)), np.zeros(0), rng=SeededRNG(15))
+
+    def test_majority_collapse_on_uninformative_features(self):
+        """With constant features and an 80%-attack labelling, BCE's
+        minimum is the base rate — predictions are all-positive at the
+        0.5 boundary. This is the DNN failure mode from the paper."""
+        rng = SeededRNG(16)
+        x = np.ones((300, 5))
+        y = (rng.random(300) < 0.8).astype(int)
+        clf = MLPClassifier(5, (8, 8), rng=rng.child("model"))
+        clf.fit(x, y, epochs=20, rng=rng.child("fit"))
+        assert clf.predict(x).mean() == 1.0

@@ -1,0 +1,88 @@
+"""Tests for IPv4/MAC address helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import (
+    bytes_to_mac,
+    int_to_ip,
+    ip_to_int,
+    is_private_ip,
+    mac_to_bytes,
+    random_mac,
+)
+from repro.utils.rng import SeededRNG
+
+
+class TestIPConversion:
+    @pytest.mark.parametrize(
+        "ip,value",
+        [("0.0.0.0", 0), ("255.255.255.255", 0xFFFFFFFF),
+         ("192.168.0.1", 3232235521), ("10.0.0.1", 167772161)],
+    )
+    def test_known_values(self, ip, value):
+        assert ip_to_int(ip) == value
+        assert int_to_ip(value) == ip
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+
+class TestMACConversion:
+    def test_roundtrip(self):
+        mac = "aa:bb:cc:dd:ee:ff"
+        assert bytes_to_mac(mac_to_bytes(mac)) == mac
+
+    @pytest.mark.parametrize("bad", ["aa:bb:cc", "zz:bb:cc:dd:ee:ff", ""])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            mac_to_bytes(bad)
+
+    def test_bytes_to_mac_wrong_length(self):
+        with pytest.raises(ValueError):
+            bytes_to_mac(b"\x00\x01")
+
+
+class TestPrivateRanges:
+    @pytest.mark.parametrize(
+        "ip", ["10.0.0.1", "10.255.255.254", "172.16.0.1", "172.31.9.9",
+               "192.168.1.1"]
+    )
+    def test_private(self, ip):
+        assert is_private_ip(ip)
+
+    @pytest.mark.parametrize(
+        "ip", ["8.8.8.8", "172.32.0.1", "172.15.0.1", "192.169.0.1", "11.0.0.1"]
+    )
+    def test_public(self, ip):
+        assert not is_private_ip(ip)
+
+
+class TestRandomMac:
+    def test_deterministic(self):
+        assert random_mac(SeededRNG(5)) == random_mac(SeededRNG(5))
+
+    def test_locally_administered_unicast(self):
+        raw = mac_to_bytes(random_mac(SeededRNG(6)))
+        assert raw[0] & 0x02  # locally administered
+        assert not raw[0] & 0x01  # unicast
+
+    def test_vendor_prefix(self):
+        mac = random_mac(SeededRNG(7), vendor_prefix=b"\x00\x11\x22")
+        assert mac.startswith("00:11:22:")
+
+    def test_rejects_bad_prefix(self):
+        with pytest.raises(ValueError):
+            random_mac(SeededRNG(8), vendor_prefix=b"\x00\x11")

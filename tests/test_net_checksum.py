@@ -1,0 +1,37 @@
+"""Tests for the RFC 1071 checksum."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.checksum import ones_complement_checksum
+
+
+class TestChecksum:
+    def test_all_zeros(self):
+        assert ones_complement_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_all_ones(self):
+        assert ones_complement_checksum(b"\xff\xff") == 0x0000
+
+    def test_rfc1071_example(self):
+        # RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2,
+        # checksum is its complement 0x220d.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert ones_complement_checksum(data) == 0x220D
+
+    def test_odd_length_padding(self):
+        # Trailing byte is padded with zero on the right.
+        assert ones_complement_checksum(b"\x12") == ones_complement_checksum(
+            b"\x12\x00"
+        )
+
+    @given(st.binary(min_size=0, max_size=256))
+    def test_range(self, data):
+        value = ones_complement_checksum(data)
+        assert 0 <= value <= 0xFFFF
+
+    @given(st.binary(min_size=2, max_size=128).filter(lambda b: len(b) % 2 == 0))
+    def test_verification_property(self, data):
+        """Inserting the checksum makes the whole block sum to zero."""
+        checksum = ones_complement_checksum(data)
+        block = data + bytes([checksum >> 8, checksum & 0xFF])
+        assert ones_complement_checksum(block) == 0

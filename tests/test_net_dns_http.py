@@ -1,0 +1,100 @@
+"""Tests for the DNS and HTTP application-layer codecs."""
+
+import pytest
+
+from repro.net.dns import (
+    DNSAnswer,
+    DNSMessage,
+    DNSQuestion,
+    decode_name,
+    encode_name,
+)
+from repro.net.http import HTTPRequest, HTTPResponse
+
+
+class TestDNSNames:
+    def test_roundtrip(self):
+        raw = encode_name("sensor.iot.local")
+        name, offset = decode_name(raw, 0)
+        assert name == "sensor.iot.local"
+        assert offset == len(raw)
+
+    def test_trailing_dot_normalised(self):
+        assert encode_name("a.b.") == encode_name("a.b")
+
+    def test_rejects_long_label(self):
+        with pytest.raises(ValueError):
+            encode_name("x" * 64 + ".com")
+
+    def test_compression_pointer(self):
+        # Name at offset 0, then a pointer to it at the end.
+        raw = encode_name("host.example") + b"\xc0\x00"
+        name, offset = decode_name(raw, len(raw) - 2)
+        assert name == "host.example"
+        assert offset == len(raw)
+
+    def test_compression_loop_detected(self):
+        raw = b"\xc0\x00"  # pointer to itself
+        with pytest.raises(ValueError, match="loop"):
+            decode_name(raw, 0)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            decode_name(b"\x05ab", 0)
+
+
+class TestDNSMessage:
+    def test_query_roundtrip(self):
+        message = DNSMessage(transaction_id=77,
+                             questions=[DNSQuestion("example.com")])
+        parsed = DNSMessage.from_bytes(message.to_bytes())
+        assert parsed.transaction_id == 77
+        assert not parsed.is_response
+        assert parsed.questions[0].name == "example.com"
+
+    def test_response_with_answer_roundtrip(self):
+        message = DNSMessage(
+            transaction_id=5,
+            is_response=True,
+            questions=[DNSQuestion("srv.local")],
+            answers=[DNSAnswer("srv.local", "10.1.2.3", ttl=60)],
+        )
+        parsed = DNSMessage.from_bytes(message.to_bytes())
+        assert parsed.is_response
+        assert parsed.answers[0].address == "10.1.2.3"
+        assert parsed.answers[0].ttl == 60
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            DNSMessage.from_bytes(b"\x00" * 11)
+
+
+class TestHTTP:
+    def test_request_roundtrip(self):
+        request = HTTPRequest(method="POST", path="/login",
+                              headers={"Host": "example"}, body=b"user=admin")
+        parsed = HTTPRequest.from_bytes(request.to_bytes())
+        assert parsed.method == "POST"
+        assert parsed.path == "/login"
+        assert parsed.headers["Host"] == "example"
+        assert parsed.headers["Content-Length"] == "10"
+        assert parsed.body == b"user=admin"
+
+    def test_response_roundtrip(self):
+        response = HTTPResponse(status=404, reason="Not Found", body=b"nope")
+        parsed = HTTPResponse.from_bytes(response.to_bytes())
+        assert parsed.status == 404
+        assert parsed.reason == "Not Found"
+        assert parsed.body == b"nope"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ValueError):
+            HTTPRequest.from_bytes(b"NOT A REQUEST\r\n\r\n")
+
+    def test_malformed_status_line(self):
+        with pytest.raises(ValueError):
+            HTTPResponse.from_bytes(b"totally wrong\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError):
+            HTTPRequest.from_bytes(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n")

@@ -1,0 +1,129 @@
+"""Round-trip and error tests for every protocol layer codec."""
+
+import pytest
+
+from repro.net.arp import ARPHeader, OP_REPLY
+from repro.net.ethernet import ETHERTYPE_ARP, EthernetHeader
+from repro.net.icmp import ICMPHeader, TYPE_ECHO_REPLY
+from repro.net.ipv4 import IPv4Header, PROTO_UDP
+from repro.net.tcp import TCPFlags, TCPHeader
+from repro.net.udp import UDPHeader
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        header = EthernetHeader(src_mac="02:00:00:00:00:01",
+                                dst_mac="02:00:00:00:00:02",
+                                ethertype=ETHERTYPE_ARP)
+        parsed, rest = EthernetHeader.from_bytes(header.to_bytes() + b"tail")
+        assert parsed == header
+        assert rest == b"tail"
+
+    def test_too_short(self):
+        with pytest.raises(ValueError, match="too short"):
+            EthernetHeader.from_bytes(b"\x00" * 10)
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        header = IPv4Header(src_ip="1.2.3.4", dst_ip="5.6.7.8",
+                            protocol=PROTO_UDP, ttl=42, identification=777)
+        raw = header.to_bytes(payload_len=100)
+        parsed, rest = IPv4Header.from_bytes(raw + b"\xab" * 100)
+        assert parsed.src_ip == "1.2.3.4"
+        assert parsed.dst_ip == "5.6.7.8"
+        assert parsed.ttl == 42
+        assert parsed.identification == 777
+        assert parsed.total_length == 120
+        assert len(rest) == 100
+
+    def test_checksum_verifies(self):
+        raw = IPv4Header(src_ip="9.9.9.9", dst_ip="1.1.1.1").to_bytes(0)
+        header, _ = IPv4Header.from_bytes(raw)
+        assert header.verify_checksum(raw)
+
+    def test_corrupted_checksum_fails(self):
+        raw = bytearray(IPv4Header(src_ip="9.9.9.9", dst_ip="1.1.1.1").to_bytes(0))
+        raw[8] ^= 0xFF  # flip TTL bits
+        header, _ = IPv4Header.from_bytes(bytes(raw))
+        assert not header.verify_checksum(bytes(raw))
+
+    def test_rejects_non_v4(self):
+        raw = bytearray(IPv4Header().to_bytes(0))
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(ValueError, match="version"):
+            IPv4Header.from_bytes(bytes(raw))
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            IPv4Header.from_bytes(b"\x45\x00")
+
+    def test_protocol_name(self):
+        assert IPv4Header(protocol=6).protocol_name == "tcp"
+        assert IPv4Header(protocol=99).protocol_name == "proto-99"
+
+
+class TestTCP:
+    def test_roundtrip(self):
+        header = TCPHeader(src_port=4444, dst_port=80, seq=123, ack=456,
+                           flags=TCPFlags.SYN | TCPFlags.ECE, window=1024)
+        parsed, rest = TCPHeader.from_bytes(header.to_bytes() + b"data")
+        assert parsed.src_port == 4444
+        assert parsed.flags == TCPFlags.SYN | TCPFlags.ECE
+        assert parsed.window == 1024
+        assert rest == b"data"
+
+    def test_has_flag(self):
+        header = TCPHeader(flags=TCPFlags.SYN | TCPFlags.ACK)
+        assert header.has(TCPFlags.SYN)
+        assert not header.has(TCPFlags.FIN)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            TCPHeader.from_bytes(b"\x00" * 19)
+
+
+class TestUDP:
+    def test_roundtrip_with_length(self):
+        header = UDPHeader(src_port=5353, dst_port=53)
+        raw = header.to_bytes(payload_len=7) + b"payload"
+        parsed, rest = UDPHeader.from_bytes(raw)
+        assert parsed.length == 15
+        assert rest == b"payload"
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            UDPHeader.from_bytes(b"\x00" * 4)
+
+
+class TestICMP:
+    def test_roundtrip(self):
+        header = ICMPHeader(icmp_type=TYPE_ECHO_REPLY, identifier=9, sequence=3)
+        parsed, rest = ICMPHeader.from_bytes(header.to_bytes(b"ping") + b"ping")
+        assert parsed.icmp_type == TYPE_ECHO_REPLY
+        assert parsed.identifier == 9
+        assert parsed.is_echo
+        assert rest == b"ping"
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            ICMPHeader.from_bytes(b"\x00" * 7)
+
+
+class TestARP:
+    def test_roundtrip(self):
+        header = ARPHeader(operation=OP_REPLY,
+                           sender_mac="02:00:00:00:00:0a", sender_ip="10.0.0.9",
+                           target_mac="02:00:00:00:00:0b", target_ip="10.0.0.1")
+        parsed, _ = ARPHeader.from_bytes(header.to_bytes())
+        assert parsed == header
+
+    def test_rejects_non_ethernet_ipv4(self):
+        raw = bytearray(ARPHeader().to_bytes())
+        raw[0] = 0xFF  # hardware type
+        with pytest.raises(ValueError):
+            ARPHeader.from_bytes(bytes(raw))
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            ARPHeader.from_bytes(b"\x00" * 20)

@@ -1,0 +1,162 @@
+"""Tests for the Packet model and pcap file I/O."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.arp import ARPHeader
+from repro.net.ethernet import ETHERTYPE_ARP, EthernetHeader
+from repro.net.ipv4 import IPv4Header, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.net.icmp import ICMPHeader
+from repro.net.packet import Packet
+from repro.net.pcap import PcapFormatError, PcapReader, read_pcap, write_pcap
+from repro.net.tcp import TCPFlags, TCPHeader
+from repro.net.udp import UDPHeader
+
+from tests.conftest import make_tcp_packet, make_udp_packet
+
+
+class TestPacketAccessors:
+    def test_tcp_accessors(self):
+        packet = make_tcp_packet(sport=1111, dport=80)
+        assert packet.src_ip == "10.0.0.1"
+        assert packet.dst_ip == "10.0.0.2"
+        assert packet.src_port == 1111
+        assert packet.dst_port == 80
+        assert packet.protocol_name == "tcp"
+        assert packet.is_tcp and not packet.is_udp
+
+    def test_udp_accessors(self):
+        packet = make_udp_packet()
+        assert packet.protocol_name == "udp"
+        assert packet.is_udp
+
+    def test_icmp_has_no_ports(self):
+        packet = Packet(
+            ip=IPv4Header(src_ip="1.1.1.1", dst_ip="2.2.2.2", protocol=PROTO_ICMP),
+            transport=ICMPHeader(),
+        )
+        assert packet.src_port is None
+        assert packet.protocol_name == "icmp"
+
+    def test_arp_accessors(self):
+        packet = Packet(
+            ether=EthernetHeader(ethertype=ETHERTYPE_ARP),
+            arp=ARPHeader(sender_ip="10.0.0.5", target_ip="10.0.0.1"),
+        )
+        assert packet.src_ip == "10.0.0.5"
+        assert packet.protocol_name == "arp"
+
+    def test_wire_len_matches_serialization(self):
+        packet = make_tcp_packet(payload=b"hello world")
+        assert packet.wire_len == len(packet.to_bytes())
+
+
+class TestPacketSerialization:
+    @pytest.mark.parametrize("proto,transport", [
+        (PROTO_TCP, TCPHeader(src_port=1, dst_port=2, flags=TCPFlags.SYN)),
+        (PROTO_UDP, UDPHeader(src_port=3, dst_port=4)),
+        (PROTO_ICMP, ICMPHeader()),
+    ])
+    def test_roundtrip(self, proto, transport):
+        packet = Packet(
+            timestamp=1.5,
+            ether=EthernetHeader(),
+            ip=IPv4Header(src_ip="10.1.1.1", dst_ip="10.2.2.2", protocol=proto),
+            transport=transport,
+            payload=b"xyz",
+        )
+        parsed = Packet.from_bytes(packet.to_bytes(), timestamp=1.5)
+        assert parsed.src_ip == "10.1.1.1"
+        assert type(parsed.transport) is type(transport)
+        assert parsed.payload == b"xyz"
+
+    def test_labels_do_not_survive_serialization(self):
+        packet = make_tcp_packet(label=1)
+        packet.attack_type = "ddos"
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.label == 0
+        assert parsed.attack_type == ""
+
+    def test_serialize_without_layers_raises(self):
+        with pytest.raises(ValueError):
+            Packet().to_bytes()
+
+    def test_unknown_ip_protocol_keeps_payload(self):
+        raw = bytearray(make_tcp_packet(payload=b"zz").to_bytes())
+        raw[14 + 9] = 99  # ip protocol field
+        # The IP checksum no longer matches, but parsing is tolerant.
+        parsed = Packet.from_bytes(bytes(raw))
+        assert parsed.transport is None
+        assert parsed.ip is not None and parsed.ip.protocol == 99
+
+
+class TestPcap:
+    def test_roundtrip(self, tmp_path):
+        packets = [make_tcp_packet(ts=float(i) + 0.000250, payload=b"p" * i)
+                   for i in range(10)]
+        path = tmp_path / "capture.pcap"
+        assert write_pcap(path, packets) == 10
+        loaded = read_pcap(path)
+        assert len(loaded) == 10
+        for original, copy in zip(packets, loaded):
+            assert abs(copy.timestamp - original.timestamp) < 1e-6
+            assert copy.src_ip == original.src_ip
+            assert copy.payload == original.payload
+            assert copy.meta["orig_len"] == original.wire_len
+
+    def test_snaplen_truncation_preserves_orig_len(self, tmp_path):
+        from repro.net.pcap import PcapWriter
+
+        packet = make_tcp_packet(payload=b"x" * 500)
+        path = tmp_path / "snap.pcap"
+        with PcapWriter(path, snaplen=100) as writer:
+            writer.write(packet)
+        with open(path, "rb") as fh:
+            fh.seek(24)
+            _, _, incl, orig = struct.unpack("<IIII", fh.read(16))
+        assert incl == 100
+        assert orig == packet.wire_len
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(PcapFormatError, match="magic"):
+            list(PcapReader(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1")
+        with pytest.raises(PcapFormatError, match="too short"):
+            list(PcapReader(path))
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, [make_tcp_packet()])
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(PcapFormatError):
+            list(PcapReader(path))
+
+    def test_unsupported_linktype(self, tmp_path):
+        path = tmp_path / "linktype.pcap"
+        header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        path.write_bytes(header)
+        with pytest.raises(PcapFormatError, match="linktype"):
+            list(PcapReader(path))
+
+    @given(st.floats(min_value=0, max_value=2**31, allow_nan=False))
+    def test_timestamp_precision_property(self, ts):
+        """Microsecond rounding error is bounded through a write cycle."""
+        from repro.net.pcap import PcapWriter
+        import io
+
+        packet = make_tcp_packet(ts=ts)
+        ts_sec = int(packet.timestamp)
+        ts_usec = int(round((packet.timestamp - ts_sec) * 1_000_000))
+        if ts_usec >= 1_000_000:
+            ts_sec += 1
+            ts_usec -= 1_000_000
+        restored = ts_sec + ts_usec / 1_000_000
+        assert abs(restored - ts) <= 5e-7 * max(1.0, ts / 2**20)

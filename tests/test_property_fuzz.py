@@ -1,0 +1,150 @@
+"""Cross-module property and fuzz tests.
+
+These target the invariants the pipeline silently relies on: parsers
+never crash on garbage (they raise typed errors), flow assembly
+conserves packets, feature exporters never emit non-finite values, and
+the threshold search respects its budget whenever the budget is
+feasible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.thresholds import fpr_budget_threshold
+from repro.datasets.traffic import Network, tcp_conversation
+from repro.flows.assembler import FlowAssembler
+from repro.flows.cicflow import cicflow_features
+from repro.flows.netflow import netflow_features
+from repro.net.packet import Packet
+from repro.net.pcap import PcapFormatError, PcapReader
+from repro.utils.rng import SeededRNG
+
+from tests.conftest import make_udp_packet
+
+
+class TestParserFuzz:
+    @settings(max_examples=200)
+    @given(st.binary(min_size=0, max_size=200))
+    def test_packet_parser_raises_typed_errors_only(self, blob):
+        """Arbitrary bytes either parse or raise ValueError — never
+        crash with IndexError/struct.error/etc."""
+        try:
+            Packet.from_bytes(blob)
+        except ValueError:
+            pass
+
+    @settings(max_examples=100)
+    @given(st.binary(min_size=0, max_size=400))
+    def test_pcap_reader_raises_typed_errors_only(self, blob):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "fuzz.pcap"
+            path.write_bytes(blob)
+            try:
+                for _ in PcapReader(path):
+                    pass
+            except (PcapFormatError, ValueError):
+                pass
+
+    @settings(max_examples=100)
+    @given(st.binary(min_size=12, max_size=120))
+    def test_dns_parser_typed_errors_only(self, blob):
+        from repro.net.dns import DNSMessage
+
+        try:
+            DNSMessage.from_bytes(blob)
+        except ValueError:
+            pass
+
+
+class TestFlowConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 4),      # client index
+                st.integers(0, 2),      # server index
+                st.floats(0.0, 500.0),  # start time
+                st.integers(1, 3),      # exchange rounds
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_assembler_conserves_ip_packets(self, sessions):
+        """Every IP packet lands in exactly one flow."""
+        rng = SeededRNG(11, "conserve")
+        network = Network(subnet="10.3", rng=rng.child("net"))
+        clients = network.hosts(5)
+        servers = network.hosts(3)
+        packets = []
+        for ci, si, start, rounds in sessions:
+            packets.extend(
+                tcp_conversation(
+                    rng, start, clients[ci], servers[si],
+                    sport=network.ephemeral_port(), dport=80,
+                    request_sizes=[100] * rounds,
+                    response_sizes=[300] * rounds,
+                )
+            )
+        packets.sort(key=lambda p: p.timestamp)
+        assembler = FlowAssembler()
+        flows = assembler.assemble(packets)
+        assert sum(f.total_packets for f in flows) == len(packets)
+
+    def test_flow_byte_conservation(self):
+        packets = [make_udp_packet(float(i) * 0.1, payload=b"x" * (10 + i))
+                   for i in range(20)]
+        flows = FlowAssembler().assemble(packets)
+        assert sum(f.total_bytes for f in flows) == sum(
+            p.wire_len for p in packets
+        )
+
+
+class TestFeatureFiniteness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 4),             # rounds
+        st.integers(0, 5000),          # request size
+        st.integers(0, 5000),          # response size
+        st.floats(0.001, 10.0),        # think time
+    )
+    def test_exporters_always_finite(self, rounds, req, resp, think):
+        rng = SeededRNG(13, "finite")
+        network = Network(subnet="10.4", rng=rng.child("net"))
+        client, server = network.hosts(2)
+        packets = tcp_conversation(
+            rng, 0.0, client, server, sport=40000, dport=443,
+            request_sizes=[req] * rounds, response_sizes=[resp] * rounds,
+            think_time=think,
+        )
+        flows = FlowAssembler().assemble(packets)
+        for flow in flows:
+            for name, value in cicflow_features(flow).items():
+                assert np.isfinite(value), f"cicflow {name}"
+            for name, value in netflow_features(flow).items():
+                assert np.isfinite(value), f"netflow {name}"
+
+
+class TestThresholdBudgetProperty:
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=10, max_size=120),
+        st.integers(0, 10_000),
+    )
+    def test_fpr_budget_respected_when_feasible(self, raw_scores, seed):
+        rng = np.random.default_rng(seed)
+        scores = np.array(raw_scores)
+        y_true = rng.integers(0, 2, scores.size)
+        if y_true.sum() in (0, scores.size):
+            return  # degenerate class composition
+        threshold = fpr_budget_threshold(y_true, scores, max_fpr=0.1)
+        pred = scores >= threshold
+        fp = int(np.sum(pred & (y_true == 0)))
+        negatives = int(np.sum(y_true == 0))
+        # Flagging nothing always satisfies the budget, so the chosen
+        # threshold must too.
+        assert fp / negatives <= 0.1 + 1e-9

@@ -1,0 +1,80 @@
+"""Tests for the deterministic hierarchical RNG."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import SeededRNG, derive_seed, spawn_child
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            derive_seed("42", "a")  # type: ignore[arg-type]
+
+    @given(st.integers(), st.text(max_size=40))
+    def test_always_in_64bit_range(self, seed, label):
+        value = derive_seed(seed, label)
+        assert 0 <= value < 2**64
+
+
+class TestSeededRNG:
+    def test_same_seed_same_stream(self):
+        a = SeededRNG(7).random(10)
+        b = SeededRNG(7).random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_stream(self):
+        a = SeededRNG(7).random(10)
+        b = SeededRNG(8).random(10)
+        assert not np.array_equal(a, b)
+
+    def test_children_are_independent_of_consumption_order(self):
+        parent1 = SeededRNG(3)
+        parent1.random(100)  # consume from the parent stream
+        child1 = parent1.child("x")
+
+        parent2 = SeededRNG(3)
+        child2 = parent2.child("x")
+
+        np.testing.assert_array_equal(child1.random(5), child2.random(5))
+
+    def test_distinct_children(self):
+        parent = SeededRNG(3)
+        assert not np.array_equal(
+            parent.child("a").random(5), parent.child("b").random(5)
+        )
+
+    def test_child_label_nests(self):
+        child = SeededRNG(3, "root").child("sub")
+        assert child.label == "root/sub"
+
+    def test_spawn_child_from_int(self):
+        a = spawn_child(9, "x").random(3)
+        b = SeededRNG(9).child("x").random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_seed_wraps(self):
+        rng = SeededRNG(-1)
+        assert rng.seed == (1 << 64) - 1
+
+    def test_passthrough_methods(self, ):
+        rng = SeededRNG(11)
+        assert rng.integers(0, 10) in range(10)
+        assert 0.0 <= rng.uniform(0, 1) <= 1.0
+        assert rng.exponential(1.0) >= 0.0
+        assert rng.poisson(3.0) >= 0
+        assert rng.geometric(0.5) >= 1
+        values = rng.permutation(5)
+        assert sorted(values.tolist()) == [0, 1, 2, 3, 4]
+        choice = rng.choice([1, 2, 3])
+        assert choice in (1, 2, 3)

@@ -1,0 +1,67 @@
+"""Tests for text/markdown table rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.tables import TextTable, format_float, render_markdown_table
+
+
+class TestFormatFloat:
+    def test_four_digits_default(self):
+        assert format_float(0.85374) == "0.8537"
+
+    def test_custom_digits(self):
+        assert format_float(0.5, digits=2) == "0.50"
+
+    def test_nan_renders_na(self):
+        assert format_float(float("nan")) == "n/a"
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = render_markdown_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+
+class TestTextTable:
+    def test_rejects_empty_header(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_rejects_mismatched_row(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError, match="expected 2"):
+            table.add_row(["only-one"])
+
+    def test_column_width_adapts(self):
+        table = TextTable(["h"])
+        table.add_row(["a-much-longer-cell"])
+        lines = table.render().splitlines()
+        assert lines[1] == "-" * len("a-much-longer-cell")
+
+    def test_renders_all_rows(self):
+        table = TextTable(["x", "y"])
+        table.add_row([1, 2])
+        table.add_row([3, 4])
+        out = table.render()
+        assert "1" in out and "4" in out
+        assert len(out.splitlines()) == 4
+
+    @given(
+        st.lists(
+            st.lists(
+                st.text(alphabet="abc123", min_size=1, max_size=8),
+                min_size=2,
+                max_size=2,
+            ),
+            max_size=10,
+        )
+    )
+    def test_line_count_property(self, rows):
+        table = TextTable(["col1", "col2"])
+        for row in rows:
+            table.add_row(row)
+        assert len(table.render().splitlines()) == 2 + len(rows)

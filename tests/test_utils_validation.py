@@ -1,0 +1,79 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_inclusive_accepts_bounds(self, value):
+        assert check_fraction("f", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_fraction("f", value)
+
+    @pytest.mark.parametrize("value", [0.0, 1.0])
+    def test_exclusive_rejects_bounds(self, value):
+        with pytest.raises(ValueError):
+            check_fraction("f", value, inclusive=False)
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        assert check_in_range("x", 5, 0, 10) == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+
+class TestCheckProbabilityVector:
+    def test_normalises(self):
+        out = check_probability_vector("p", [1, 1, 2])
+        np.testing.assert_allclose(out.sum(), 1.0)
+        np.testing.assert_allclose(out, [0.25, 0.25, 0.5])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [0.5, -0.5, 1.0])
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [0.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [[0.5, 0.5]])
