@@ -6,6 +6,8 @@ check the qualitative *shape* instead — who wins, where each system
 collapses, which dataset flips the ordering. See DESIGN.md section 4.
 """
 
+import os
+
 import pytest
 
 from repro.core.pipeline import IDSAnalysisPipeline
@@ -15,11 +17,13 @@ from benchmarks.conftest import save_result
 
 SCALE = 0.35
 SEED = 0
+#: Worker processes for the matrix run (the engine's --jobs knob).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="module")
 def pipeline():
-    p = IDSAnalysisPipeline(seed=SEED, scale=SCALE)
+    p = IDSAnalysisPipeline(seed=SEED, scale=SCALE, jobs=JOBS)
     p.run_all(verbose=True)
     return p
 
@@ -29,6 +33,7 @@ def test_table4_full_matrix(benchmark, pipeline):
     # aggregation so the heavy work is counted once, not per-round.
     benchmark(lambda: [pipeline.average_for(n) for n in pipeline.ids_names])
     report = render_table4(pipeline) + "\n\n" + render_shape_checks(pipeline)
+    report += "\n\n" + pipeline.telemetry.summary()
     save_result("table4_main_results", report)
     checks = pipeline.shape_checks()
     failed = [c for c in checks if not c.passed]

@@ -6,6 +6,8 @@ targets for iterating on a single system without re-running the whole
 full-scale run).
 """
 
+import os
+
 import pytest
 
 from repro.core.pipeline import IDSAnalysisPipeline
@@ -15,11 +17,12 @@ from benchmarks.conftest import save_result
 
 SCALE = 0.2
 SEED = 0
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def _run_row(ids_name: str) -> IDSAnalysisPipeline:
     pipeline = IDSAnalysisPipeline(seed=SEED, scale=SCALE,
-                                   ids_names=(ids_name,))
+                                   ids_names=(ids_name,), jobs=JOBS)
     pipeline.run_all()
     return pipeline
 

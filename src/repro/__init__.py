@@ -33,6 +33,7 @@ from repro.core import (
 )
 from repro.datasets import SyntheticDataset, generate_dataset
 from repro.ids import DNNClassifierIDS, HELAD, Kitsune, SlipsIDS
+from repro.runner import DatasetCache, ExperimentEngine
 from repro.utils import SeededRNG
 
 __version__ = "1.0.0"
@@ -52,6 +53,8 @@ __all__ = [
     "render_shape_checks",
     "generate_dataset",
     "SyntheticDataset",
+    "ExperimentEngine",
+    "DatasetCache",
     "Kitsune",
     "HELAD",
     "DNNClassifierIDS",

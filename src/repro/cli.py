@@ -83,15 +83,29 @@ def _cmd_table4(args: argparse.Namespace) -> int:
     from repro.core.experiment import DATASET_ORDER
     from repro.core.pipeline import IDSAnalysisPipeline
     from repro.core.report import render_shape_checks, render_table4
+    from repro.runner import ExperimentEngine, ProgressReporter
 
+    ids_names = tuple(args.ids)
+    dataset_names = tuple(args.datasets or DATASET_ORDER)
+    reporter = ProgressReporter(len(ids_names) * len(dataset_names))
+    engine = ExperimentEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        progress=reporter.cell_done,
+    )
     pipeline = IDSAnalysisPipeline(
         seed=args.seed,
         scale=args.scale,
-        ids_names=tuple(args.ids),
-        dataset_names=tuple(args.datasets or DATASET_ORDER),
+        ids_names=ids_names,
+        dataset_names=dataset_names,
+        engine=engine,
     )
     pipeline.run_all(verbose=True)
     print()
+    if pipeline.telemetry is not None:
+        print(pipeline.telemetry.summary())
+        print()
     print(render_table4(pipeline))
     if set(pipeline.ids_names) == {"Kitsune", "HELAD", "DNN", "Slips"} and (
         set(pipeline.dataset_names) == set(DATASET_ORDER)
@@ -99,6 +113,20 @@ def _cmd_table4(args: argparse.Namespace) -> int:
         print()
         print(render_shape_checks(pipeline))
     return 0
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _non_negative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_t4.add_argument("--ids", nargs="+",
                       default=["Kitsune", "HELAD", "DNN", "Slips"])
     p_t4.add_argument("--datasets", nargs="+")
+    p_t4.add_argument("--jobs", type=_positive_int, default=1,
+                      help="worker processes for cell dispatch (default 1)")
+    p_t4.add_argument("--cache-dir",
+                      help="on-disk cache for datasets and finished cells; "
+                           "use a fresh directory after code changes")
+    p_t4.add_argument("--retries", type=_non_negative_int, default=0,
+                      help="extra attempts per failing cell")
     p_t4.set_defaults(func=_cmd_table4)
     return parser
 

@@ -8,15 +8,19 @@ qualitative findings against the reproduced numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.experiment import (
     DATASET_ORDER,
     EXPERIMENT_MATRIX,
     ExperimentConfig,
     ExperimentResult,
-    run_experiment,
 )
 from repro.core.metrics import MetricReport, average_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.engine import ExperimentEngine
+    from repro.runner.telemetry import RunTelemetry
 
 
 @dataclass
@@ -49,6 +53,12 @@ class IDSAnalysisPipeline:
         Dataset generation scale (1.0 = benchmark size; tests use less).
     ids_names / dataset_names:
         Optional restriction of the matrix (e.g. one IDS row).
+    jobs / cache_dir:
+        Forwarded to the :class:`~repro.runner.engine.ExperimentEngine`
+        that executes the matrix: worker-process count and on-disk cache
+        root (see docs/RUNNER.md). Ignored when ``engine`` is given.
+    engine:
+        Inject a pre-configured engine (shared caches, custom retries).
     """
 
     def __init__(
@@ -58,12 +68,20 @@ class IDSAnalysisPipeline:
         scale: float = 0.5,
         ids_names: tuple[str, ...] = ("Kitsune", "HELAD", "DNN", "Slips"),
         dataset_names: tuple[str, ...] = DATASET_ORDER,
+        jobs: int = 1,
+        cache_dir=None,
+        engine: "ExperimentEngine | None" = None,
     ) -> None:
         self.seed = seed
         self.scale = scale
         self.ids_names = tuple(ids_names)
         self.dataset_names = tuple(dataset_names)
         self.results: dict[tuple[str, str], ExperimentResult] = {}
+        if engine is None:
+            from repro.runner.engine import ExperimentEngine
+
+            engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+        self.engine = engine
 
     def config_for(self, ids_name: str, dataset_name: str) -> ExperimentConfig:
         """The matrix config for one cell, re-seeded and re-scaled."""
@@ -72,16 +90,33 @@ class IDSAnalysisPipeline:
 
         return replace(base, seed=self.seed, scale=self.scale)
 
+    @property
+    def telemetry(self) -> "RunTelemetry | None":
+        """Per-cell execution telemetry of the most recent engine run."""
+        return self.engine.last_telemetry
+
     def run_cell(self, ids_name: str, dataset_name: str) -> ExperimentResult:
-        result = run_experiment(self.config_for(ids_name, dataset_name))
+        from repro.runner.scheduling import plan_configs
+
+        results = self.engine.run(
+            plan_configs([self.config_for(ids_name, dataset_name)])
+        )
+        result = results[(ids_name, dataset_name)]
         self.results[(ids_name, dataset_name)] = result
         return result
 
     def run_all(self, *, verbose: bool = False) -> dict[tuple[str, str], ExperimentResult]:
-        for ids_name in self.ids_names:
-            for dataset_name in self.dataset_names:
-                result = self.run_cell(ids_name, dataset_name)
-                if verbose:
+        from repro.runner.scheduling import plan_cells
+
+        cells = plan_cells(
+            self.ids_names, self.dataset_names,
+            seed=self.seed, scale=self.scale,
+        )
+        self.results.update(self.engine.run(cells))
+        if verbose:
+            for ids_name in self.ids_names:
+                for dataset_name in self.dataset_names:
+                    result = self.results[(ids_name, dataset_name)]
                     m = result.metrics
                     print(
                         f"{ids_name:8s} {dataset_name:13s} "

@@ -8,10 +8,13 @@ examined-but-excluded datasets (Table III) are carried as metadata.
 from repro.datasets.base import DatasetInfo, SyntheticDataset, merge_streams
 from repro.datasets.registry import (
     EXCLUDED_DATASETS,
+    EXTRA_DATASETS,
     USED_DATASETS,
     USED_DATASET_INFO,
     all_dataset_infos,
     generate_dataset,
+    generate_dataset_uncached,
+    install_dataset_cache,
 )
 
 __all__ = [
@@ -19,8 +22,11 @@ __all__ = [
     "SyntheticDataset",
     "merge_streams",
     "generate_dataset",
+    "generate_dataset_uncached",
+    "install_dataset_cache",
     "all_dataset_infos",
     "USED_DATASETS",
     "USED_DATASET_INFO",
+    "EXTRA_DATASETS",
     "EXCLUDED_DATASETS",
 ]

@@ -13,6 +13,7 @@ from typing import Callable
 from repro.datasets import (
     bot_iot,
     cicids2017,
+    kddcup,
     mirai_kitsune,
     stratosphere,
     ton_iot,
@@ -30,9 +31,12 @@ USED_DATASETS: dict[str, Callable[..., SyntheticDataset]] = {
 }
 
 #: Generators available beyond the Table IV set: ToN-IoT was selected in
-#: the paper's Table II but superseded by BoT-IoT before Table IV.
+#: the paper's Table II but superseded by BoT-IoT before Table IV;
+#: KDD-reference is the DNN's cross-corpus training substrate, named
+#: here so experiment cells can request it through a caching provider.
 EXTRA_DATASETS: dict[str, Callable[..., SyntheticDataset]] = {
     "ToN-IoT": ton_iot.generate,
+    "KDD-reference": kddcup.generate,
 }
 
 USED_DATASET_INFO: dict[str, DatasetInfo] = {
@@ -165,13 +169,46 @@ EXCLUDED_DATASETS: tuple[DatasetInfo, ...] = (
 )
 
 
-def generate_dataset(name: str, *, seed: int = 0, scale: float = 1.0) -> SyntheticDataset:
-    """Generate an evaluated dataset (or ToN-IoT) by name."""
+#: Optional process-wide caching provider consulted by
+#: :func:`generate_dataset`. Installed by the runner engine (or a user)
+#: so that *every* call site — including code that imports
+#: ``generate_dataset`` directly — benefits from dataset reuse.
+_DATASET_CACHE: Callable[..., SyntheticDataset] | None = None
+
+
+def install_dataset_cache(
+    provider: Callable[..., SyntheticDataset] | None,
+) -> Callable[..., SyntheticDataset] | None:
+    """Install (or, with ``None``, remove) the process-wide cache hook.
+
+    ``provider`` is called as ``provider(name, seed=..., scale=...)``
+    and must resolve misses via :func:`generate_dataset_uncached` —
+    never :func:`generate_dataset`, which would recurse into the hook.
+    Returns the previously-installed hook so callers can restore it.
+    """
+    global _DATASET_CACHE
+    previous = _DATASET_CACHE
+    _DATASET_CACHE = provider
+    return previous
+
+
+def generate_dataset_uncached(
+    name: str, *, seed: int = 0, scale: float = 1.0
+) -> SyntheticDataset:
+    """Generate a dataset by name, always from scratch."""
     generator = USED_DATASETS.get(name) or EXTRA_DATASETS.get(name)
     if generator is None:
         known = ", ".join(sorted(USED_DATASETS) + sorted(EXTRA_DATASETS))
         raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
     return generator(seed=seed, scale=scale)
+
+
+def generate_dataset(name: str, *, seed: int = 0, scale: float = 1.0) -> SyntheticDataset:
+    """Generate an evaluated dataset (or an extra) by name, through the
+    installed cache hook when one is present."""
+    if _DATASET_CACHE is not None:
+        return _DATASET_CACHE(name, seed=seed, scale=scale)
+    return generate_dataset_uncached(name, seed=seed, scale=scale)
 
 
 def all_dataset_infos() -> list[DatasetInfo]:

@@ -1,0 +1,40 @@
+"""Cached, parallel execution engine for the experiment matrix.
+
+See ``docs/RUNNER.md`` for the cache layout, the seeding/determinism
+contract, and ``--jobs`` semantics.
+"""
+
+from repro.runner.cache import (
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    DatasetCache,
+    ResultCache,
+    config_key,
+    dataset_key,
+)
+from repro.runner.engine import EngineError, ExperimentEngine
+from repro.runner.scheduling import (
+    CellSpec,
+    dataset_requirements,
+    plan_cells,
+    plan_configs,
+)
+from repro.runner.telemetry import CellTelemetry, ProgressReporter, RunTelemetry
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "CellSpec",
+    "CellTelemetry",
+    "DatasetCache",
+    "EngineError",
+    "ExperimentEngine",
+    "ProgressReporter",
+    "ResultCache",
+    "RunTelemetry",
+    "config_key",
+    "dataset_key",
+    "dataset_requirements",
+    "plan_cells",
+    "plan_configs",
+]

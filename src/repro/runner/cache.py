@@ -1,0 +1,231 @@
+"""Content-addressed caches for datasets and experiment results.
+
+The full Table IV matrix evaluates 4 IDSs against 5 datasets, but the
+seed reproduction regenerated every dataset once *per cell* — 4x the
+necessary work. :class:`DatasetCache` addresses a generated
+:class:`~repro.datasets.base.SyntheticDataset` by the complete set of
+inputs that determine it — ``(name, seed, scale)`` — so a matrix run
+synthesises each dataset exactly once, and repeated runs can reload it
+from disk.
+
+:class:`ResultCache` extends the same idea across runs, in the spirit
+of precomputed-ruleset reuse in network simulators: a finished
+:class:`~repro.core.experiment.ExperimentResult` is addressed by a
+digest of its *entire* :class:`ExperimentConfig`, so re-running the
+matrix after touching one IDS recomputes only the affected cells.
+
+Keys are hex SHA-256 digests of a canonical string form of the inputs;
+floats are serialised with ``repr`` so every distinguishable scale gets
+its own entry. On-disk entries are pickles written atomically
+(temp file + rename) under::
+
+    <cache_dir>/
+      datasets/<key>.pkl
+      results/<key>.pkl
+
+Cache entries do not observe code changes: after editing generators or
+IDSs, point the engine at a fresh ``cache_dir`` (or delete the old
+one). ``CACHE_FORMAT_VERSION`` is baked into every key so incompatible
+layout changes invalidate stale directories automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.experiment import ExperimentConfig, ExperimentResult
+    from repro.datasets.base import SyntheticDataset
+
+#: Bump when the key derivation or pickle layout changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+
+def dataset_key(name: str, *, seed: int, scale: float) -> str:
+    """Content address of a generated dataset: every input that
+    determines its packets, and nothing else."""
+    payload = f"v{CACHE_FORMAT_VERSION}:dataset:{name}:{int(seed)}:{scale!r}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_key(config: "ExperimentConfig") -> str:
+    """Content address of one experiment cell: a digest over every
+    config field, in sorted-field order so dict insertion order cannot
+    perturb the key."""
+    fields = asdict(config)
+    overrides = fields.pop("ids_overrides", {})
+    parts = [f"{k}={fields[k]!r}" for k in sorted(fields)]
+    parts.append(
+        "ids_overrides={%s}"
+        % ", ".join(f"{k!r}: {overrides[k]!r}" for k in sorted(overrides))
+    )
+    payload = f"v{CACHE_FORMAT_VERSION}:result:" + ";".join(parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by tier."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits}/{self.lookups} hits "
+            f"({self.memory_hits} memory, {self.disk_hits} disk)"
+        )
+
+
+class _DiskStore:
+    """Atomic pickle store for one namespace of a cache directory."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str):
+        path = self.path(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            # Corrupt or stale entry (e.g. interrupted write with an old
+            # library version): drop it and regenerate.
+            path.unlink(missing_ok=True)
+            return None
+
+    def store(self, key: str, value) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+
+
+@dataclass
+class DatasetCache:
+    """Two-tier (memory + optional disk) cache of generated datasets.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory for the on-disk tier; ``None`` keeps the cache
+        purely in-memory (still removes the 4x regeneration within one
+        matrix run).
+    max_memory_items:
+        In-memory entry budget, evicting least-recently-inserted first.
+        The full matrix needs 6 live datasets (5 evaluated + the DNN's
+        training corpus); the default leaves headroom for multi-seed
+        sweeps.
+    """
+
+    cache_dir: str | os.PathLike | None = None
+    max_memory_items: int = 16
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._memory: dict[str, "SyntheticDataset"] = {}
+        self._disk = (
+            _DiskStore(Path(self.cache_dir) / "datasets")
+            if self.cache_dir is not None
+            else None
+        )
+
+    def get_or_generate(
+        self,
+        name: str,
+        *,
+        seed: int = 0,
+        scale: float = 1.0,
+        generator: Callable[..., "SyntheticDataset"] | None = None,
+    ) -> "SyntheticDataset":
+        """Return the dataset for ``(name, seed, scale)``, generating it
+        via ``generator`` (default: the registry's uncached generator)
+        only on a full miss."""
+        key = dataset_key(name, seed=seed, scale=scale)
+        dataset = self._memory.get(key)
+        if dataset is not None:
+            self.stats.memory_hits += 1
+            return dataset
+        if self._disk is not None:
+            dataset = self._disk.load(key)
+            if dataset is not None:
+                self.stats.disk_hits += 1
+                self._remember(key, dataset)
+                return dataset
+        self.stats.misses += 1
+        if generator is None:
+            from repro.datasets.registry import generate_dataset_uncached
+
+            generator = generate_dataset_uncached
+        dataset = generator(name, seed=seed, scale=scale)
+        self._remember(key, dataset)
+        if self._disk is not None:
+            self._disk.store(key, dataset)
+        return dataset
+
+    def _remember(self, key: str, dataset: "SyntheticDataset") -> None:
+        while len(self._memory) >= self.max_memory_items:
+            self._memory.pop(next(iter(self._memory)))
+        self._memory[key] = dataset
+
+    def preloaded(self) -> dict[str, "SyntheticDataset"]:
+        """A snapshot of the in-memory tier (for seeding worker caches)."""
+        return dict(self._memory)
+
+    def preload(self, entries: dict[str, "SyntheticDataset"]) -> None:
+        """Seed the in-memory tier (workers inherit the parent's warmup)."""
+        for key, dataset in entries.items():
+            self._remember(key, dataset)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+@dataclass
+class ResultCache:
+    """On-disk cache of finished experiment cells, keyed by the full
+    config digest. Purely disk-backed: a hit means the identical cell
+    (same IDS, dataset, seed, scale, thresholds, budgets, overrides)
+    already ran under this ``cache_dir``."""
+
+    cache_dir: str | os.PathLike
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._disk = _DiskStore(Path(self.cache_dir) / "results")
+
+    def get(self, config: "ExperimentConfig") -> "ExperimentResult | None":
+        result = self._disk.load(config_key(config))
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.disk_hits += 1
+        return result
+
+    def put(self, config: "ExperimentConfig", result: "ExperimentResult") -> None:
+        self._disk.store(config_key(config), result)

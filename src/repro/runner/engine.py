@@ -1,0 +1,362 @@
+"""The experiment execution engine: cached, parallel, deterministic.
+
+:class:`ExperimentEngine` runs a plan of :class:`CellSpec` cells and
+returns their results keyed by ``(ids_name, dataset_name)``. Three
+levers distinguish it from the seed's serial loop:
+
+* **Dataset caching** — every unique ``(name, seed, scale)`` dataset is
+  generated exactly once per run (and reloaded from ``cache_dir`` on
+  later runs) instead of once per cell.
+* **Process parallelism** — with ``jobs > 1``, independent cells run in
+  a :class:`~concurrent.futures.ProcessPoolExecutor`. Workers inherit
+  the parent's warmed dataset cache, and results are collected in plan
+  order, so output is identical to a serial run.
+* **Whole-cell reuse** — with a ``cache_dir``, a finished cell is
+  persisted keyed by a digest of its full config; re-running the matrix
+  recomputes only cells whose configs changed.
+
+Determinism contract: a cell's result depends only on its
+``ExperimentConfig`` (every RNG inside ``run_experiment`` derives from
+``config.seed``), never on scheduling. Serial, parallel, cached and
+uncached runs are therefore bit-identical — enforced by
+``tests/test_runner_engine.py``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.runner.cache import DatasetCache, ResultCache
+from repro.runner.scheduling import (
+    CellSpec,
+    dataset_requirements,
+    plan_cells,
+    plan_configs,
+)
+from repro.runner.telemetry import CellTelemetry, ProgressCallback, RunTelemetry
+
+
+class EngineError(RuntimeError):
+    """A cell failed every attempt; carries the last traceback text."""
+
+    def __init__(self, spec: CellSpec, attempts: int, cause: str) -> None:
+        super().__init__(
+            f"cell {spec.describe()} failed after {attempts} attempt(s): {cause}"
+        )
+        self.spec = spec
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass
+class _CellOutcome:
+    """What one execution attempt sends back from a worker."""
+
+    result: ExperimentResult
+    wall_seconds: float
+    dataset_generated: bool
+
+
+class _TrackingProvider:
+    """Dataset provider backed by a cache, recording whether the current
+    cell triggered any actual generation (a cache miss)."""
+
+    def __init__(self, cache: DatasetCache) -> None:
+        self.cache = cache
+        self.generated = False
+
+    def __call__(self, name: str, *, seed: int = 0, scale: float = 1.0):
+        before = self.cache.stats.misses
+        dataset = self.cache.get_or_generate(name, seed=seed, scale=scale)
+        if self.cache.stats.misses != before:
+            self.generated = True
+        return dataset
+
+
+def _execute_cell(config: ExperimentConfig, cache: DatasetCache) -> _CellOutcome:
+    """Run one cell against a dataset cache, timing the whole attempt.
+
+    The cache is also installed as the registry-wide hook for the
+    duration, so any code that calls ``generate_dataset`` directly
+    (rather than through the injected provider) reuses it too.
+    """
+    from repro.datasets.registry import install_dataset_cache
+
+    provider = _TrackingProvider(cache)
+    start = time.perf_counter()
+    previous = install_dataset_cache(provider)
+    try:
+        result = run_experiment(config, dataset_provider=provider)
+    finally:
+        install_dataset_cache(previous)
+    return _CellOutcome(
+        result=result,
+        wall_seconds=time.perf_counter() - start,
+        dataset_generated=provider.generated,
+    )
+
+
+# -- worker-process plumbing ------------------------------------------------
+
+_WORKER_CACHE: DatasetCache | None = None
+
+
+def _worker_init(cache_dir, preloaded) -> None:
+    """Per-process initializer: build this worker's dataset cache,
+    seeded with the datasets the parent already generated."""
+    global _WORKER_CACHE
+    _WORKER_CACHE = DatasetCache(cache_dir=cache_dir)
+    if preloaded:
+        _WORKER_CACHE.preload(preloaded)
+
+
+def _worker_run_cell(config: ExperimentConfig) -> _CellOutcome:
+    assert _WORKER_CACHE is not None, "worker initializer did not run"
+    return _execute_cell(config, _WORKER_CACHE)
+
+
+class ExperimentEngine:
+    """Cached, optionally parallel executor for experiment cell plans.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` (default) runs in-process; higher values
+        dispatch cells across a process pool.
+    cache_dir:
+        Root of the on-disk cache (datasets + whole-cell results).
+        ``None`` keeps caching in-memory only and disables whole-cell
+        reuse.
+    retries:
+        Extra attempts per failing cell before the run aborts with
+        :class:`EngineError`.
+    dataset_cache:
+        Inject a pre-built :class:`DatasetCache` (shared across engines
+        or pre-warmed by tests). Defaults to a fresh cache rooted at
+        ``cache_dir``.
+    progress:
+        Optional callback invoked with each cell's
+        :class:`CellTelemetry` as it completes (always from the
+        coordinating process, in completion order).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir=None,
+        retries: int = 0,
+        dataset_cache: DatasetCache | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.retries = retries
+        self.dataset_cache = dataset_cache or DatasetCache(cache_dir=cache_dir)
+        self.result_cache = (
+            ResultCache(cache_dir=cache_dir) if cache_dir is not None else None
+        )
+        self.progress = progress
+        self.last_telemetry: RunTelemetry | None = None
+
+    # -- public entry points -------------------------------------------
+    def run_matrix(
+        self,
+        ids_names: Sequence[str],
+        dataset_names: Sequence[str],
+        *,
+        seed: int = 0,
+        scale: float = 0.5,
+    ) -> dict[tuple[str, str], ExperimentResult]:
+        """Plan and run a (sub-)matrix of the Table IV evaluation."""
+        return self.run(plan_cells(ids_names, dataset_names, seed=seed, scale=scale))
+
+    def run_configs(
+        self, configs: Sequence[ExperimentConfig]
+    ) -> list[ExperimentResult]:
+        """Run ad-hoc configs (ablations, multi-seed sweeps) through the
+        engine, returning one result per config in input order — sweeps
+        legitimately repeat ``(ids, dataset)`` pairs, so results are
+        positional here rather than keyed."""
+        cells = plan_configs(configs)
+        outcomes = self._run_plan(cells)
+        return [outcomes[spec.index] for spec in cells]
+
+    def run(
+        self, cells: Sequence[CellSpec]
+    ) -> dict[tuple[str, str], ExperimentResult]:
+        """Execute a plan; return results keyed by (ids, dataset) in
+        plan order (duplicate keys keep the last occurrence — use
+        :meth:`run_configs` for sweeps that repeat cells). Raises
+        :class:`EngineError` if any cell exhausts its retry budget."""
+        outcomes = self._run_plan(cells)
+        return {spec.key: outcomes[spec.index] for spec in cells}
+
+    def _run_plan(
+        self, cells: Sequence[CellSpec]
+    ) -> dict[int, ExperimentResult]:
+        """Execute a plan; return results by plan index."""
+        telemetry = RunTelemetry(jobs=self.jobs)
+        telemetry.start()
+        self.last_telemetry = telemetry
+
+        # Whole-cell reuse: satisfy what we can from the result cache.
+        outcomes: dict[int, ExperimentResult] = {}
+        pending: list[CellSpec] = []
+        for spec in cells:
+            cached = self.result_cache.get(spec.config) if self.result_cache else None
+            if cached is not None:
+                outcomes[spec.index] = cached
+                self._record(
+                    telemetry, spec, status="ok", attempts=0,
+                    wall=0.0, fit_score=cached.runtime_seconds,
+                    dataset_hit=False, result_hit=True,
+                )
+            else:
+                pending.append(spec)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_serial(pending, outcomes, telemetry)
+            else:
+                self._run_parallel(pending, outcomes, telemetry)
+
+        telemetry.finish()
+        return outcomes
+
+    # -- execution strategies ------------------------------------------
+    def _run_serial(self, pending, outcomes, telemetry) -> None:
+        for spec in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    outcome = _execute_cell(spec.config, self.dataset_cache)
+                except Exception:
+                    if attempts > self.retries:
+                        cause = traceback.format_exc(limit=8)
+                        self._record(
+                            telemetry, spec, status="failed", attempts=attempts,
+                            wall=0.0, fit_score=0.0,
+                            dataset_hit=False, result_hit=False, error=cause,
+                        )
+                        telemetry.finish()
+                        raise EngineError(spec, attempts, cause) from None
+                    continue
+                self._finish_cell(spec, outcome, attempts, outcomes, telemetry)
+                break
+
+    def _run_parallel(self, pending, outcomes, telemetry) -> None:
+        # Warm every dataset the plan needs once, in the parent, so
+        # workers inherit generated datasets instead of racing to
+        # regenerate them per process.
+        for name, seed, scale in dataset_requirements(pending):
+            self.dataset_cache.get_or_generate(name, seed=seed, scale=scale)
+
+        max_workers = min(self.jobs, len(pending))
+        attempts: dict[int, int] = {spec.index: 0 for spec in pending}
+        current = pending[0]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_worker_init,
+                initargs=(self.cache_dir, self.dataset_cache.preloaded()),
+            ) as pool:
+                futures = {}
+                for spec in pending:
+                    attempts[spec.index] += 1
+                    futures[pool.submit(_worker_run_cell, spec.config)] = spec
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        spec = current = futures.pop(future)
+                        error = future.exception()
+                        if error is not None:
+                            # A broken pool is fatal for the whole run,
+                            # not a per-cell failure: retrying against a
+                            # dead executor cannot succeed.
+                            if isinstance(error, BrokenProcessPool):
+                                raise error
+                            if attempts[spec.index] > self.retries:
+                                cause = "".join(
+                                    traceback.format_exception_only(
+                                        type(error), error
+                                    )
+                                ).strip()
+                                self._record(
+                                    telemetry, spec, status="failed",
+                                    attempts=attempts[spec.index],
+                                    wall=0.0, fit_score=0.0,
+                                    dataset_hit=False, result_hit=False,
+                                    error=cause,
+                                )
+                                for other in futures:
+                                    other.cancel()
+                                telemetry.finish()
+                                raise EngineError(
+                                    spec, attempts[spec.index], cause
+                                ) from error
+                            attempts[spec.index] += 1
+                            futures[pool.submit(_worker_run_cell, spec.config)] = spec
+                            continue
+                        self._finish_cell(
+                            spec, future.result(), attempts[spec.index],
+                            outcomes, telemetry,
+                        )
+        except BrokenProcessPool as error:
+            cause = f"worker process pool broke (worker killed?): {error!r}"
+            self._record(
+                telemetry, current, status="failed",
+                attempts=attempts.get(current.index, 1),
+                wall=0.0, fit_score=0.0,
+                dataset_hit=False, result_hit=False, error=cause,
+            )
+            telemetry.finish()
+            raise EngineError(
+                current, attempts.get(current.index, 1), cause
+            ) from error
+
+    # -- bookkeeping ----------------------------------------------------
+    def _finish_cell(self, spec, outcome, attempts, outcomes, telemetry) -> None:
+        outcomes[spec.index] = outcome.result
+        if self.result_cache is not None:
+            self.result_cache.put(spec.config, outcome.result)
+        self._record(
+            telemetry, spec, status="ok", attempts=attempts,
+            wall=outcome.wall_seconds,
+            fit_score=outcome.result.runtime_seconds,
+            dataset_hit=not outcome.dataset_generated, result_hit=False,
+        )
+
+    def _record(
+        self, telemetry, spec, *, status, attempts, wall, fit_score,
+        dataset_hit, result_hit, error="",
+    ) -> None:
+        cell = CellTelemetry(
+            ids_name=spec.config.ids_name,
+            dataset_name=spec.config.dataset_name,
+            status=status,
+            attempts=attempts,
+            wall_seconds=wall,
+            fit_score_seconds=fit_score,
+            dataset_cache_hit=dataset_hit,
+            result_cache_hit=result_hit,
+            error=error,
+        )
+        telemetry.add(cell)
+        if self.progress is not None:
+            self.progress(cell)

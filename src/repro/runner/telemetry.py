@@ -1,0 +1,142 @@
+"""Per-cell execution telemetry for matrix runs.
+
+The engine records, for every cell: wall-clock time, the IDS-only
+fit/score time, how many attempts it took (retries), and whether the
+dataset or the whole result came from cache. :class:`RunTelemetry`
+aggregates a run and renders the compact summary the CLI prints after
+``table4 --jobs N``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TextIO
+
+
+@dataclass
+class CellTelemetry:
+    """Execution record of one matrix cell."""
+
+    ids_name: str
+    dataset_name: str
+    status: str = "pending"  # pending | ok | failed
+    attempts: int = 0
+    wall_seconds: float = 0.0
+    fit_score_seconds: float = 0.0
+    dataset_cache_hit: bool = False
+    result_cache_hit: bool = False
+    error: str = ""
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.ids_name, self.dataset_name)
+
+    def describe(self) -> str:
+        source = (
+            "result-cache" if self.result_cache_hit
+            else "dataset-cache" if self.dataset_cache_hit
+            else "generated"
+        )
+        line = (
+            f"{self.ids_name:8s} {self.dataset_name:13s} {self.status:6s} "
+            f"wall={self.wall_seconds:6.2f}s fit/score={self.fit_score_seconds:6.2f}s "
+            f"[{source}]"
+        )
+        if self.attempts > 1:
+            line += f" attempts={self.attempts}"
+        if self.error:
+            line += f" error={self.error}"
+        return line
+
+
+@dataclass
+class RunTelemetry:
+    """Aggregate telemetry for one engine run."""
+
+    jobs: int = 1
+    cells: list[CellTelemetry] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    _started: float = field(default=0.0, repr=False)
+
+    def start(self) -> None:
+        self._started = time.perf_counter()
+
+    def finish(self) -> None:
+        self.wall_seconds = time.perf_counter() - self._started
+
+    def add(self, cell: CellTelemetry) -> None:
+        self.cells.append(cell)
+
+    # -- aggregates ----------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return sum(1 for c in self.cells if c.status == "ok")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for c in self.cells if c.status == "failed")
+
+    @property
+    def retries(self) -> int:
+        return sum(max(0, c.attempts - 1) for c in self.cells)
+
+    @property
+    def dataset_cache_hits(self) -> int:
+        return sum(1 for c in self.cells if c.dataset_cache_hit)
+
+    @property
+    def result_cache_hits(self) -> int:
+        return sum(1 for c in self.cells if c.result_cache_hit)
+
+    @property
+    def fit_score_seconds(self) -> float:
+        return sum(c.fit_score_seconds for c in self.cells)
+
+    @property
+    def cell_wall_seconds(self) -> float:
+        return sum(c.wall_seconds for c in self.cells)
+
+    def summary(self) -> str:
+        lines = [
+            f"engine: {self.completed}/{len(self.cells)} cells ok "
+            f"({self.failed} failed, {self.retries} retries) "
+            f"in {self.wall_seconds:.2f}s wall with jobs={self.jobs}",
+            f"engine: cache reuse — {self.result_cache_hits} whole-cell, "
+            f"{self.dataset_cache_hits} dataset hits; "
+            f"cumulative cell time {self.cell_wall_seconds:.2f}s "
+            f"(fit/score {self.fit_score_seconds:.2f}s)",
+        ]
+        return "\n".join(lines)
+
+
+class ProgressReporter:
+    """Streams one line per finished cell.
+
+    The engine invokes :meth:`cell_done` from the collection loop (never
+    from worker processes), so lines appear in completion order without
+    interleaving.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        stream: TextIO | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stdout
+        self.enabled = enabled
+        self._done = 0
+
+    def cell_done(self, cell: CellTelemetry) -> None:
+        self._done += 1
+        if self.enabled:
+            print(f"[{self._done:2d}/{self.total}] {cell.describe()}",
+                  file=self.stream)
+
+
+#: Signature accepted by the engine's ``progress`` parameter.
+ProgressCallback = Callable[[CellTelemetry], None]

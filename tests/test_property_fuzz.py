@@ -7,12 +7,15 @@ the threshold search respects its budget whenever the budget is
 feasible.
 """
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.thresholds import fpr_budget_threshold
 from repro.datasets.traffic import Network, tcp_conversation
+from repro.features.incstat import IncStat
 from repro.flows.assembler import FlowAssembler
 from repro.flows.cicflow import cicflow_features
 from repro.flows.netflow import netflow_features
@@ -127,6 +130,95 @@ class TestFeatureFiniteness:
                 assert np.isfinite(value), f"cicflow {name}"
             for name, value in netflow_features(flow).items():
                 assert np.isfinite(value), f"netflow {name}"
+
+
+#: Bounded stream observations: (value, dt-since-previous) pairs with
+#: non-negative time steps, as AfterImage sees them.
+_observations = st.lists(
+    st.tuples(
+        st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),
+        st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestIncStatProperties:
+    """Invariants of the damped statistics Kitsune's features rest on."""
+
+    @settings(max_examples=200)
+    @given(_observations, st.sampled_from([5.0, 3.0, 1.0, 0.1, 0.01]),
+           st.floats(0.0, 100.0))
+    def test_decay_is_monotone_in_time(self, observations, decay, extra_dt):
+        """Once observations stop, weight/|LS|/SS can only shrink as the
+        decay horizon advances — never grow, never go negative."""
+        stat = IncStat(decay)
+        now = 0.0
+        for value, dt in observations:
+            now += dt
+            stat.insert(value, now)
+        before = (stat.weight, abs(stat.linear_sum), stat.squared_sum)
+        stat.decay_to(now + extra_dt)
+        after = (stat.weight, abs(stat.linear_sum), stat.squared_sum)
+        for b, a in zip(before, after):
+            assert 0.0 <= a <= b + 1e-12
+
+    @settings(max_examples=200)
+    @given(
+        st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),
+        st.sampled_from([5.0, 1.0, 0.1]),
+        st.floats(0.0, 20.0),
+        st.floats(0.0, 20.0),
+    )
+    def test_split_decay_commutes_with_merged_interval(
+        self, value, decay, dt1, dt2
+    ):
+        """insert then decay_to(t1); decay_to(t2) == decay_to(t2)
+        directly: decaying across [t0,t1] then [t1,t2] must equal one
+        merged [t0,t2] decay (exponential damping is interval-additive)."""
+        split = IncStat(decay)
+        split.insert(value, 10.0)
+        split.decay_to(10.0 + dt1)
+        split.decay_to(10.0 + dt1 + dt2)
+
+        merged = IncStat(decay)
+        merged.insert(value, 10.0)
+        merged.decay_to(10.0 + dt1 + dt2)
+
+        assert split.weight == pytest.approx(merged.weight, rel=1e-9, abs=1e-300)
+        assert split.linear_sum == pytest.approx(
+            merged.linear_sum, rel=1e-9, abs=1e-300
+        )
+        assert split.squared_sum == pytest.approx(
+            merged.squared_sum, rel=1e-9, abs=1e-300
+        )
+        assert split.last_time == pytest.approx(merged.last_time)
+
+    @settings(max_examples=200)
+    @given(_observations, st.sampled_from([5.0, 1.0, 0.01]))
+    def test_weight_mean_std_invariants(self, observations, decay):
+        """With every observation weighted positively: weight > 0 after
+        any insert, std/variance are never negative, the mean stays
+        inside the observed value envelope, and exported stats are
+        finite."""
+        stat = IncStat(decay)
+        assert stat.stats() == (0.0, 0.0, 0.0)  # empty stream is all-zero
+        now = 0.0
+        values = []
+        for value, dt in observations:
+            now += dt
+            values.append(value)
+            stat.insert(value, now)
+            assert stat.weight > 0.0
+            assert stat.variance >= 0.0
+            assert stat.std >= 0.0
+            # A damped mean is a positively-weighted average of the
+            # inserted values, so it cannot escape their envelope.
+            assert min(values) - 1e-9 <= stat.mean <= max(values) + 1e-9
+            weight, mean, std = stat.stats()
+            assert all(math.isfinite(x) for x in (weight, mean, std))
+            assert std * std == pytest.approx(stat.variance, rel=1e-6, abs=1e-12)
 
 
 class TestThresholdBudgetProperty:

@@ -1,0 +1,347 @@
+"""The execution engine's determinism contract, caches and telemetry.
+
+The load-bearing guarantee: a cell's result depends only on its config.
+Serial, parallel, cached and freshly-generated runs of the same
+(sub-)matrix must therefore be *bit-identical* — scores, thresholds and
+metrics alike.
+"""
+
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import (
+    EXPERIMENT_MATRIX,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.core.pipeline import IDSAnalysisPipeline
+from repro.datasets.registry import (
+    generate_dataset,
+    generate_dataset_uncached,
+    install_dataset_cache,
+)
+from repro.runner import (
+    DatasetCache,
+    EngineError,
+    ExperimentEngine,
+    ResultCache,
+    config_key,
+    dataset_key,
+    dataset_requirements,
+    plan_cells,
+    plan_configs,
+)
+
+IDS_NAMES = ("DNN", "Slips")
+DATASET_NAMES = ("BoT-IoT", "Stratosphere")
+SCALE = 0.08
+SEED = 0
+
+
+def _assert_identical(expected, actual):
+    assert expected.keys() == actual.keys()
+    for key in expected:
+        np.testing.assert_array_equal(expected[key].scores, actual[key].scores)
+        np.testing.assert_array_equal(expected[key].y_true, actual[key].y_true)
+        assert expected[key].metrics == actual[key].metrics, key
+        assert expected[key].threshold == actual[key].threshold, key
+        assert expected[key].attack_types == actual[key].attack_types, key
+
+
+@pytest.fixture(scope="module")
+def seed_path_results():
+    """The seed reproduction's path: serial, uncached run_experiment."""
+    results = {}
+    for ids_name in IDS_NAMES:
+        for dataset_name in DATASET_NAMES:
+            config = replace(
+                EXPERIMENT_MATRIX[(ids_name, dataset_name)],
+                seed=SEED, scale=SCALE,
+            )
+            results[(ids_name, dataset_name)] = run_experiment(config)
+    return results
+
+
+class TestDeterminism:
+    def test_serial_engine_matches_seed_path(self, seed_path_results):
+        engine = ExperimentEngine(jobs=1)
+        results = engine.run_matrix(
+            IDS_NAMES, DATASET_NAMES, seed=SEED, scale=SCALE
+        )
+        _assert_identical(seed_path_results, results)
+
+    def test_parallel_engine_bit_identical_to_serial(self, seed_path_results):
+        engine = ExperimentEngine(jobs=2)
+        results = engine.run_matrix(
+            IDS_NAMES, DATASET_NAMES, seed=SEED, scale=SCALE
+        )
+        _assert_identical(seed_path_results, results)
+
+    def test_two_runs_same_seed_identical(self):
+        first = ExperimentEngine(jobs=1).run_matrix(
+            ("Slips",), DATASET_NAMES, seed=7, scale=SCALE
+        )
+        second = ExperimentEngine(jobs=1).run_matrix(
+            ("Slips",), DATASET_NAMES, seed=7, scale=SCALE
+        )
+        _assert_identical(first, second)
+
+    def test_pipeline_serial_and_parallel_identical(self):
+        serial = IDSAnalysisPipeline(
+            seed=SEED, scale=SCALE,
+            ids_names=IDS_NAMES, dataset_names=DATASET_NAMES, jobs=1,
+        )
+        parallel = IDSAnalysisPipeline(
+            seed=SEED, scale=SCALE,
+            ids_names=IDS_NAMES, dataset_names=DATASET_NAMES, jobs=2,
+        )
+        _assert_identical(serial.run_all(), parallel.run_all())
+
+    def test_disk_cached_rerun_identical(self, seed_path_results, tmp_path):
+        cold = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        cold_results = cold.run_matrix(
+            IDS_NAMES, DATASET_NAMES, seed=SEED, scale=SCALE
+        )
+        warm = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        warm_results = warm.run_matrix(
+            IDS_NAMES, DATASET_NAMES, seed=SEED, scale=SCALE
+        )
+        _assert_identical(seed_path_results, cold_results)
+        _assert_identical(seed_path_results, warm_results)
+        assert warm.last_telemetry.result_cache_hits == 4
+
+
+class TestDatasetCache:
+    def test_memory_hit_returns_same_object(self):
+        cache = DatasetCache()
+        a = cache.get_or_generate("Mirai", seed=1, scale=0.02)
+        b = cache.get_or_generate("Mirai", seed=1, scale=0.02)
+        assert a is b
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+
+    def test_distinct_inputs_distinct_entries(self):
+        cache = DatasetCache()
+        a = cache.get_or_generate("Mirai", seed=1, scale=0.02)
+        b = cache.get_or_generate("Mirai", seed=2, scale=0.02)
+        c = cache.get_or_generate("Mirai", seed=1, scale=0.03)
+        assert cache.stats.misses == 3
+        assert len({id(a), id(b), id(c)}) == 3
+
+    def test_disk_round_trip_identical_packets(self, tmp_path):
+        first = DatasetCache(cache_dir=tmp_path)
+        generated = first.get_or_generate("Mirai", seed=3, scale=0.02)
+        fresh = DatasetCache(cache_dir=tmp_path)  # empty memory tier
+        loaded = fresh.get_or_generate("Mirai", seed=3, scale=0.02)
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.misses == 0
+        assert len(loaded) == len(generated)
+        for ours, theirs in zip(generated.packets, loaded.packets):
+            assert ours.timestamp == theirs.timestamp
+            assert ours.label == theirs.label
+            assert ours.to_bytes() == theirs.to_bytes()
+
+    def test_cached_equals_uncached(self):
+        cached = DatasetCache().get_or_generate("Mirai", seed=4, scale=0.02)
+        direct = generate_dataset_uncached("Mirai", seed=4, scale=0.02)
+        assert [p.timestamp for p in cached.packets] == \
+               [p.timestamp for p in direct.packets]
+        assert cached.labels == direct.labels
+
+    def test_eviction_respects_budget(self):
+        cache = DatasetCache(max_memory_items=2)
+        for seed in range(4):
+            cache.get_or_generate("Mirai", seed=seed, scale=0.02)
+        assert len(cache) == 2
+
+    def test_keys_distinguish_every_input(self):
+        keys = {
+            dataset_key("Mirai", seed=0, scale=0.1),
+            dataset_key("Mirai", seed=1, scale=0.1),
+            dataset_key("Mirai", seed=0, scale=0.2),
+            dataset_key("BoT-IoT", seed=0, scale=0.1),
+        }
+        assert len(keys) == 4
+
+
+class TestResultCacheKeys:
+    def test_key_stable_for_equal_configs(self):
+        a = ExperimentConfig(ids_name="Slips", dataset_name="Mirai")
+        b = ExperimentConfig(ids_name="Slips", dataset_name="Mirai")
+        assert config_key(a) == config_key(b)
+
+    def test_key_sensitive_to_every_axis(self):
+        base = ExperimentConfig(ids_name="Slips", dataset_name="Mirai")
+        variants = [
+            replace(base, seed=1),
+            replace(base, scale=0.9),
+            replace(base, max_fpr=0.01),
+            replace(base, ids_overrides={"threshold": 2.0}),
+            replace(base, ids_name="DNN"),
+        ]
+        keys = {config_key(v) for v in variants}
+        assert config_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_round_trip(self, tmp_path):
+        config = replace(
+            EXPERIMENT_MATRIX[("Slips", "Mirai")], seed=SEED, scale=0.03
+        )
+        result = run_experiment(config)
+        cache = ResultCache(cache_dir=tmp_path)
+        assert cache.get(config) is None
+        cache.put(config, result)
+        loaded = cache.get(config)
+        np.testing.assert_array_equal(result.scores, loaded.scores)
+        assert result.metrics == loaded.metrics
+
+
+class TestRegistryCacheHook:
+    def test_generate_dataset_routes_through_installed_hook(self):
+        calls = []
+
+        def hook(name, *, seed=0, scale=1.0):
+            calls.append((name, seed, scale))
+            return generate_dataset_uncached(name, seed=seed, scale=scale)
+
+        previous = install_dataset_cache(hook)
+        try:
+            generate_dataset("Mirai", seed=5, scale=0.02)
+        finally:
+            install_dataset_cache(previous)
+        assert calls == [("Mirai", 5, 0.02)]
+
+    def test_engine_installs_hook_only_during_cells(self):
+        from repro.datasets import registry
+
+        assert registry._DATASET_CACHE is None
+        ExperimentEngine(jobs=1).run(plan_configs([
+            ExperimentConfig(
+                ids_name="Slips", dataset_name="Mirai", scale=0.02,
+                flow_train_fraction=0.0, threshold_strategy="fixed",
+            )
+        ]))
+        assert registry._DATASET_CACHE is None
+
+
+class TestRunConfigsSweeps:
+    def test_multi_seed_sweep_keeps_every_result(self):
+        """A sweep repeats (ids, dataset) across seeds; run_configs must
+        return one result per config, not collapse them by cell key."""
+        base = ExperimentConfig(
+            ids_name="Slips", dataset_name="Mirai", scale=0.02,
+            flow_train_fraction=0.0, threshold_strategy="fixed",
+        )
+        sweep = [replace(base, seed=seed) for seed in (0, 1, 2)]
+        results = ExperimentEngine(jobs=1).run_configs(sweep)
+        assert len(results) == 3
+        assert [r.config.seed for r in results] == [0, 1, 2]
+        # Each seed's result matches its own direct run.
+        for config, result in zip(sweep, results):
+            direct = run_experiment(config)
+            np.testing.assert_array_equal(direct.scores, result.scores)
+
+
+class TestSchedulingPlans:
+    def test_plan_is_dataset_major_and_indexed(self):
+        cells = plan_cells(IDS_NAMES, DATASET_NAMES, seed=3, scale=0.5)
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+        assert [c.key for c in cells] == [
+            ("DNN", "BoT-IoT"), ("Slips", "BoT-IoT"),
+            ("DNN", "Stratosphere"), ("Slips", "Stratosphere"),
+        ]
+        assert all(c.config.seed == 3 and c.config.scale == 0.5 for c in cells)
+
+    def test_dataset_requirements_include_cross_corpus(self):
+        cells = plan_cells(("DNN",), ("Mirai",), seed=0, scale=0.4)
+        triples = dataset_requirements(cells)
+        assert ("Mirai", 0, 0.4) in triples
+        assert ("KDD-reference", 0, 0.2) in triples
+        # The corpus is shared across DNN cells: one requirement only.
+        cells = plan_cells(("DNN",), DATASET_NAMES, seed=0, scale=0.4)
+        names = [t[0] for t in dataset_requirements(cells)]
+        assert names.count("KDD-reference") == 1
+
+
+class TestRetriesAndFailures:
+    def test_unknown_ids_exhausts_retries_with_telemetry(self):
+        engine = ExperimentEngine(jobs=1, retries=2)
+        bad = ExperimentConfig(ids_name="Zeek", dataset_name="Mirai", scale=0.02)
+        with pytest.raises(EngineError, match="failed after 3 attempt"):
+            engine.run(plan_configs([bad]))
+        telemetry = engine.last_telemetry
+        assert telemetry.failed == 1
+        assert telemetry.cells[-1].attempts == 3
+        assert "unknown IDS" in telemetry.cells[-1].error
+
+    def test_parallel_failure_raises_engine_error(self):
+        engine = ExperimentEngine(jobs=2)
+        good = ExperimentConfig(
+            ids_name="Slips", dataset_name="Mirai", scale=0.02,
+            flow_train_fraction=0.0, threshold_strategy="fixed",
+        )
+        bad = ExperimentConfig(ids_name="Zeek", dataset_name="Mirai", scale=0.02)
+        with pytest.raises(EngineError):
+            engine.run(plan_configs([good, bad]))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ExperimentEngine(jobs=0)
+        with pytest.raises(ValueError, match="retries"):
+            ExperimentEngine(retries=-1)
+
+
+class TestTelemetry:
+    def test_cache_hits_and_summary(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        engine.run_matrix(("Slips",), ("Mirai", "Mirai"), seed=0, scale=0.02)
+        telemetry = engine.last_telemetry
+        # Second cell reuses the first cell's dataset.
+        assert telemetry.dataset_cache_hits >= 1
+        summary = telemetry.summary()
+        assert "cells ok" in summary
+        assert "jobs=1" in summary
+        assert telemetry.wall_seconds > 0
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        engine = ExperimentEngine(jobs=1, progress=seen.append)
+        engine.run_matrix(("Slips",), DATASET_NAMES, seed=0, scale=0.02)
+        assert [c.key for c in seen] == [
+            ("Slips", "BoT-IoT"), ("Slips", "Stratosphere"),
+        ]
+        assert all(c.status == "ok" for c in seen)
+
+
+class TestRuntimeSecondsSemantics:
+    def test_runtime_excludes_dataset_generation(self):
+        """runtime_seconds is the IDS fit/score path only: a provider
+        that stalls for 250ms must inflate setup_seconds, not
+        runtime_seconds."""
+        config = ExperimentConfig(
+            ids_name="Slips", dataset_name="Mirai", scale=0.02,
+            flow_train_fraction=0.0, threshold_strategy="fixed",
+        )
+        delay = 0.25
+
+        def slow_provider(name, *, seed=0, scale=1.0):
+            time.sleep(delay)
+            return generate_dataset_uncached(name, seed=seed, scale=scale)
+
+        result = run_experiment(config, dataset_provider=slow_provider)
+        assert result.runtime_seconds >= 0.0
+        assert result.runtime_seconds < delay
+        assert result.notes["setup_seconds"] >= delay
+
+    def test_fit_score_time_is_recorded(self):
+        config = ExperimentConfig(
+            ids_name="DNN", dataset_name="Mirai", scale=0.03,
+            cross_corpus_train=True, test_prevalence=0.9,
+            threshold_strategy="fixed",
+        )
+        result = run_experiment(config)
+        assert result.runtime_seconds > 0.0
+        assert result.notes["setup_seconds"] > 0.0
