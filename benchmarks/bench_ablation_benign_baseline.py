@@ -5,29 +5,41 @@ reports that training "on initial benign traffic ... often did not
 result in adequate performance" when datasets lack a labelled benign
 period. This bench contaminates Kitsune's training prefix with
 increasing fractions of attack traffic and watches detection degrade.
+
+Each contamination fraction is one engine cell: a custom experiment
+kind (:func:`run_contamination_point`, named by dotted path so worker
+processes can resolve it) dispatched through
+``ExperimentEngine.run_configs``. The Mirai capture is requested
+through the engine's dataset provider, so every fraction shares one
+generated dataset and each point's result caches like a Table IV cell.
 """
 
+import copy
+import time
+
+import numpy as np
 import pytest
 
+from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.core.metrics import compute_metrics
 from repro.core.thresholds import fpr_budget_threshold
-from repro.datasets import generate_dataset
 from repro.flows.sampling import sort_by_timestamp
 from repro.ids.kitsune import Kitsune
-from repro.utils.rng import SeededRNG
+from repro.runner import ExperimentEngine
 from repro.utils.tables import TextTable
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import jobs_or, save_result, scale_or
 
 CONTAMINATION = (0.0, 0.1, 0.3, 0.6)
+DEFAULT_SCALE = 0.2
+
+#: Dotted-path experiment kind, resolvable in engine worker processes.
+CONTAMINATION_KIND = (
+    "benchmarks.bench_ablation_benign_baseline:run_contamination_point"
+)
 
 
-@pytest.fixture(scope="module")
-def mirai():
-    return generate_dataset("Mirai", seed=0, scale=0.2)
-
-
-def _contaminated_train(dataset, fraction, rng):
+def _contaminated_train(dataset, fraction):
     """The benign prefix plus a contiguous attack burst.
 
     The burst is a slice of the dataset's own attack phase, time-shifted
@@ -40,8 +52,6 @@ def _contaminated_train(dataset, fraction, rng):
     prefix = dataset.benign_prefix()
     if fraction == 0.0:
         return prefix
-    import copy
-
     attacks = [p for p in dataset.packets if p.label]
     count = int(len(prefix) * fraction)
     burst_source = attacks[:count]
@@ -57,28 +67,56 @@ def _contaminated_train(dataset, fraction, rng):
     return sort_by_timestamp(prefix + injected)
 
 
-def test_benign_baseline_ablation(benchmark, mirai):
-    def sweep():
-        import numpy as np
+def run_contamination_point(config: ExperimentConfig, provider) -> ExperimentResult:
+    """Kitsune trained on a contaminated prefix, tested on a fixed
+    window of held-out benign packets plus the attack phase."""
+    dataset = provider(config.dataset_name, seed=config.seed,
+                       scale=config.scale)
+    fraction = config.experiment_params["contamination"]
+    prefix = dataset.benign_prefix()
+    holdout = len(prefix) // 5  # benign negatives for the test window
+    test = prefix[-holdout:] + dataset.packets[len(prefix):][:6000]
+    y_true = np.array([p.label for p in test])
+    train = _contaminated_train(dataset, fraction)
+    train = [p for p in train
+             if p.timestamp <= prefix[-holdout].timestamp or p.label]
+    fm = max(100, len(train) // 10)
+    ids = Kitsune(fm_grace=fm, ad_grace=max(100, len(train) - fm), seed=0)
+    fit_score_start = time.perf_counter()
+    ids.fit(train)
+    scores = ids.anomaly_scores(test)
+    fit_score_seconds = time.perf_counter() - fit_score_start
+    threshold = fpr_budget_threshold(y_true, scores, max_fpr=0.05)
+    return ExperimentResult(
+        config=config,
+        metrics=compute_metrics(y_true, scores >= threshold),
+        threshold=threshold,
+        scores=scores,
+        y_true=y_true,
+        notes={"contamination": fraction, "train_packets": len(train)},
+        runtime_seconds=fit_score_seconds,
+        attack_types=tuple(p.attack_type for p in test),
+    )
 
-        rows = []
-        prefix = mirai.benign_prefix()
-        holdout = len(prefix) // 5  # benign negatives for the test window
-        test = prefix[-holdout:] + mirai.packets[len(prefix):][:6000]
-        y_true = np.array([p.label for p in test])
-        for fraction in CONTAMINATION:
-            rng = SeededRNG(7, f"contam-{fraction}")
-            train = _contaminated_train(mirai, fraction, rng)
-            train = [p for p in train if p.timestamp <= prefix[-holdout].timestamp
-                     or p.label]
-            fm = max(100, len(train) // 10)
-            ids = Kitsune(fm_grace=fm, ad_grace=max(100, len(train) - fm),
-                          seed=0)
-            ids.fit(train)
-            scores = ids.anomaly_scores(test)
-            t = fpr_budget_threshold(y_true, scores, max_fpr=0.05)
-            rows.append((fraction, compute_metrics(y_true, scores >= t)))
-        return rows
+
+def test_benign_baseline_ablation(benchmark, bench_scale, bench_jobs):
+    scale = scale_or(bench_scale, DEFAULT_SCALE)
+    configs = [
+        ExperimentConfig(
+            ids_name="Kitsune",
+            dataset_name="Mirai",
+            seed=0,
+            scale=scale,
+            experiment=CONTAMINATION_KIND,
+            experiment_params={"contamination": fraction},
+        )
+        for fraction in CONTAMINATION
+    ]
+    engine = ExperimentEngine(jobs=jobs_or(bench_jobs))
+
+    def sweep():
+        results = engine.run_configs(configs)
+        return [(r.notes["contamination"], r.metrics) for r in results]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     table = TextTable(["Train contamination", "Acc.", "Prec.", "Rec.", "F1"])

@@ -7,14 +7,24 @@ bench shows the counterfactual the Discussion (V-B-5) argues for — the
 same models trained in-distribution with a proper chronological split
 perform genuinely well. The gap between this table and the DNN row of
 Table IV is the paper's customisation-matters finding, quantified.
+
+Each model is one engine cell: a custom experiment kind
+(:func:`run_classical_point`, named by dotted path so worker processes
+can resolve it) dispatched through ``ExperimentEngine.run_configs``.
+Every cell re-derives the *same* chronological split (the prep RNG
+label is fixed), so all models are compared on identical train/test
+flows — while the CICIDS2017 capture itself is generated once via the
+engine's dataset provider.
 """
+
+import time
 
 import numpy as np
 import pytest
 
+from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.core.metrics import compute_metrics
 from repro.core.preprocessing import prepare_flow_experiment
-from repro.datasets import generate_dataset
 from repro.ids.classical import (
     DecisionTreeIDS,
     GaussianNBIDS,
@@ -23,10 +33,13 @@ from repro.ids.classical import (
     RandomForestIDS,
 )
 from repro.ids.dnn import DNNClassifierIDS
+from repro.runner import ExperimentEngine
 from repro.utils.rng import SeededRNG
 from repro.utils.tables import TextTable
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import jobs_or, save_result, scale_or
+
+DEFAULT_SCALE = 0.2
 
 MODELS = (
     ("LogisticRegression", LogisticRegressionIDS),
@@ -37,29 +50,54 @@ MODELS = (
     ("DNN (in-distribution)", DNNClassifierIDS),
 )
 
+#: Dotted-path experiment kind, resolvable in engine worker processes.
+CLASSICAL_KIND = "benchmarks.bench_ablation_classical_ml:run_classical_point"
 
-@pytest.fixture(scope="module")
-def flow_data():
-    dataset = generate_dataset("CICIDS2017", seed=0, scale=0.2)
-    return prepare_flow_experiment(
+
+def run_classical_point(config: ExperimentConfig, provider) -> ExperimentResult:
+    """One in-distribution model on the shared chronological split."""
+    dataset = provider(config.dataset_name, seed=config.seed,
+                       scale=config.scale)
+    # Fixed RNG label: every model sees the identical split.
+    data = prepare_flow_experiment(
         dataset, SeededRNG(0, "ablation-a4"), schema="cicflow",
         train_fraction=0.6, test_prevalence=0.3,
     )
+    model = dict(MODELS)[config.ids_name]()
+    fit_score_start = time.perf_counter()
+    model.fit(data.train_flows, data.train_features, data.train_labels)
+    scores = model.anomaly_scores(data.test_flows, data.test_features)
+    fit_score_seconds = time.perf_counter() - fit_score_start
+    predictions = (np.asarray(scores) >= 0.5).astype(int)
+    return ExperimentResult(
+        config=config,
+        metrics=compute_metrics(data.y_true, predictions),
+        threshold=0.5,
+        scores=np.asarray(scores),
+        y_true=data.y_true,
+        notes=dict(data.notes),
+        runtime_seconds=fit_score_seconds,
+        attack_types=tuple(f.attack_type for f in data.test_flows),
+    )
 
 
-def test_classical_ml_ablation(benchmark, flow_data):
+def test_classical_ml_ablation(benchmark, bench_scale, bench_jobs):
+    scale = scale_or(bench_scale, DEFAULT_SCALE)
+    configs = [
+        ExperimentConfig(
+            ids_name=name,
+            dataset_name="CICIDS2017",
+            seed=0,
+            scale=scale,
+            experiment=CLASSICAL_KIND,
+        )
+        for name, _ in MODELS
+    ]
+    engine = ExperimentEngine(jobs=jobs_or(bench_jobs))
+
     def sweep():
-        rows = []
-        for name, cls in MODELS:
-            model = cls()
-            model.fit(flow_data.train_flows, flow_data.train_features,
-                      flow_data.train_labels)
-            scores = model.anomaly_scores(flow_data.test_flows,
-                                          flow_data.test_features)
-            m = compute_metrics(flow_data.y_true,
-                                (np.asarray(scores) >= 0.5).astype(int))
-            rows.append((name, m))
-        return rows
+        results = engine.run_configs(configs)
+        return [(r.config.ids_name, r.metrics) for r in results]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     table = TextTable(["Model", "Acc.", "Prec.", "Rec.", "F1"])

@@ -4,25 +4,33 @@ The paper samples *flows* and re-sorts by timestamp so per-flow and
 temporal statistics survive. This bench quantifies what packet-level
 sampling would have destroyed: the flow-size distribution collapses and
 assembled flow counts explode (flows fragment).
+
+Each sampling fraction is one engine cell: a custom experiment kind
+(:func:`run_sampling_point`, named by dotted path so worker processes
+can resolve it) dispatched through ``ExperimentEngine.run_configs``.
+The capture is requested through the engine's dataset provider, so all
+four fractions share one generated dataset — and cache identically to
+Table IV cells.
 """
 
 import numpy as np
 import pytest
 
-from repro.datasets import generate_dataset
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.core.metrics import MetricReport
 from repro.flows.assembler import FlowAssembler
 from repro.flows.sampling import random_flow_sample, random_packet_sample
+from repro.runner import ExperimentEngine
 from repro.utils.rng import SeededRNG
 from repro.utils.tables import TextTable
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import jobs_or, save_result, scale_or
 
 FRACTIONS = (1.0, 0.5, 0.25, 0.1)
+DEFAULT_SCALE = 0.15
 
-
-@pytest.fixture(scope="module")
-def capture():
-    return generate_dataset("CICIDS2017", seed=0, scale=0.15)
+#: Dotted-path experiment kind, resolvable in engine worker processes.
+SAMPLING_KIND = "benchmarks.bench_ablation_sampling:run_sampling_point"
 
 
 def _mean_flow_size(packets):
@@ -32,19 +40,65 @@ def _mean_flow_size(packets):
     return float(np.mean([f.total_packets for f in flows])), len(flows)
 
 
-def test_sampling_ablation(benchmark, capture):
+def run_sampling_point(config: ExperimentConfig, provider) -> ExperimentResult:
+    """One sampling fraction: flow-sampled vs packet-sampled statistics.
+
+    There is no IDS in this cell; the interesting output lands in
+    ``notes`` and the metric block is zeroed. Determinism: the RNG
+    labels are fixed, so the result depends only on the config.
+    """
+    capture = provider(config.dataset_name, seed=config.seed,
+                       scale=config.scale)
+    fraction = config.experiment_params["fraction"]
+    flow_sampled = random_flow_sample(
+        capture.packets, fraction, SeededRNG(1, "flow")
+    )
+    packet_sampled = random_packet_sample(
+        capture.packets, fraction, SeededRNG(1, "pkt")
+    )
+    flow_mean, flow_count = _mean_flow_size(flow_sampled)
+    packet_mean, packet_count = _mean_flow_size(packet_sampled)
+    return ExperimentResult(
+        config=config,
+        metrics=MetricReport(0.0, 0.0, 0.0, 0.0),
+        threshold=0.0,
+        scores=np.empty(0),
+        y_true=np.empty(0, dtype=int),
+        notes={
+            "fraction": fraction,
+            "flow_sampled_mean_pkts": flow_mean,
+            "flow_sampled_flows": flow_count,
+            "packet_sampled_mean_pkts": packet_mean,
+            "packet_sampled_flows": packet_count,
+        },
+        runtime_seconds=0.0,
+    )
+
+
+def test_sampling_ablation(benchmark, bench_scale, bench_jobs):
+    scale = scale_or(bench_scale, DEFAULT_SCALE)
+    configs = [
+        ExperimentConfig(
+            ids_name="FlowSampling",
+            dataset_name="CICIDS2017",
+            seed=0,
+            scale=scale,
+            experiment=SAMPLING_KIND,
+            experiment_params={"fraction": fraction},
+        )
+        for fraction in FRACTIONS
+    ]
+    engine = ExperimentEngine(jobs=jobs_or(bench_jobs))
+
     def sweep():
-        rows = []
-        for fraction in FRACTIONS:
-            flow_sampled = random_flow_sample(
-                capture.packets, fraction, SeededRNG(1, "flow")
-            )
-            packet_sampled = random_packet_sample(
-                capture.packets, fraction, SeededRNG(1, "pkt")
-            )
-            rows.append((fraction, _mean_flow_size(flow_sampled),
-                         _mean_flow_size(packet_sampled)))
-        return rows
+        results = engine.run_configs(configs)
+        return [
+            (r.notes["fraction"],
+             (r.notes["flow_sampled_mean_pkts"], r.notes["flow_sampled_flows"]),
+             (r.notes["packet_sampled_mean_pkts"],
+              r.notes["packet_sampled_flows"]))
+            for r in results
+        ]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     table = TextTable([

@@ -4,18 +4,25 @@ The paper notes the threshold "might differ across IDSs due to their
 varying sensitivity". This bench quantifies that: the same Kitsune
 score stream re-thresholded under every strategy, on one separable
 dataset (Mirai) and one inseparable one (CICIDS2017).
+
+The two score streams are produced by ``ExperimentEngine.run_configs``
+— bit-identical to a direct ``run_experiment`` call by the engine's
+determinism contract, and cached/parallelisable like any matrix cell.
 """
 
 from dataclasses import replace
 
 import pytest
 
-from repro.core.experiment import EXPERIMENT_MATRIX, run_experiment
+from repro.core.experiment import EXPERIMENT_MATRIX
 from repro.core.metrics import compute_metrics
 from repro.core.thresholds import standard_threshold
+from repro.runner import ExperimentEngine
 from repro.utils.tables import TextTable
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import jobs_or, save_result, scale_or
+
+DEFAULT_SCALE = 0.2
 
 STRATEGIES = (
     ("fpr-budget", {"max_fpr": 0.05}),
@@ -25,15 +32,18 @@ STRATEGIES = (
 
 
 @pytest.fixture(scope="module")
-def score_streams():
-    streams = {}
-    for dataset in ("Mirai", "CICIDS2017"):
-        config = replace(
-            EXPERIMENT_MATRIX[("Kitsune", dataset)], scale=0.2, seed=0
-        )
-        result = run_experiment(config)
-        streams[dataset] = (result.y_true, result.scores)
-    return streams
+def score_streams(bench_scale, bench_jobs):
+    scale = scale_or(bench_scale, DEFAULT_SCALE)
+    configs = [
+        replace(EXPERIMENT_MATRIX[("Kitsune", dataset)], scale=scale, seed=0)
+        for dataset in ("Mirai", "CICIDS2017")
+    ]
+    engine = ExperimentEngine(jobs=jobs_or(bench_jobs))
+    results = engine.run_configs(configs)
+    return {
+        result.config.dataset_name: (result.y_true, result.scores)
+        for result in results
+    }
 
 
 def test_threshold_strategy_ablation(benchmark, score_streams):

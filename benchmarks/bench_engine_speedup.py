@@ -13,12 +13,11 @@ Three timings of the full Table IV matrix at benchmark scale:
 
 All three must produce bit-identical metrics; the warm path must be at
 least 2x faster than the baseline. Scale/jobs are overridable for CI
-smoke runs::
+smoke runs via the common bench options::
 
-    REPRO_SPEEDUP_SCALE=0.05 pytest benchmarks/bench_engine_speedup.py -s
+    pytest benchmarks/bench_engine_speedup.py -s --scale 0.05 --jobs 2
 """
 
-import os
 import time
 from dataclasses import replace
 
@@ -31,32 +30,34 @@ from repro.core.experiment import (
 )
 from repro.runner import ExperimentEngine, plan_cells
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import jobs_or, save_result, scale_or
 
-SCALE = float(os.environ.get("REPRO_SPEEDUP_SCALE", "0.35"))
-JOBS = int(os.environ.get("REPRO_SPEEDUP_JOBS", "2"))
+DEFAULT_SCALE = 0.35
+DEFAULT_JOBS = 2
 SEED = 0
 IDS_NAMES = ("Kitsune", "HELAD", "DNN", "Slips")
 
 
-def _run_baseline():
+def _run_baseline(scale):
     """The seed's serial path: fresh generation for every cell."""
     results = {}
     for ids_name in IDS_NAMES:
         for dataset_name in DATASET_ORDER:
             config = replace(
                 EXPERIMENT_MATRIX[(ids_name, dataset_name)],
-                seed=SEED, scale=SCALE,
+                seed=SEED, scale=scale,
             )
             results[(ids_name, dataset_name)] = run_experiment(config)
     return results
 
 
-def test_engine_speedup(tmp_path):
+def test_engine_speedup(tmp_path, bench_scale, bench_jobs):
+    SCALE = scale_or(bench_scale, DEFAULT_SCALE)
+    JOBS = jobs_or(bench_jobs, DEFAULT_JOBS)
     cells = plan_cells(IDS_NAMES, DATASET_ORDER, seed=SEED, scale=SCALE)
 
     start = time.perf_counter()
-    baseline = _run_baseline()
+    baseline = _run_baseline(SCALE)
     t_baseline = time.perf_counter() - start
 
     cold_engine = ExperimentEngine(jobs=JOBS, cache_dir=tmp_path)

@@ -4,22 +4,33 @@ Sweeps the cheap rows (DNN, Slips) across three seeds and reports
 mean ± std per metric. The expensive packet-IDS rows are covered by the
 seed-pinned main bench; their stability was verified manually (see
 EXPERIMENTS.md).
+
+The sweep runs through ``ExperimentEngine.run_configs`` (via
+:func:`repro.core.robustness.stability_report`): both IDS rows share
+one engine, so every ``(dataset, seed)`` substrate is generated exactly
+once for the whole bench, and ``--jobs N`` parallelises the cells.
 """
 
 import pytest
 
 from repro.core.robustness import stability_report
+from repro.runner import ExperimentEngine
 from repro.utils.tables import TextTable
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import jobs_or, save_result, scale_or
 
 SEEDS = (0, 1, 2)
+DEFAULT_SCALE = 0.12
 
 
-def test_seed_stability(benchmark):
+def test_seed_stability(benchmark, bench_scale, bench_jobs):
+    scale = scale_or(bench_scale, DEFAULT_SCALE)
+    engine = ExperimentEngine(jobs=jobs_or(bench_jobs))
+
     def sweep():
         return {
-            ids_name: stability_report(ids_name, seeds=SEEDS, scale=0.12)
+            ids_name: stability_report(ids_name, seeds=SEEDS, scale=scale,
+                                       engine=engine)
             for ids_name in ("DNN", "Slips")
         }
 

@@ -6,24 +6,21 @@ check the qualitative *shape* instead — who wins, where each system
 collapses, which dataset flips the ordering. See DESIGN.md section 4.
 """
 
-import os
-
 import pytest
 
 from repro.core.pipeline import IDSAnalysisPipeline
 from repro.core.report import render_shape_checks, render_table4
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import jobs_or, save_result, scale_or
 
-SCALE = 0.35
+DEFAULT_SCALE = 0.35
 SEED = 0
-#: Worker processes for the matrix run (the engine's --jobs knob).
-JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 @pytest.fixture(scope="module")
-def pipeline():
-    p = IDSAnalysisPipeline(seed=SEED, scale=SCALE, jobs=JOBS)
+def pipeline(bench_scale, bench_jobs):
+    p = IDSAnalysisPipeline(seed=SEED, scale=scale_or(bench_scale, DEFAULT_SCALE),
+                            jobs=jobs_or(bench_jobs))
     p.run_all(verbose=True)
     return p
 

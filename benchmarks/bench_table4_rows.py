@@ -6,28 +6,30 @@ targets for iterating on a single system without re-running the whole
 full-scale run).
 """
 
-import os
-
 import pytest
 
 from repro.core.pipeline import IDSAnalysisPipeline
 from repro.core.report import render_table4
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import jobs_or, save_result, scale_or
 
-SCALE = 0.2
+DEFAULT_SCALE = 0.2
 SEED = 0
-JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
-def _run_row(ids_name: str) -> IDSAnalysisPipeline:
-    pipeline = IDSAnalysisPipeline(seed=SEED, scale=SCALE,
-                                   ids_names=(ids_name,), jobs=JOBS)
-    pipeline.run_all()
-    return pipeline
+@pytest.fixture
+def _run_row(bench_scale, bench_jobs):
+    def run(ids_name: str) -> IDSAnalysisPipeline:
+        pipeline = IDSAnalysisPipeline(
+            seed=SEED, scale=scale_or(bench_scale, DEFAULT_SCALE),
+            ids_names=(ids_name,), jobs=jobs_or(bench_jobs),
+        )
+        pipeline.run_all()
+        return pipeline
+    return run
 
 
-def test_table4_row_kitsune(benchmark):
+def test_table4_row_kitsune(benchmark, _run_row):
     pipeline = benchmark.pedantic(lambda: _run_row("Kitsune"),
                                   rounds=1, iterations=1)
     save_result("table4_row_kitsune", render_table4(pipeline))
@@ -36,7 +38,7 @@ def test_table4_row_kitsune(benchmark):
     assert max(f1["UNSW-NB15"], f1["CICIDS2017"]) < 0.35
 
 
-def test_table4_row_helad(benchmark):
+def test_table4_row_helad(benchmark, _run_row):
     pipeline = benchmark.pedantic(lambda: _run_row("HELAD"),
                                   rounds=1, iterations=1)
     save_result("table4_row_helad", render_table4(pipeline))
@@ -45,7 +47,7 @@ def test_table4_row_helad(benchmark):
     assert pipeline.f1_of("HELAD", "Stratosphere") > 0.6
 
 
-def test_table4_row_dnn(benchmark):
+def test_table4_row_dnn(benchmark, _run_row):
     pipeline = benchmark.pedantic(lambda: _run_row("DNN"),
                                   rounds=1, iterations=1)
     save_result("table4_row_dnn", render_table4(pipeline))
@@ -55,7 +57,7 @@ def test_table4_row_dnn(benchmark):
     assert pipeline.f1_of("DNN", "Stratosphere") < 0.5
 
 
-def test_table4_row_slips(benchmark):
+def test_table4_row_slips(benchmark, _run_row):
     pipeline = benchmark.pedantic(lambda: _run_row("Slips"),
                                   rounds=1, iterations=1)
     save_result("table4_row_slips", render_table4(pipeline))

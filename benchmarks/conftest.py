@@ -3,13 +3,71 @@
 Every bench prints the table it regenerates (run with ``-s`` to see it
 live); heavy pipeline benches run exactly once via ``benchmark.pedantic``.
 Results also land in ``benchmarks/results/`` for inspection.
+
+All benches share one ``--scale`` / ``--jobs`` argument pair instead of
+hard-coding their own knobs::
+
+    PYTHONPATH=src pytest benchmarks/bench_robustness.py -s --scale 0.05 --jobs 2
+
+``--scale`` overrides each bench's calibrated default (shape assertions
+are tuned for the defaults — tiny scales are for smoke runs); ``--jobs``
+sets the execution engine's worker-process count. The environment
+variables ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_JOBS`` are the
+equivalent knobs for CI, with the command line taking precedence.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
+import pytest
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro", "reproduction benchmark options")
+    group.addoption(
+        "--scale", type=float, default=None,
+        help="dataset generation scale for all benches "
+             "(default: each bench's calibrated scale)",
+    )
+    group.addoption(
+        "--jobs", type=int, default=None,
+        help="engine worker processes for all benches (default 1)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> float | None:
+    """The common ``--scale`` override, or ``None`` for bench defaults."""
+    option = request.config.getoption("--scale")
+    if option is not None:
+        return option
+    env = os.environ.get("REPRO_BENCH_SCALE")
+    return float(env) if env else None
+
+
+@pytest.fixture(scope="session")
+def bench_jobs(request) -> int | None:
+    """The common ``--jobs`` override, or ``None`` for bench defaults."""
+    option = request.config.getoption("--jobs")
+    if option is not None:
+        return option
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    return int(env) if env else None
+
+
+def scale_or(bench_scale: float | None, default: float) -> float:
+    """A bench's effective scale: the common override or its default."""
+    return default if bench_scale is None else bench_scale
+
+
+def jobs_or(bench_jobs: int | None, default: int = 1) -> int:
+    """A bench's effective worker count: the common override or its
+    default (most benches run the engine serially by default)."""
+    return default if bench_jobs is None else bench_jobs
 
 
 def save_result(name: str, content: str) -> None:

@@ -29,11 +29,17 @@ from repro.core import (
     render_table2,
     render_table3,
     render_table4,
+    render_table4_sweep,
     run_experiment,
 )
 from repro.datasets import SyntheticDataset, generate_dataset
 from repro.ids import DNNClassifierIDS, HELAD, Kitsune, SlipsIDS
-from repro.runner import DatasetCache, ExperimentEngine
+from repro.runner import (
+    DatasetCache,
+    ExperimentEngine,
+    SweepResult,
+    sweep_matrix,
+)
 from repro.utils import SeededRNG
 
 __version__ = "1.0.0"
@@ -50,11 +56,14 @@ __all__ = [
     "render_table2",
     "render_table3",
     "render_table4",
+    "render_table4_sweep",
     "render_shape_checks",
     "generate_dataset",
     "SyntheticDataset",
     "ExperimentEngine",
     "DatasetCache",
+    "SweepResult",
+    "sweep_matrix",
     "Kitsune",
     "HELAD",
     "DNNClassifierIDS",

@@ -1,15 +1,23 @@
 """Command-line interface for the reproduction pipeline.
 
-Four subcommands mirror the artefacts a user actually wants:
+Six subcommands mirror the artefacts a user actually wants:
 
 * ``repro-cli tables`` — print the static inventories (Tables I-III);
 * ``repro-cli generate`` — synthesise a dataset and write it to pcap;
-* ``repro-cli evaluate`` — run one IDS x dataset cell and print metrics;
-* ``repro-cli table4`` — run the full (or restricted) Table IV matrix.
+* ``repro-cli evaluate`` — run one IDS x dataset cell (optionally
+  across several seeds) and print metrics;
+* ``repro-cli table4`` — run the full (or restricted) Table IV matrix;
+* ``repro-cli table4-sweep`` — run the matrix across N seeds and print
+  the mean±std view of every cell;
+* ``repro-cli cache`` — inspect (``stats``) or LRU-trim (``gc``) an
+  on-disk cache directory.
 
 Usage::
 
     python -m repro.cli table4 --scale 0.2 --ids DNN Slips
+    python -m repro.cli table4-sweep --seeds 3 --scale 0.1 --jobs 2
+
+See ``docs/CLI.md`` for the full reference.
 """
 
 from __future__ import annotations
@@ -63,8 +71,19 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         print(f"error: no experiment for {key}; IDSs: {', '.join(known)}",
               file=sys.stderr)
         return 2
+    if args.seeds > 1:
+        return _evaluate_sweep(args)
     config = replace(EXPERIMENT_MATRIX[key], seed=args.seed, scale=args.scale)
-    result = run_experiment(config)
+    if args.cache_dir is not None or args.jobs > 1:
+        # Honour the engine knobs even for a single seed: a cached cell
+        # is reused, a fresh one is stored for later runs.
+        from repro.runner import ExperimentEngine
+        from repro.runner.scheduling import plan_configs
+
+        engine = ExperimentEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+        result = engine.run(plan_configs([config]))[key]
+    else:
+        result = run_experiment(config)
     m = result.metrics
     print(f"{args.ids} on {args.dataset} (seed={args.seed}, "
           f"scale={args.scale}):")
@@ -76,6 +95,25 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
           f"({config.threshold_strategy})")
     for key_, value in sorted(result.notes.items()):
         print(f"  note: {key_} = {value}")
+    return 0
+
+
+def _evaluate_sweep(args: argparse.Namespace) -> int:
+    """One Table IV cell across several seeds: per-seed rows + mean±std."""
+    from repro.runner import ExperimentEngine
+    from repro.runner.sweep import METRIC_NAMES, sweep_cell
+
+    seeds = tuple(range(args.seed, args.seed + args.seeds))
+    engine = ExperimentEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+    cell = sweep_cell(args.ids, args.dataset, seeds=seeds, scale=args.scale,
+                      engine=engine)
+    print(f"{args.ids} on {args.dataset} "
+          f"(seeds {seeds[0]}..{seeds[-1]}, scale={args.scale}):")
+    for seed, m in cell.per_seed():
+        print(f"  seed {seed}: acc={m.accuracy:.4f} prec={m.precision:.4f} "
+              f"rec={m.recall:.4f} f1={m.f1:.4f}")
+    for metric in METRIC_NAMES:
+        print(f"  {metric:9s} {cell.distribution(metric).format()}")
     return 0
 
 
@@ -92,6 +130,7 @@ def _cmd_table4(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         retries=args.retries,
+        result_cache_bytes=_mb_to_bytes(args.cache_max_mb),
         progress=reporter.cell_done,
     )
     pipeline = IDSAnalysisPipeline(
@@ -115,6 +154,68 @@ def _cmd_table4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_table4_sweep(args: argparse.Namespace) -> int:
+    from repro.core.experiment import DATASET_ORDER
+    from repro.core.report import render_table4_sweep
+    from repro.runner import ExperimentEngine, ProgressReporter
+    from repro.runner.sweep import sweep_matrix
+
+    ids_names = tuple(args.ids)
+    dataset_names = tuple(args.datasets or DATASET_ORDER)
+    seeds = tuple(range(args.seed, args.seed + args.seeds))
+    reporter = ProgressReporter(
+        len(ids_names) * len(dataset_names) * len(seeds)
+    )
+    engine = ExperimentEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        result_cache_bytes=_mb_to_bytes(args.cache_max_mb),
+        progress=reporter.cell_done,
+    )
+    sweep = sweep_matrix(
+        ids_names, dataset_names, seeds=seeds, scale=args.scale, engine=engine
+    )
+    print()
+    if sweep.telemetry is not None:
+        print(sweep.telemetry.summary())
+        print()
+    print(render_table4_sweep(sweep))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runner import cache_dir_stats, gc_cache_dir
+
+    if args.cache_command == "stats":
+        stats = cache_dir_stats(args.cache_dir)
+        total_files = total_bytes = 0
+        for namespace, (files, size) in sorted(stats.items()):
+            print(f"{namespace:9s} {files:6d} entries  {size / 1e6:10.2f} MB")
+            total_files += files
+            total_bytes += size
+        print(f"{'total':9s} {total_files:6d} entries  "
+              f"{total_bytes / 1e6:10.2f} MB")
+        return 0
+    # gc: LRU-trim the results namespace (and optionally datasets).
+    reports = gc_cache_dir(
+        args.cache_dir,
+        max_result_bytes=_mb_to_bytes(args.max_mb),
+        max_dataset_bytes=_mb_to_bytes(args.datasets_max_mb),
+    )
+    if not reports:
+        print("nothing to do: pass --max-mb and/or --datasets-max-mb",
+              file=sys.stderr)
+        return 2
+    for report in reports:
+        print(report.describe())
+    return 0
+
+
+def _mb_to_bytes(mb: float | None) -> int | None:
+    return None if mb is None else int(mb * 1_000_000)
+
+
 def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed < 1:
@@ -127,6 +228,27 @@ def _non_negative_int(value: str) -> int:
     if parsed < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
     return parsed
+
+
+def _non_negative_float(value: str) -> float:
+    parsed = float(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """The execution-engine knobs every matrix-running command shares."""
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for cell dispatch (default 1)")
+    parser.add_argument("--cache-dir",
+                        help="on-disk cache for datasets and finished cells; "
+                             "use a fresh directory after code changes")
+    parser.add_argument("--retries", type=_non_negative_int, default=0,
+                        help="extra attempts per failing cell")
+    parser.add_argument("--cache-max-mb", type=_non_negative_float,
+                        help="LRU byte budget for the on-disk result cache, "
+                             "enforced after every stored cell")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,6 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("dataset")
     p_eval.add_argument("--seed", type=int, default=0)
     p_eval.add_argument("--scale", type=float, default=0.2)
+    p_eval.add_argument("--seeds", type=_positive_int, default=1,
+                        help="sweep N consecutive seeds starting at --seed "
+                             "and report mean±std (default 1: single run)")
+    p_eval.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for a multi-seed sweep")
+    p_eval.add_argument("--cache-dir",
+                        help="on-disk cache reused across sweep runs")
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_t4 = sub.add_parser("table4", help="run the Table IV matrix")
@@ -162,14 +291,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_t4.add_argument("--ids", nargs="+",
                       default=["Kitsune", "HELAD", "DNN", "Slips"])
     p_t4.add_argument("--datasets", nargs="+")
-    p_t4.add_argument("--jobs", type=_positive_int, default=1,
-                      help="worker processes for cell dispatch (default 1)")
-    p_t4.add_argument("--cache-dir",
-                      help="on-disk cache for datasets and finished cells; "
-                           "use a fresh directory after code changes")
-    p_t4.add_argument("--retries", type=_non_negative_int, default=0,
-                      help="extra attempts per failing cell")
+    _add_engine_args(p_t4)
     p_t4.set_defaults(func=_cmd_table4)
+
+    p_sweep = sub.add_parser(
+        "table4-sweep",
+        help="run the Table IV matrix across N seeds; report mean±std",
+    )
+    p_sweep.add_argument("--seed", type=int, default=0,
+                         help="first seed of the sweep (default 0)")
+    p_sweep.add_argument("--seeds", type=_positive_int, default=3,
+                         help="number of consecutive seeds (default 3)")
+    p_sweep.add_argument("--scale", type=float, default=0.35)
+    p_sweep.add_argument("--ids", nargs="+",
+                         default=["Kitsune", "HELAD", "DNN", "Slips"])
+    p_sweep.add_argument("--datasets", nargs="+")
+    _add_engine_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_table4_sweep)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect or trim an on-disk cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_stats = cache_sub.add_parser("stats", help="per-namespace entry "
+                                                 "counts and sizes")
+    p_stats.add_argument("--cache-dir", required=True)
+    p_stats.set_defaults(func=_cmd_cache)
+    p_gc = cache_sub.add_parser(
+        "gc", help="LRU-evict entries down to a byte budget")
+    p_gc.add_argument("--cache-dir", required=True)
+    p_gc.add_argument("--max-mb", type=_non_negative_float,
+                      help="byte budget for the results namespace (MB)")
+    p_gc.add_argument("--datasets-max-mb", type=_non_negative_float,
+                      help="byte budget for the datasets namespace (MB)")
+    p_gc.set_defaults(func=_cmd_cache)
     return parser
 
 

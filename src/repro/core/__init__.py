@@ -41,6 +41,7 @@ from repro.core.report import (
     render_table2,
     render_table3,
     render_table4,
+    render_table4_sweep,
 )
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "render_table2",
     "render_table3",
     "render_table4",
+    "render_table4_sweep",
     "render_shape_checks",
     "FamilyRecall",
     "family_breakdown",

@@ -16,9 +16,10 @@ for UNSW/BoT/CICIDS). See EXPERIMENTS.md for the full derivations.
 
 from __future__ import annotations
 
+import importlib
 import time
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Callable, Protocol
 
 import numpy as np
 
@@ -38,9 +39,23 @@ FLOW_IDS_NAMES = ("DNN", "Slips")
 DATASET_ORDER = ("UNSW-NB15", "BoT-IoT", "CICIDS2017", "Stratosphere", "Mirai")
 
 
+#: The default experiment kind: the paper's Table IV cell evaluation.
+TABLE4_KIND = "table4"
+
+
 @dataclass
 class ExperimentConfig:
-    """Adaptation and evaluation settings for one Table IV cell."""
+    """Adaptation and evaluation settings for one Table IV cell.
+
+    ``experiment`` selects the *kind* of experiment this config
+    describes. The default, :data:`TABLE4_KIND`, is the paper's IDS x
+    dataset cell; other kinds (registered via
+    :func:`register_experiment_kind` or named by a ``"module:function"``
+    dotted path) let ablation sweeps run through the same execution
+    engine — with the same caching and determinism contract. Kind
+    parameters travel in ``experiment_params`` and are part of the
+    result-cache key.
+    """
 
     ids_name: str
     dataset_name: str
@@ -64,6 +79,9 @@ class ExperimentConfig:
     max_flows: int | None = 20_000
     # Extra constructor arguments for the IDS.
     ids_overrides: dict = field(default_factory=dict)
+    # Experiment kind dispatch (ablations, custom sweeps).
+    experiment: str = TABLE4_KIND
+    experiment_params: dict = field(default_factory=dict)
 
     def describe(self) -> str:
         return f"{self.ids_name} on {self.dataset_name} (seed={self.seed})"
@@ -129,12 +147,55 @@ def cross_corpus_requirement(
     return (CROSS_CORPUS_DATASET, config.seed, max(config.scale * 0.5, 0.1))
 
 
+#: Signature of a registered experiment kind: given a config and a
+#: dataset provider, produce the cell's result. Kinds must honour the
+#: determinism contract — the result depends only on ``config``.
+ExperimentRunner = Callable[[ExperimentConfig, DatasetProvider], "ExperimentResult"]
+
+_EXPERIMENT_KINDS: dict[str, ExperimentRunner] = {}
+
+
+def register_experiment_kind(name: str, runner: ExperimentRunner) -> ExperimentRunner:
+    """Register a custom experiment kind under ``name``.
+
+    Registration is per-process; for kinds that must also resolve in
+    engine worker processes, use a ``"module:function"`` dotted path as
+    the config's ``experiment`` value instead — it is imported lazily
+    wherever the cell runs.
+    """
+    if name == TABLE4_KIND:
+        raise ValueError(f"{TABLE4_KIND!r} is the built-in kind")
+    _EXPERIMENT_KINDS[name] = runner
+    return runner
+
+
+def resolve_experiment_kind(name: str) -> ExperimentRunner:
+    """Look up an experiment kind by registered name or dotted path."""
+    runner = _EXPERIMENT_KINDS.get(name)
+    if runner is not None:
+        return runner
+    if ":" in name:
+        module_name, _, attr = name.partition(":")
+        runner = getattr(importlib.import_module(module_name), attr)
+        _EXPERIMENT_KINDS[name] = runner
+        return runner
+    known = ", ".join(sorted(_EXPERIMENT_KINDS) or ("<none>",))
+    raise KeyError(
+        f"unknown experiment kind {name!r} (registered: {known}; "
+        f"dotted 'module:function' paths also resolve)"
+    )
+
+
 def run_experiment(
     config: ExperimentConfig,
     *,
     dataset_provider: DatasetProvider | None = None,
 ) -> ExperimentResult:
-    """Execute one Table IV cell end to end.
+    """Execute one experiment cell end to end.
+
+    The default kind (:data:`TABLE4_KIND`) is the paper's Table IV
+    evaluation; other ``config.experiment`` values dispatch to the
+    registered (or dotted-path) kind runner.
 
     ``dataset_provider`` injects where datasets come from (default: the
     registry generator, regenerating per call). Providers must be
@@ -143,6 +204,8 @@ def run_experiment(
     """
     setup_start = time.perf_counter()
     provider: DatasetProvider = dataset_provider or generate_dataset
+    if config.experiment != TABLE4_KIND:
+        return resolve_experiment_kind(config.experiment)(config, provider)
     rng = SeededRNG(config.seed, f"exp/{config.ids_name}/{config.dataset_name}")
     dataset = provider(
         config.dataset_name, seed=config.seed, scale=config.scale

@@ -68,6 +68,50 @@ def render_table4(pipeline) -> str:
     return "\n".join(lines).rstrip()
 
 
+def render_table4_sweep(sweep) -> str:
+    """Table IV with variance: one ``mean±std`` entry per metric.
+
+    ``sweep`` is a :class:`repro.runner.sweep.SweepResult`. Layout
+    mirrors :func:`render_table4` — one block per IDS, one row per
+    dataset, then the per-IDS average row (dataset averages computed
+    within each seed, then summarised across seeds).
+    """
+    width = 15  # "0.9876±0.0123" plus breathing room
+    seed_list = ",".join(str(s) for s in sweep.seeds)
+    lines: list[str] = [
+        f"Table IV sweep: seeds [{seed_list}] at scale {sweep.scale:g} "
+        f"(mean±std over {len(sweep.seeds)} seed"
+        f"{'s' if len(sweep.seeds) != 1 else ''})",
+        "",
+    ]
+    header = (
+        f"{'Dataset':14s}  {'Acc.':>{width}s}  {'Prec.':>{width}s}  "
+        f"{'Rec.':>{width}s}  {'F1':>{width}s}"
+    )
+    for ids_name in sweep.ids_names:
+        lines.append(f"IDS: {ids_name}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for cell in sweep.row(ids_name):
+            lines.append(
+                f"{cell.dataset_name:14s}  "
+                f"{cell.accuracy.format():>{width}s}  "
+                f"{cell.precision.format():>{width}s}  "
+                f"{cell.recall.format():>{width}s}  "
+                f"{cell.f1.format():>{width}s}"
+            )
+        avg = sweep.average_for(ids_name)
+        lines.append(
+            f"{'Average:':14s}  "
+            f"{avg['accuracy'].format():>{width}s}  "
+            f"{avg['precision'].format():>{width}s}  "
+            f"{avg['recall'].format():>{width}s}  "
+            f"{avg['f1'].format():>{width}s}"
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
 def render_shape_checks(pipeline) -> str:
     """The qualitative-findings verification block."""
     lines = ["Qualitative shape checks (paper Section V):"]

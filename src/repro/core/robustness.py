@@ -4,15 +4,21 @@ The paper reports single-run numbers; a reproduction should know how
 stable its own numbers are. :func:`seed_sweep` re-runs one cell across
 seeds and reports mean/std per metric, and :func:`stability_report`
 does it for a whole IDS row.
+
+Both route through :mod:`repro.runner.sweep` — i.e. through
+``ExperimentEngine.run_configs`` — so repeated sweeps reuse the
+engine's dataset and result caches, and ``engine`` can be injected to
+share caches or add ``--jobs`` parallelism.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-import numpy as np
-
-from repro.core.experiment import EXPERIMENT_MATRIX, run_experiment
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.engine import ExperimentEngine
+    from repro.runner.sweep import CellSweep
 
 
 @dataclass(frozen=True)
@@ -45,34 +51,38 @@ class CellStability:
         return self.f1.std / self.f1.mean
 
 
+def _stability_from_cell(cell: "CellSweep") -> CellStability:
+    def summarise(metric: str) -> MetricSummary:
+        distribution = cell.distribution(metric)
+        return MetricSummary(distribution.mean, distribution.std)
+
+    return CellStability(
+        ids_name=cell.ids_name,
+        dataset_name=cell.dataset_name,
+        seeds=cell.seeds,
+        accuracy=summarise("accuracy"),
+        precision=summarise("precision"),
+        recall=summarise("recall"),
+        f1=summarise("f1"),
+    )
+
+
 def seed_sweep(
     ids_name: str,
     dataset_name: str,
     *,
     seeds: tuple[int, ...] = (0, 1, 2),
     scale: float = 0.15,
+    engine: "ExperimentEngine | None" = None,
 ) -> CellStability:
     """Run one Table IV cell across ``seeds`` and summarise."""
+    from repro.runner.sweep import sweep_cell
+
     if not seeds:
         raise ValueError("at least one seed is required")
-    base = EXPERIMENT_MATRIX[(ids_name, dataset_name)]
-    metrics = []
-    for seed in seeds:
-        config = replace(base, seed=seed, scale=scale)
-        metrics.append(run_experiment(config).metrics)
-
-    def summarise(attr: str) -> MetricSummary:
-        values = np.array([getattr(m, attr) for m in metrics])
-        return MetricSummary(float(values.mean()), float(values.std()))
-
-    return CellStability(
-        ids_name=ids_name,
-        dataset_name=dataset_name,
-        seeds=tuple(seeds),
-        accuracy=summarise("accuracy"),
-        precision=summarise("precision"),
-        recall=summarise("recall"),
-        f1=summarise("f1"),
+    return _stability_from_cell(
+        sweep_cell(ids_name, dataset_name, seeds=seeds, scale=scale,
+                   engine=engine)
     )
 
 
@@ -84,9 +94,18 @@ def stability_report(
     ),
     seeds: tuple[int, ...] = (0, 1, 2),
     scale: float = 0.15,
+    engine: "ExperimentEngine | None" = None,
 ) -> list[CellStability]:
-    """Seed-sweep a full IDS row."""
+    """Seed-sweep a full IDS row in one engine run, so every cell of
+    the row shares the sweep's warmed dataset cache."""
+    from repro.runner.sweep import sweep_matrix
+
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    sweep = sweep_matrix(
+        (ids_name,), dataset_names, seeds=seeds, scale=scale, engine=engine
+    )
     return [
-        seed_sweep(ids_name, dataset, seeds=seeds, scale=scale)
+        _stability_from_cell(sweep.cell(ids_name, dataset))
         for dataset in dataset_names
     ]

@@ -8,9 +8,12 @@ from repro.runner.cache import (
     CACHE_FORMAT_VERSION,
     CacheStats,
     DatasetCache,
+    GCReport,
     ResultCache,
+    cache_dir_stats,
     config_key,
     dataset_key,
+    gc_cache_dir,
 )
 from repro.runner.engine import EngineError, ExperimentEngine
 from repro.runner.scheduling import (
@@ -19,22 +22,41 @@ from repro.runner.scheduling import (
     plan_cells,
     plan_configs,
 )
+from repro.runner.sweep import (
+    CellSweep,
+    MetricDistribution,
+    SweepResult,
+    expand_configs,
+    sweep_cell,
+    sweep_configs,
+    sweep_matrix,
+)
 from repro.runner.telemetry import CellTelemetry, ProgressReporter, RunTelemetry
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "CacheStats",
     "CellSpec",
+    "CellSweep",
     "CellTelemetry",
     "DatasetCache",
     "EngineError",
     "ExperimentEngine",
+    "GCReport",
+    "MetricDistribution",
     "ProgressReporter",
     "ResultCache",
     "RunTelemetry",
+    "SweepResult",
+    "cache_dir_stats",
     "config_key",
     "dataset_key",
     "dataset_requirements",
+    "expand_configs",
+    "gc_cache_dir",
     "plan_cells",
     "plan_configs",
+    "sweep_cell",
+    "sweep_configs",
+    "sweep_matrix",
 ]

@@ -27,6 +27,14 @@ Cache entries do not observe code changes: after editing generators or
 IDSs, point the engine at a fresh ``cache_dir`` (or delete the old
 one). ``CACHE_FORMAT_VERSION`` is baked into every key so incompatible
 layout changes invalidate stale directories automatically.
+
+Long multi-seed sweeps would otherwise grow the disk tiers without
+bound, so both stores support **size-capped LRU eviction**: every disk
+hit refreshes the entry's mtime, and :meth:`_DiskStore.gc` removes
+least-recently-used entries until the namespace fits a byte budget.
+:class:`ResultCache` can enforce its budget automatically on every
+``put`` (``max_bytes``); :func:`gc_cache_dir` applies budgets offline —
+the ``repro-cli cache gc`` verb.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
@@ -44,7 +53,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.datasets.base import SyntheticDataset
 
 #: Bump when the key derivation or pickle layout changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+#: v2: ExperimentConfig gained experiment-kind dispatch fields.
+CACHE_FORMAT_VERSION = 2
 
 
 def dataset_key(name: str, *, seed: int, scale: float) -> str:
@@ -59,12 +69,18 @@ def config_key(config: "ExperimentConfig") -> str:
     config field, in sorted-field order so dict insertion order cannot
     perturb the key."""
     fields = asdict(config)
-    overrides = fields.pop("ids_overrides", {})
-    parts = [f"{k}={fields[k]!r}" for k in sorted(fields)]
-    parts.append(
-        "ids_overrides={%s}"
-        % ", ".join(f"{k!r}: {overrides[k]!r}" for k in sorted(overrides))
-    )
+    parts = []
+    # Dict-valued fields are serialised key-sorted so insertion order
+    # cannot perturb the digest.
+    for dict_field in ("ids_overrides", "experiment_params"):
+        mapping = fields.pop(dict_field, {})
+        parts.append(
+            "%s={%s}" % (
+                dict_field,
+                ", ".join(f"{k!r}: {mapping[k]!r}" for k in sorted(mapping)),
+            )
+        )
+    parts = [f"{k}={fields[k]!r}" for k in sorted(fields)] + parts
     payload = f"v{CACHE_FORMAT_VERSION}:result:" + ";".join(parts)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -92,8 +108,31 @@ class CacheStats:
         )
 
 
+@dataclass(frozen=True)
+class GCReport:
+    """Outcome of one namespace's eviction pass."""
+
+    namespace: str
+    kept_files: int
+    kept_bytes: int
+    removed_files: int
+    removed_bytes: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.namespace}: removed {self.removed_files} entr"
+            f"{'y' if self.removed_files == 1 else 'ies'} "
+            f"({self.removed_bytes} bytes), kept {self.kept_files} "
+            f"({self.kept_bytes} bytes)"
+        )
+
+
 class _DiskStore:
-    """Atomic pickle store for one namespace of a cache directory."""
+    """Atomic pickle store for one namespace of a cache directory.
+
+    Entry mtimes double as LRU recency: :meth:`load` refreshes the
+    mtime on every hit, and :meth:`gc` evicts oldest-mtime-first.
+    """
 
     def __init__(self, root: Path) -> None:
         self.root = root
@@ -105,7 +144,7 @@ class _DiskStore:
         path = self.path(key)
         try:
             with path.open("rb") as fh:
-                return pickle.load(fh)
+                value = pickle.load(fh)
         except FileNotFoundError:
             return None
         except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
@@ -113,6 +152,11 @@ class _DiskStore:
             # library version): drop it and regenerate.
             path.unlink(missing_ok=True)
             return None
+        try:
+            os.utime(path)  # mark recently-used for LRU eviction
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+        return value
 
     def store(self, key: str, value) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -124,6 +168,64 @@ class _DiskStore:
         except BaseException:
             Path(tmp).unlink(missing_ok=True)
             raise
+
+    #: A ``.tmp`` file older than this is a killed write, not a write
+    #: in flight from a concurrent process, and is safe to sweep.
+    STALE_TMP_SECONDS = 3600.0
+
+    def entries(self) -> list[tuple[Path, int, float]]:
+        """``(path, size_bytes, mtime)`` per entry, least recent first.
+
+        Stale ``.tmp`` files from killed writes are swept here rather
+        than listed; *fresh* ones are left alone — they may belong to a
+        concurrent writer that has not yet ``os.replace``d them.
+        """
+        rows: list[tuple[Path, int, float]] = []
+        try:
+            children = list(self.root.iterdir())
+        except FileNotFoundError:
+            return rows
+        now = time.time()
+        for path in children:
+            if path.suffix == ".tmp":
+                try:
+                    if now - path.stat().st_mtime > self.STALE_TMP_SECONDS:
+                        path.unlink(missing_ok=True)
+                except OSError:  # pragma: no cover - entry raced away
+                    pass
+                continue
+            if path.suffix != ".pkl":
+                continue
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - entry raced away
+                continue
+            rows.append((path, stat.st_size, stat.st_mtime))
+        rows.sort(key=lambda row: (row[2], row[0].name))
+        return rows
+
+    def gc(self, max_bytes: int) -> GCReport:
+        """Evict least-recently-used entries until the namespace holds
+        at most ``max_bytes``. Returns what was removed and kept."""
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        rows = self.entries()
+        total = sum(size for _, size, _ in rows)
+        removed_files = removed_bytes = 0
+        for path, size, _ in rows:
+            if total <= max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            removed_files += 1
+            removed_bytes += size
+        return GCReport(
+            namespace=self.root.name,
+            kept_files=len(rows) - removed_files,
+            kept_bytes=total,
+            removed_files=removed_files,
+            removed_bytes=removed_bytes,
+        )
 
 
 @dataclass
@@ -137,7 +239,7 @@ class DatasetCache:
         purely in-memory (still removes the 4x regeneration within one
         matrix run).
     max_memory_items:
-        In-memory entry budget, evicting least-recently-inserted first.
+        In-memory entry budget, evicting least-recently-used first.
         The full matrix needs 6 live datasets (5 evaluated + the DNN's
         training corpus); the default leaves headroom for multi-seed
         sweeps.
@@ -170,6 +272,9 @@ class DatasetCache:
         dataset = self._memory.get(key)
         if dataset is not None:
             self.stats.memory_hits += 1
+            # True LRU: a hit moves the entry to the most-recent end.
+            self._memory.pop(key)
+            self._memory[key] = dataset
             return dataset
         if self._disk is not None:
             dataset = self._disk.load(key)
@@ -193,6 +298,13 @@ class DatasetCache:
             self._memory.pop(next(iter(self._memory)))
         self._memory[key] = dataset
 
+    def gc(self, max_bytes: int) -> GCReport | None:
+        """LRU-evict the disk tier down to ``max_bytes`` (no-op without
+        a ``cache_dir``)."""
+        if self._disk is None:
+            return None
+        return self._disk.gc(max_bytes)
+
     def preloaded(self) -> dict[str, "SyntheticDataset"]:
         """A snapshot of the in-memory tier (for seeding worker caches)."""
         return dict(self._memory)
@@ -211,13 +323,27 @@ class ResultCache:
     """On-disk cache of finished experiment cells, keyed by the full
     config digest. Purely disk-backed: a hit means the identical cell
     (same IDS, dataset, seed, scale, thresholds, budgets, overrides)
-    already ran under this ``cache_dir``."""
+    already ran under this ``cache_dir``.
+
+    ``max_bytes`` arms the size cap: every ``put`` triggers an LRU
+    eviction pass keeping the namespace at or under the budget, so
+    long sweeps cannot grow the cache without bound. ``None`` (the
+    default) leaves growth unbounded — use ``repro-cli cache gc`` for
+    offline trimming.
+    """
 
     cache_dir: str | os.PathLike
+    max_bytes: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
+        if self.max_bytes is not None and self.max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {self.max_bytes}")
         self._disk = _DiskStore(Path(self.cache_dir) / "results")
+        # Running byte total for the online cap: initialised lazily from
+        # one directory scan, then maintained incrementally so a long
+        # sweep does not rescan the namespace after every stored cell.
+        self._approx_bytes: int | None = None
 
     def get(self, config: "ExperimentConfig") -> "ExperimentResult | None":
         result = self._disk.load(config_key(config))
@@ -228,4 +354,52 @@ class ResultCache:
         return result
 
     def put(self, config: "ExperimentConfig", result: "ExperimentResult") -> None:
-        self._disk.store(config_key(config), result)
+        key = config_key(config)
+        self._disk.store(key, result)
+        if self.max_bytes is None:
+            return
+        if self._approx_bytes is None:
+            self._approx_bytes = sum(
+                size for _, size, _ in self._disk.entries()
+            )
+        else:
+            try:
+                self._approx_bytes += self._disk.path(key).stat().st_size
+            except OSError:  # pragma: no cover - entry raced away
+                pass
+        if self._approx_bytes > self.max_bytes:
+            # The full scan runs only on overflow; its report re-syncs
+            # the running total (other processes may share the dir).
+            self._approx_bytes = self.gc(self.max_bytes).kept_bytes
+
+    def gc(self, max_bytes: int) -> GCReport:
+        """LRU-evict the results namespace down to ``max_bytes``."""
+        return self._disk.gc(max_bytes)
+
+
+def cache_dir_stats(cache_dir: str | os.PathLike) -> dict[str, tuple[int, int]]:
+    """``{namespace: (entry_count, total_bytes)}`` for one cache root."""
+    stats: dict[str, tuple[int, int]] = {}
+    for namespace in ("datasets", "results"):
+        entries = _DiskStore(Path(cache_dir) / namespace).entries()
+        stats[namespace] = (len(entries), sum(size for _, size, _ in entries))
+    return stats
+
+
+def gc_cache_dir(
+    cache_dir: str | os.PathLike,
+    *,
+    max_result_bytes: int | None = None,
+    max_dataset_bytes: int | None = None,
+) -> list[GCReport]:
+    """Apply LRU byte budgets to a cache root's namespaces offline.
+
+    ``None`` skips a namespace. This is the implementation behind the
+    ``repro-cli cache gc`` verb.
+    """
+    reports: list[GCReport] = []
+    if max_result_bytes is not None:
+        reports.append(_DiskStore(Path(cache_dir) / "results").gc(max_result_bytes))
+    if max_dataset_bytes is not None:
+        reports.append(_DiskStore(Path(cache_dir) / "datasets").gc(max_dataset_bytes))
+    return reports

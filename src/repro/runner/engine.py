@@ -144,6 +144,11 @@ class ExperimentEngine:
         Inject a pre-built :class:`DatasetCache` (shared across engines
         or pre-warmed by tests). Defaults to a fresh cache rooted at
         ``cache_dir``.
+    result_cache_bytes:
+        Byte budget for the on-disk result cache; every stored cell
+        triggers an LRU eviction pass keeping the namespace at or under
+        the budget (see ``repro-cli cache gc`` for offline trimming).
+        ``None`` (default) leaves growth unbounded.
     progress:
         Optional callback invoked with each cell's
         :class:`CellTelemetry` as it completes (always from the
@@ -157,6 +162,7 @@ class ExperimentEngine:
         cache_dir=None,
         retries: int = 0,
         dataset_cache: DatasetCache | None = None,
+        result_cache_bytes: int | None = None,
         progress: ProgressCallback | None = None,
     ) -> None:
         if jobs < 1:
@@ -168,7 +174,9 @@ class ExperimentEngine:
         self.retries = retries
         self.dataset_cache = dataset_cache or DatasetCache(cache_dir=cache_dir)
         self.result_cache = (
-            ResultCache(cache_dir=cache_dir) if cache_dir is not None else None
+            ResultCache(cache_dir=cache_dir, max_bytes=result_cache_bytes)
+            if cache_dir is not None
+            else None
         )
         self.progress = progress
         self.last_telemetry: RunTelemetry | None = None

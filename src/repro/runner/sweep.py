@@ -1,0 +1,255 @@
+"""Multi-seed (and multi-scale) sweeps through the execution engine.
+
+The paper's Table IV numbers are single-run point estimates. A credible
+reproduction needs variance: this module expands a base experiment plan
+across a seed list (and, optionally, a scale grid), dispatches every
+expanded config through :meth:`ExperimentEngine.run_configs` — so the
+dataset and whole-cell result caches do all the redundancy elimination —
+and aggregates the per-cell metric distributions into a
+:class:`SweepResult` that :func:`repro.core.report.render_table4_sweep`
+renders as a "Table IV ± std" view.
+
+Determinism: a sweep is just a list of :class:`ExperimentConfig`s, so it
+inherits the engine's contract — serial, parallel, cold-cache and
+warm-cache sweeps are bit-identical per seed, and a warm rerun of an
+unchanged sweep is served entirely from the result cache
+(``tests/test_runner_sweep.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.experiment import (
+    DATASET_ORDER,
+    EXPERIMENT_MATRIX,
+    ExperimentConfig,
+    ExperimentResult,
+)
+from repro.core.metrics import MetricReport, average_metrics
+from repro.runner.engine import ExperimentEngine
+from repro.runner.telemetry import RunTelemetry
+
+#: The four reported metrics, Table IV order.
+METRIC_NAMES = ("accuracy", "precision", "recall", "f1")
+
+
+def expand_configs(
+    bases: Sequence[ExperimentConfig],
+    *,
+    seeds: Sequence[int],
+    scales: Sequence[float] | None = None,
+) -> list[ExperimentConfig]:
+    """Cross ``bases`` with a seed list (and optional scale grid).
+
+    Ordering is scale-major, then seed, then base order: all cells of
+    one ``(scale, seed)`` stratum are consecutive, so a dataset-major
+    base order keeps the engine's in-memory dataset tier at one live
+    dataset per stratum.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    expanded: list[ExperimentConfig] = []
+    for scale in scales if scales is not None else (None,):
+        for seed in seeds:
+            for base in bases:
+                config = replace(base, seed=seed)
+                if scale is not None:
+                    config = replace(config, scale=scale)
+                expanded.append(config)
+    return expanded
+
+
+@dataclass(frozen=True)
+class MetricDistribution:
+    """One metric's distribution across a sweep's seeds."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("a distribution needs at least one value")
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (``np.std`` default)."""
+        return float(np.std(self.values))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+    def format(self, digits: int = 4) -> str:
+        """``mean±std`` the way the sweep table prints it."""
+        return f"{self.mean:.{digits}f}±{self.std:.{digits}f}"
+
+
+@dataclass(frozen=True)
+class CellSweep:
+    """One (IDS, dataset) cell's per-seed results and distributions."""
+
+    ids_name: str
+    dataset_name: str
+    seeds: tuple[int, ...]
+    results: tuple[ExperimentResult, ...]
+
+    def distribution(self, metric: str) -> MetricDistribution:
+        if metric not in METRIC_NAMES:
+            raise KeyError(
+                f"unknown metric {metric!r}; one of {METRIC_NAMES}"
+            )
+        return MetricDistribution(
+            tuple(getattr(r.metrics, metric) for r in self.results)
+        )
+
+    @property
+    def accuracy(self) -> MetricDistribution:
+        return self.distribution("accuracy")
+
+    @property
+    def precision(self) -> MetricDistribution:
+        return self.distribution("precision")
+
+    @property
+    def recall(self) -> MetricDistribution:
+        return self.distribution("recall")
+
+    @property
+    def f1(self) -> MetricDistribution:
+        return self.distribution("f1")
+
+    def per_seed(self) -> list[tuple[int, MetricReport]]:
+        """``(seed, metrics)`` rows in seed order."""
+        return [(s, r.metrics) for s, r in zip(self.seeds, self.results)]
+
+
+@dataclass
+class SweepResult:
+    """Aggregated outcome of a multi-seed matrix sweep."""
+
+    ids_names: tuple[str, ...]
+    dataset_names: tuple[str, ...]
+    seeds: tuple[int, ...]
+    scale: float
+    cells: dict[tuple[str, str], CellSweep]
+    telemetry: RunTelemetry | None = None
+
+    def cell(self, ids_name: str, dataset_name: str) -> CellSweep:
+        return self.cells[(ids_name, dataset_name)]
+
+    def row(self, ids_name: str) -> list[CellSweep]:
+        return [self.cells[(ids_name, d)] for d in self.dataset_names]
+
+    def average_for(self, ids_name: str) -> dict[str, MetricDistribution]:
+        """The "Average:" row with variance: the per-IDS dataset average
+        is computed within each seed, then summarised across seeds."""
+        per_seed: list[MetricReport] = []
+        for i in range(len(self.seeds)):
+            per_seed.append(average_metrics([
+                self.cells[(ids_name, d)].results[i].metrics
+                for d in self.dataset_names
+            ]))
+        return {
+            metric: MetricDistribution(
+                tuple(getattr(m, metric) for m in per_seed)
+            )
+            for metric in METRIC_NAMES
+        }
+
+
+def _group_by_cell(
+    configs: Sequence[ExperimentConfig],
+    results: Sequence[ExperimentResult],
+) -> dict[tuple[str, str], CellSweep]:
+    """Zip expanded configs with their results into per-cell sweeps,
+    preserving the expansion's seed order within each cell."""
+    grouped: dict[tuple[str, str], list[tuple[int, ExperimentResult]]] = {}
+    for config, result in zip(configs, results):
+        key = (config.ids_name, config.dataset_name)
+        grouped.setdefault(key, []).append((config.seed, result))
+    return {
+        key: CellSweep(
+            ids_name=key[0],
+            dataset_name=key[1],
+            seeds=tuple(seed for seed, _ in rows),
+            results=tuple(result for _, result in rows),
+        )
+        for key, rows in grouped.items()
+    }
+
+
+def sweep_matrix(
+    ids_names: Sequence[str],
+    dataset_names: Sequence[str] = DATASET_ORDER,
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    scale: float = 0.5,
+    engine: ExperimentEngine | None = None,
+    matrix: Mapping[tuple[str, str], ExperimentConfig] = EXPERIMENT_MATRIX,
+) -> SweepResult:
+    """Run a (sub-)matrix of Table IV across ``seeds`` and aggregate.
+
+    Every cell uses its matrix base config re-seeded and re-scaled —
+    exactly the configs a single-seed :func:`plan_cells` run would use,
+    so seed ``s`` of a sweep is bit-identical to a plain run at seed
+    ``s``.
+    """
+    engine = engine if engine is not None else ExperimentEngine()
+    bases = [
+        matrix[(ids_name, dataset_name)]
+        for dataset_name in dataset_names  # dataset-major, like plan_cells
+        for ids_name in ids_names
+    ]
+    configs = expand_configs(bases, seeds=seeds, scales=[scale])
+    results = engine.run_configs(configs)
+    return SweepResult(
+        ids_names=tuple(ids_names),
+        dataset_names=tuple(dataset_names),
+        seeds=tuple(seeds),
+        scale=scale,
+        cells=_group_by_cell(configs, results),
+        telemetry=engine.last_telemetry,
+    )
+
+
+def sweep_cell(
+    ids_name: str,
+    dataset_name: str,
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    scale: float = 0.5,
+    engine: ExperimentEngine | None = None,
+) -> CellSweep:
+    """Sweep one Table IV cell across seeds."""
+    sweep = sweep_matrix(
+        (ids_name,), (dataset_name,), seeds=seeds, scale=scale, engine=engine
+    )
+    return sweep.cell(ids_name, dataset_name)
+
+
+def sweep_configs(
+    bases: Iterable[ExperimentConfig],
+    *,
+    seeds: Sequence[int],
+    engine: ExperimentEngine | None = None,
+) -> dict[tuple[str, str], CellSweep]:
+    """Sweep ad-hoc base configs (ablation grids) across seeds.
+
+    Returns per-``(ids_name, dataset_name)`` cell sweeps; bases that
+    share a cell key must differ in some other axis or they will
+    collapse into one distribution.
+    """
+    engine = engine if engine is not None else ExperimentEngine()
+    configs = expand_configs(list(bases), seeds=seeds)
+    return _group_by_cell(configs, engine.run_configs(configs))

@@ -1,0 +1,203 @@
+"""Lightweight doctest-style checker for the repository's markdown.
+
+Documentation rots silently: a renamed flag or moved file breaks every
+quickstart that mentions it, and nothing fails. This module keeps
+``README.md`` and ``docs/*.md`` honest without executing anything
+heavyweight:
+
+* fenced ``python`` blocks must *compile* (syntax-checked, not run);
+* every ``repro-cli ...`` / ``python -m repro.cli ...`` command inside
+  fenced ``bash``/``shell``/``console`` blocks must parse against the
+  real :func:`repro.cli.build_parser` — so the documented quickstart
+  commands cannot drift from the argparse surface;
+* relative markdown links must point at files that exist.
+
+Run it directly (the CI docs job does)::
+
+    PYTHONPATH=src python -m repro.utils.doccheck
+
+Lines inside bash blocks that are comments, other tools (``pytest``,
+``pip``), or output are ignored. A trailing ``# doccheck: skip`` on a
+command line skips it explicitly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import re
+import shlex
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Fenced code block: ```lang\n ... \n```
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+#: Inline markdown link: [text](target)
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SHELL_LANGS = {"bash", "sh", "shell", "console"}
+_SKIP_MARKER = "# doccheck: skip"
+
+
+@dataclass(frozen=True)
+class DocIssue:
+    """One thing wrong with one documentation file."""
+
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+def extract_code_blocks(text: str) -> Iterator[tuple[str, int, str]]:
+    """Yield ``(language, first_content_line, code)`` per fenced block."""
+    language = None
+    start = 0
+    buffer: list[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE_RE.match(line.strip())
+        if match and language is None:
+            language = match.group(1).lower()
+            start = number + 1
+            buffer = []
+        elif line.strip() == "```" and language is not None:
+            yield language, start, "\n".join(buffer)
+            language = None
+        elif language is not None:
+            buffer.append(line)
+
+
+def _cli_words(line: str) -> list[str] | None:
+    """The argv for ``build_parser`` if this shell line invokes the CLI
+    (``repro-cli ...`` or ``[ENV=...] python -m repro.cli ...``)."""
+    try:
+        words = shlex.split(line, comments=True)
+    except ValueError:
+        return None
+    while words and "=" in words[0] and not words[0].startswith(("-", "/")):
+        words = words[1:]  # strip ENV=value prefixes
+    if not words:
+        return None
+    if words[0] == "repro-cli":
+        return words[1:]
+    if (len(words) >= 4 and Path(words[0]).name.startswith("python")
+            and words[1] == "-m" and words[2] == "repro.cli"):
+        return words[3:]
+    return None
+
+
+def check_python_block(path: str, line: int, code: str) -> list[DocIssue]:
+    try:
+        compile(code, f"{path}:{line}", "exec")
+    except SyntaxError as error:
+        return [DocIssue(path, line + (error.lineno or 1) - 1,
+                         f"python block does not compile: {error.msg}")]
+    return []
+
+
+def check_shell_block(path: str, line: int, code: str) -> list[DocIssue]:
+    from repro.cli import build_parser
+
+    issues: list[DocIssue] = []
+    pending = ""
+    for offset, raw in enumerate(code.splitlines()):
+        stripped = pending + raw.strip()
+        pending = ""
+        if stripped.endswith("\\"):
+            pending = stripped[:-1] + " "
+            continue
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.endswith(_SKIP_MARKER):
+            continue
+        # Console-style transcripts prefix commands with "$ ".
+        if stripped.startswith("$ "):
+            stripped = stripped[2:]
+        argv = _cli_words(stripped)
+        if argv is None:
+            continue
+        sink = io.StringIO()
+        try:
+            with contextlib.redirect_stderr(sink):
+                build_parser().parse_args(argv)
+        except SystemExit:
+            detail = sink.getvalue().strip().splitlines()
+            issues.append(DocIssue(
+                path, line + offset,
+                "documented CLI command does not parse: "
+                f"{stripped!r}" + (f" ({detail[-1]})" if detail else ""),
+            ))
+    return issues
+
+
+def check_links(path: Path, text: str, root: Path) -> list[DocIssue]:
+    issues: list[DocIssue] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        for target in _LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.partition("#")[0]).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                issues.append(DocIssue(str(path), number,
+                                       f"link escapes the repository: {target}"))
+                continue
+            if not resolved.exists():
+                issues.append(DocIssue(str(path), number,
+                                       f"broken link: {target}"))
+    return issues
+
+
+def check_file(path: Path, root: Path | None = None) -> list[DocIssue]:
+    """Every check, one file."""
+    root = root or path.parent
+    text = path.read_text(encoding="utf-8")
+    issues = check_links(path, text, root)
+    for language, line, code in extract_code_blocks(text):
+        if language == "python":
+            issues.extend(check_python_block(str(path), line, code))
+        elif language in _SHELL_LANGS:
+            issues.extend(check_shell_block(str(path), line, code))
+    return issues
+
+
+def default_documents(root: Path) -> list[Path]:
+    """The documentation set the CI docs job guards."""
+    documents = [root / "README.md"]
+    documents.extend(sorted((root / "docs").glob("*.md")))
+    return [d for d in documents if d.exists()]
+
+
+def check_documents(paths: Iterable[Path], root: Path) -> list[DocIssue]:
+    issues: list[DocIssue] = []
+    for path in paths:
+        issues.extend(check_file(path, root))
+    return issues
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path.cwd()
+    paths = [Path(a) for a in args] if args else default_documents(root)
+    if not paths:
+        print("doccheck: no documentation files found", file=sys.stderr)
+        return 2
+    issues = check_documents(paths, root)
+    for issue in issues:
+        print(issue, file=sys.stderr)
+    checked = ", ".join(str(p) for p in paths)
+    if issues:
+        print(f"doccheck: {len(issues)} issue(s) in {checked}",
+              file=sys.stderr)
+        return 1
+    print(f"doccheck: OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "Zeek", "Mirai"])
 
+    def test_table4_sweep_defaults(self):
+        args = build_parser().parse_args(["table4-sweep"])
+        assert args.seeds == 3
+        assert args.seed == 0
+        assert args.jobs == 1
+        assert args.cache_max_mb is None
+
+    def test_table4_sweep_rejects_zero_seeds(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table4-sweep", "--seeds", "0"])
+
+    def test_cache_gc_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "gc"])
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
 
 class TestCommands:
     def test_tables_prints_inventories(self, capsys):
@@ -61,3 +80,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "IDS: Slips" in out
         assert "Average:" in out
+
+    def test_table4_sweep_renders_std_columns(self, capsys, tmp_path):
+        argv = ["table4-sweep", "--seeds", "2", "--scale", "0.05",
+                "--ids", "Slips", "--datasets", "Mirai",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "IDS: Slips" in out
+        assert "±" in out
+        assert "Average:" in out
+        # Warm rerun: every cell is a whole-cell cache hit.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 whole-cell" in out
+
+    def test_evaluate_single_seed_honours_cache_dir(self, capsys, tmp_path):
+        argv = ["evaluate", "Slips", "Mirai", "--scale", "0.05",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "results").exists()  # cell was stored
+        assert main(argv) == 0  # warm: served from the result cache
+        assert capsys.readouterr().out == first
+
+    def test_evaluate_multi_seed(self, capsys):
+        assert main(["evaluate", "Slips", "Mirai", "--scale", "0.05",
+                     "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 0:" in out
+        assert "seed 1:" in out
+        assert "±" in out
+
+    def test_cache_stats_and_gc(self, capsys, tmp_path):
+        assert main(["table4-sweep", "--seeds", "2", "--scale", "0.05",
+                     "--ids", "Slips", "--datasets", "Mirai",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out and "datasets" in out and "total" in out
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-mb", "0", "--datasets-max-mb", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "results: removed" in out
+        assert "datasets: removed" in out
+
+    def test_cache_gc_without_budget_errors(self, capsys, tmp_path):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+        assert "max-mb" in capsys.readouterr().err

@@ -1,0 +1,83 @@
+"""Documentation honesty checks (the CI docs job, as tier-1 tests).
+
+README.md and docs/*.md must stay truthful: python blocks compile,
+every documented ``repro-cli`` command parses against the real
+``build_parser()``, and relative links resolve.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+from repro.utils.doccheck import (
+    check_documents,
+    check_file,
+    check_shell_block,
+    default_documents,
+    extract_code_blocks,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestRepositoryDocs:
+    def test_front_door_documents_exist(self):
+        for name in ("README.md", "docs/ARCHITECTURE.md", "docs/CLI.md",
+                     "docs/RUNNER.md"):
+            assert (ROOT / name).is_file(), f"{name} is missing"
+
+    def test_all_documents_pass_doccheck(self):
+        documents = default_documents(ROOT)
+        assert len(documents) >= 4
+        issues = check_documents(documents, ROOT)
+        assert not issues, "\n".join(str(i) for i in issues)
+
+    def test_readme_quickstart_commands_parse(self):
+        """The README quickstart must parse via build_parser(): the
+        sweep command with its documented flags, in particular."""
+        text = (ROOT / "README.md").read_text()
+        commands = [
+            code
+            for language, _, code in extract_code_blocks(text)
+            if language == "bash" and "table4-sweep" in code
+        ]
+        assert commands, "README quickstart lost its table4-sweep example"
+        args = build_parser().parse_args(
+            ["table4-sweep", "--seeds", "3", "--scale", "0.1", "--jobs", "2"]
+        )
+        assert (args.seeds, args.scale, args.jobs) == (3, 0.1, 2)
+
+
+class TestDoccheckCatchesRot:
+    def test_flags_unknown_cli_option(self, tmp_path):
+        issues = check_shell_block(
+            "doc.md", 1, "repro-cli table4 --no-such-flag"
+        )
+        assert len(issues) == 1
+        assert "does not parse" in issues[0].message
+
+    def test_flags_python_syntax_error(self, tmp_path):
+        doc = tmp_path / "bad.md"
+        doc.write_text("```python\ndef broken(:\n```\n")
+        issues = check_file(doc, tmp_path)
+        assert any("does not compile" in i.message for i in issues)
+
+    def test_flags_broken_link(self, tmp_path):
+        doc = tmp_path / "links.md"
+        doc.write_text("see [missing](no/such/file.md)\n")
+        issues = check_file(doc, tmp_path)
+        assert any("broken link" in i.message for i in issues)
+
+    def test_ignores_non_cli_lines_and_env_prefixes(self, tmp_path):
+        block = "\n".join([
+            "# a comment",
+            "pip install -e .",
+            "PYTHONPATH=src python -m repro.cli tables",
+            "PYTHONPATH=src python -m pytest -x -q",
+        ])
+        assert check_shell_block("doc.md", 1, block) == []
+
+    def test_skip_marker_respected(self):
+        block = "repro-cli table4 --no-such-flag  # doccheck: skip"
+        assert check_shell_block("doc.md", 1, block) == []

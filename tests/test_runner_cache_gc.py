@@ -1,0 +1,160 @@
+"""Size-capped LRU eviction on the on-disk caches.
+
+The recency signal is the entry mtime: stores set it, hits refresh it
+(``_DiskStore.load`` touches the file), and ``gc`` removes
+oldest-mtime-first until the namespace fits the byte budget. Tests pin
+mtimes explicitly with ``os.utime`` so ordering never depends on clock
+resolution.
+"""
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ExperimentResult
+from repro.core.metrics import MetricReport
+from repro.runner import (
+    DatasetCache,
+    ExperimentEngine,
+    ResultCache,
+    cache_dir_stats,
+    config_key,
+    gc_cache_dir,
+)
+
+
+def _tiny_result(config: ExperimentConfig) -> ExperimentResult:
+    return ExperimentResult(
+        config=config,
+        metrics=MetricReport(1.0, 1.0, 1.0, 1.0),
+        threshold=0.5,
+        scores=np.zeros(4),
+        y_true=np.zeros(4, dtype=int),
+        notes={},
+        runtime_seconds=0.0,
+    )
+
+
+def _configs(n: int) -> list[ExperimentConfig]:
+    base = ExperimentConfig(ids_name="Slips", dataset_name="Mirai")
+    return [replace(base, seed=seed) for seed in range(n)]
+
+
+def _set_mtime(cache: ResultCache, config: ExperimentConfig, mtime: int):
+    path = cache._disk.path(config_key(config))
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+class TestLRUEviction:
+    def test_evicts_oldest_mtime_first(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        configs = _configs(3)
+        for i, config in enumerate(configs):
+            cache.put(config, _tiny_result(config))
+            _set_mtime(cache, config, 1000 + i)
+        entry_size = cache._disk.entries()[0][1]
+        report = cache.gc(max_bytes=2 * entry_size)
+        assert report.removed_files == 1
+        assert report.kept_files == 2
+        # Oldest (seed 0) gone; newer two survive.
+        assert cache.get(configs[0]) is None
+        assert cache.get(configs[1]) is not None
+        assert cache.get(configs[2]) is not None
+
+    def test_read_refreshes_recency(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        configs = _configs(2)
+        for i, config in enumerate(configs):
+            cache.put(config, _tiny_result(config))
+            _set_mtime(cache, config, 1000 + i)
+        # A hit on the older entry makes the *other* one the LRU victim.
+        assert cache.get(configs[0]) is not None
+        entry_size = cache._disk.entries()[0][1]
+        cache.gc(max_bytes=entry_size)
+        assert cache.get(configs[0]) is not None
+        assert cache.get(configs[1]) is None
+
+    def test_zero_budget_clears_namespace(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        for config in _configs(2):
+            cache.put(config, _tiny_result(config))
+        report = cache.gc(max_bytes=0)
+        assert report.kept_files == 0
+        assert report.kept_bytes == 0
+        assert report.removed_files == 2
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(cache_dir=tmp_path).gc(max_bytes=-1)
+
+
+class TestAutoCap:
+    def test_put_enforces_budget(self, tmp_path):
+        probe = ResultCache(cache_dir=tmp_path)
+        config = _configs(1)[0]
+        probe.put(config, _tiny_result(config))
+        entry_size = probe._disk.entries()[0][1]
+        probe.gc(max_bytes=0)
+
+        cache = ResultCache(cache_dir=tmp_path, max_bytes=2 * entry_size)
+        for i, config in enumerate(_configs(4)):
+            cache.put(config, _tiny_result(config))
+            _set_mtime(cache, config, 1000 + i)
+        assert len(cache._disk.entries()) <= 2
+        # The newest entries are the survivors.
+        assert cache.get(_configs(4)[3]) is not None
+
+    def test_engine_forwards_result_cache_bytes(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path, result_cache_bytes=123)
+        assert engine.result_cache.max_bytes == 123
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(cache_dir=tmp_path, max_bytes=-5)
+
+
+class TestDatasetCacheGC:
+    def test_disk_tier_trimmed(self, tmp_path):
+        cache = DatasetCache(cache_dir=tmp_path)
+        cache.get_or_generate("Mirai", seed=0, scale=0.02)
+        cache.get_or_generate("Mirai", seed=1, scale=0.02)
+        report = cache.gc(max_bytes=0)
+        assert report.removed_files == 2
+        assert cache_dir_stats(tmp_path)["datasets"] == (0, 0)
+
+    def test_memory_only_cache_is_noop(self):
+        assert DatasetCache().gc(max_bytes=0) is None
+
+
+class TestCacheDirHelpers:
+    def test_stats_and_offline_gc(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        for config in _configs(2):
+            cache.put(config, _tiny_result(config))
+        stats = cache_dir_stats(tmp_path)
+        assert stats["results"][0] == 2
+        assert stats["results"][1] > 0
+        assert stats["datasets"] == (0, 0)
+
+        reports = gc_cache_dir(tmp_path, max_result_bytes=0)
+        assert len(reports) == 1
+        assert reports[0].namespace == "results"
+        assert reports[0].removed_files == 2
+        assert gc_cache_dir(tmp_path) == []
+
+    def test_gc_sweeps_stale_tmp_but_keeps_fresh_ones(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        config = _configs(1)[0]
+        cache.put(config, _tiny_result(config))
+        stale = cache._disk.root / "abandoned.tmp"
+        stale.write_bytes(b"partial write")
+        os.utime(stale, (1000, 1000))  # long-dead writer
+        fresh = cache._disk.root / "inflight.tmp"
+        fresh.write_bytes(b"concurrent writer mid-store")
+        cache._disk.entries()
+        assert not stale.exists()
+        # A fresh .tmp may belong to a live writer: never swept.
+        assert fresh.exists()

@@ -1,0 +1,280 @@
+"""The multi-seed sweep subsystem: expansion, aggregation, determinism.
+
+Three load-bearing guarantees:
+
+* aggregation math is exactly mean / population-std / min / max over
+  the per-seed values (checked against hand-computed numbers);
+* seed ``s`` of a sweep is bit-identical to a plain engine run at seed
+  ``s``, serial or parallel;
+* a warm rerun of an unchanged sweep is served entirely from the
+  result cache.
+"""
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import (
+    EXPERIMENT_MATRIX,
+    ExperimentConfig,
+    register_experiment_kind,
+    resolve_experiment_kind,
+    run_experiment,
+)
+from repro.core.metrics import MetricReport
+from repro.core.report import render_table4_sweep
+from repro.core.robustness import stability_report
+from repro.runner import (
+    CellSweep,
+    ExperimentEngine,
+    MetricDistribution,
+    SweepResult,
+    expand_configs,
+    sweep_cell,
+    sweep_configs,
+    sweep_matrix,
+)
+
+SCALE = 0.05
+CHEAP = dict(ids_name="Slips", dataset_name="Mirai", scale=SCALE,
+             flow_train_fraction=0.0, threshold_strategy="fixed")
+
+
+class TestExpandConfigs:
+    def test_crosses_seeds_preserving_base_order(self):
+        bases = [
+            ExperimentConfig(ids_name="Slips", dataset_name="Mirai"),
+            ExperimentConfig(ids_name="DNN", dataset_name="Mirai"),
+        ]
+        expanded = expand_configs(bases, seeds=(3, 7))
+        assert [(c.ids_name, c.seed) for c in expanded] == [
+            ("Slips", 3), ("DNN", 3), ("Slips", 7), ("DNN", 7),
+        ]
+
+    def test_scale_grid_is_outermost(self):
+        base = ExperimentConfig(ids_name="Slips", dataset_name="Mirai")
+        expanded = expand_configs([base], seeds=(0, 1), scales=(0.1, 0.2))
+        assert [(c.scale, c.seed) for c in expanded] == [
+            (0.1, 0), (0.1, 1), (0.2, 0), (0.2, 1),
+        ]
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError, match="seed"):
+            expand_configs(
+                [ExperimentConfig(ids_name="Slips", dataset_name="Mirai")],
+                seeds=(),
+            )
+
+
+class TestMetricDistribution:
+    def test_hand_computed_statistics(self):
+        dist = MetricDistribution((0.2, 0.4, 0.9))
+        assert dist.mean == pytest.approx(0.5)
+        # Population std: sqrt(((0.3)^2 + (0.1)^2 + (0.4)^2) / 3)
+        assert dist.std == pytest.approx(math.sqrt(0.26 / 3))
+        assert dist.min == 0.2
+        assert dist.max == 0.9
+
+    def test_single_value_zero_std(self):
+        dist = MetricDistribution((0.75,))
+        assert dist.mean == 0.75
+        assert dist.std == 0.0
+
+    def test_format(self):
+        assert MetricDistribution((0.5, 0.7)).format() == "0.6000±0.1000"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MetricDistribution(())
+
+
+class TestCellSweepAggregation:
+    def _cell(self):
+        def result(f1):
+            config = ExperimentConfig(ids_name="X", dataset_name="Y")
+            from repro.core.experiment import ExperimentResult
+
+            return ExperimentResult(
+                config=config,
+                metrics=MetricReport(accuracy=f1, precision=f1,
+                                     recall=f1, f1=f1),
+                threshold=0.5,
+                scores=np.empty(0),
+                y_true=np.empty(0, dtype=int),
+                notes={},
+                runtime_seconds=0.0,
+            )
+
+        return CellSweep(
+            ids_name="X", dataset_name="Y", seeds=(0, 1),
+            results=(result(0.4), result(0.8)),
+        )
+
+    def test_distribution_and_per_seed_rows(self):
+        cell = self._cell()
+        assert cell.f1.mean == pytest.approx(0.6)
+        assert cell.f1.std == pytest.approx(0.2)
+        assert [(seed, m.f1) for seed, m in cell.per_seed()] == [
+            (0, 0.4), (1, 0.8),
+        ]
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            self._cell().distribution("auroc")
+
+
+class TestSweepDeterminism:
+    def test_each_seed_matches_direct_run(self):
+        sweep = sweep_cell("Slips", "Mirai", seeds=(0, 1), scale=SCALE,
+                           engine=ExperimentEngine(jobs=1))
+        assert sweep.seeds == (0, 1)
+        base = EXPERIMENT_MATRIX[("Slips", "Mirai")]
+        for seed, result in zip(sweep.seeds, sweep.results):
+            direct = run_experiment(replace(base, seed=seed, scale=SCALE))
+            np.testing.assert_array_equal(direct.scores, result.scores)
+            assert direct.metrics == result.metrics
+
+    def test_serial_and_parallel_sweeps_identical(self):
+        kwargs = dict(seeds=(0, 1), scale=SCALE)
+        serial = sweep_matrix(("Slips",), ("BoT-IoT", "Mirai"),
+                              engine=ExperimentEngine(jobs=1), **kwargs)
+        parallel = sweep_matrix(("Slips",), ("BoT-IoT", "Mirai"),
+                                engine=ExperimentEngine(jobs=2), **kwargs)
+        assert serial.cells.keys() == parallel.cells.keys()
+        for key in serial.cells:
+            for a, b in zip(serial.cells[key].results,
+                            parallel.cells[key].results):
+                np.testing.assert_array_equal(a.scores, b.scores)
+                assert a.metrics == b.metrics
+                assert a.threshold == b.threshold
+
+    def test_warm_rerun_served_from_cache(self, tmp_path):
+        kwargs = dict(seeds=(0, 1, 2), scale=SCALE)
+        cold_engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        cold = sweep_matrix(("Slips",), ("Mirai",), engine=cold_engine,
+                            **kwargs)
+        warm_engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        warm = sweep_matrix(("Slips",), ("Mirai",), engine=warm_engine,
+                            **kwargs)
+        telemetry = warm_engine.last_telemetry
+        # Every cell of the warm sweep is a whole-cell cache hit.
+        assert telemetry.result_cache_hits == len(telemetry.cells) == 3
+        for key in cold.cells:
+            for a, b in zip(cold.cells[key].results, warm.cells[key].results):
+                np.testing.assert_array_equal(a.scores, b.scores)
+                assert a.metrics == b.metrics
+
+
+class TestSweepResultAverages:
+    def test_average_is_within_seed_then_across_seeds(self):
+        sweep = sweep_matrix(
+            ("Slips",), ("BoT-IoT", "Mirai"), seeds=(0, 1), scale=SCALE,
+            engine=ExperimentEngine(jobs=1),
+        )
+        averages = sweep.average_for("Slips")
+        for metric in ("accuracy", "precision", "recall", "f1"):
+            per_seed = [
+                np.mean([
+                    getattr(sweep.cell("Slips", d).results[i].metrics, metric)
+                    for d in ("BoT-IoT", "Mirai")
+                ])
+                for i in range(2)
+            ]
+            assert averages[metric].mean == pytest.approx(np.mean(per_seed))
+            assert averages[metric].std == pytest.approx(np.std(per_seed))
+
+    def test_row_follows_dataset_order(self):
+        sweep = sweep_matrix(
+            ("Slips",), ("BoT-IoT", "Mirai"), seeds=(0,), scale=SCALE,
+            engine=ExperimentEngine(jobs=1),
+        )
+        assert [c.dataset_name for c in sweep.row("Slips")] == [
+            "BoT-IoT", "Mirai",
+        ]
+
+
+class TestSweepConfigs:
+    def test_ad_hoc_bases_grouped_by_cell(self):
+        bases = [
+            ExperimentConfig(**CHEAP),
+            ExperimentConfig(**{**CHEAP, "dataset_name": "BoT-IoT"}),
+        ]
+        cells = sweep_configs(bases, seeds=(0, 1),
+                              engine=ExperimentEngine(jobs=1))
+        assert set(cells) == {("Slips", "Mirai"), ("Slips", "BoT-IoT")}
+        assert cells[("Slips", "Mirai")].seeds == (0, 1)
+
+
+class TestRenderTable4Sweep:
+    def test_renders_plus_minus_and_average(self):
+        sweep = sweep_matrix(
+            ("Slips",), ("Mirai",), seeds=(0, 1), scale=SCALE,
+            engine=ExperimentEngine(jobs=1),
+        )
+        text = render_table4_sweep(sweep)
+        assert "IDS: Slips" in text
+        assert "±" in text
+        assert "Average:" in text
+        assert "seeds [0,1]" in text
+
+
+class TestRobustnessThroughEngine:
+    def test_stability_report_matches_direct_runs(self):
+        engine = ExperimentEngine(jobs=1)
+        report = stability_report("Slips", dataset_names=("Mirai",),
+                                  seeds=(0, 1), scale=SCALE, engine=engine)
+        assert len(report) == 1
+        base = EXPERIMENT_MATRIX[("Slips", "Mirai")]
+        f1s = [
+            run_experiment(replace(base, seed=s, scale=SCALE)).metrics.f1
+            for s in (0, 1)
+        ]
+        assert report[0].f1.mean == pytest.approx(np.mean(f1s))
+        assert report[0].f1.std == pytest.approx(np.std(f1s))
+
+
+class TestExperimentKinds:
+    def test_registered_kind_runs_through_engine(self):
+        def fake_kind(config, provider):
+            from repro.core.experiment import ExperimentResult
+
+            value = config.experiment_params["value"]
+            return ExperimentResult(
+                config=config,
+                metrics=MetricReport(value, value, value, value),
+                threshold=0.0,
+                scores=np.empty(0),
+                y_true=np.empty(0, dtype=int),
+                notes={},
+                runtime_seconds=0.0,
+            )
+
+        register_experiment_kind("unit-fake", fake_kind)
+        config = ExperimentConfig(
+            ids_name="Fake", dataset_name="Mirai", scale=SCALE,
+            experiment="unit-fake", experiment_params={"value": 0.25},
+        )
+        [result] = ExperimentEngine(jobs=1).run_configs([config])
+        assert result.metrics.f1 == 0.25
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment kind"):
+            resolve_experiment_kind("no-such-kind")
+
+    def test_builtin_name_cannot_be_rebound(self):
+        with pytest.raises(ValueError, match="built-in"):
+            register_experiment_kind("table4", lambda c, p: None)
+
+    def test_kind_and_params_distinguish_cache_keys(self):
+        from repro.runner import config_key
+
+        base = ExperimentConfig(ids_name="Fake", dataset_name="Mirai")
+        keys = {
+            config_key(base),
+            config_key(replace(base, experiment="unit-fake")),
+            config_key(replace(base, experiment_params={"value": 1})),
+            config_key(replace(base, experiment_params={"value": 2})),
+        }
+        assert len(keys) == 4
