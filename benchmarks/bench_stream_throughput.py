@@ -1,0 +1,110 @@
+"""Measures online streaming throughput per IDS and micro-batch size.
+
+For every evaluated IDS, the full streaming session (source → detector
+→ windows → alerts) runs over the Mirai replay at several micro-batch
+sizes, reporting packets/sec and scored items/sec. Micro-batching is a
+pure throughput knob — the score digest must be identical across batch
+sizes (the streaming parity contract), which this bench cross-checks
+while it measures.
+
+Scale/jobs follow the common bench options; ``--jobs N`` fans the
+(IDS, batch) grid across a process pool::
+
+    PYTHONPATH=src pytest benchmarks/bench_stream_throughput.py -s --scale 0.05 --jobs 2
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from functools import lru_cache
+
+from repro.core.experiment import EXPERIMENT_MATRIX
+from repro.stream.service import stream_experiment
+
+from benchmarks.conftest import jobs_or, save_result, scale_or
+
+DEFAULT_SCALE = 0.3
+SEED = 0
+DATASET = "Mirai"
+IDS_NAMES = ("Kitsune", "HELAD", "DNN", "Slips")
+BATCH_SIZES = (64, 256, 1024)
+
+
+@lru_cache(maxsize=4)
+def _cached_dataset(name: str, seed: int, scale: float):
+    from repro.datasets.registry import generate_dataset_uncached
+
+    return generate_dataset_uncached(name, seed=seed, scale=scale)
+
+
+def _provider(name, *, seed=0, scale=1.0):
+    return _cached_dataset(name, seed, scale)
+
+
+def _stream_point(task):
+    """One (IDS, batch size) measurement; runs in a pool worker under
+    ``--jobs``, so everything in and out must pickle."""
+    ids_name, batch_size, scale = task
+    config = replace(
+        EXPERIMENT_MATRIX[(ids_name, DATASET)], seed=SEED, scale=scale
+    )
+    report = stream_experiment(
+        config, batch_size=batch_size, window_seconds=30.0,
+        dataset_provider=_provider,
+    )
+    return {
+        "ids": ids_name,
+        "batch": batch_size,
+        "unit": report.unit,
+        "n_scored": report.n_scored,
+        "packets": report.packets_streamed,
+        "pps": report.packets_per_second,
+        "ips": report.items_per_second,
+        "stream_seconds": report.stream_seconds,
+        "digest": hashlib.sha256(report.scores.tobytes()).hexdigest(),
+    }
+
+
+def test_stream_throughput(bench_scale, bench_jobs):
+    scale = scale_or(bench_scale, DEFAULT_SCALE)
+    jobs = jobs_or(bench_jobs, 1)
+    tasks = [
+        (ids_name, batch_size, scale)
+        for ids_name in IDS_NAMES
+        for batch_size in BATCH_SIZES
+    ]
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            rows = list(pool.map(_stream_point, tasks))
+    else:
+        rows = [_stream_point(task) for task in tasks]
+
+    # Parity gate: per IDS, the same scores at every batch size.
+    digests: dict[str, set[str]] = {}
+    for row in rows:
+        digests.setdefault(row["ids"], set()).add(row["digest"])
+    for ids_name, seen in digests.items():
+        assert len(seen) == 1, (
+            f"{ids_name}: scores depend on micro-batch size — "
+            "streaming parity contract broken"
+        )
+
+    lines = [
+        f"stream throughput @ scale={scale} dataset={DATASET} "
+        f"seed={SEED} (jobs={jobs})",
+        f"  {'IDS':8s} {'unit':6s} {'batch':>6s} {'scored':>8s} "
+        f"{'pkt/s':>12s} {'items/s':>12s} {'seconds':>9s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['ids']:8s} {row['unit']:6s} {row['batch']:6d} "
+            f"{row['n_scored']:8d} {row['pps']:12,.0f} {row['ips']:12,.0f} "
+            f"{row['stream_seconds']:9.3f}"
+        )
+    save_result("stream_throughput", "\n".join(lines))
+
+    for row in rows:
+        assert row["n_scored"] > 0, row
+        assert row["pps"] > 0, row

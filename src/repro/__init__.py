@@ -40,6 +40,7 @@ from repro.runner import (
     SweepResult,
     sweep_matrix,
 )
+from repro.stream import StreamReport, stream_capture, stream_experiment
 from repro.utils import SeededRNG
 
 __version__ = "1.0.0"
@@ -64,6 +65,9 @@ __all__ = [
     "DatasetCache",
     "SweepResult",
     "sweep_matrix",
+    "StreamReport",
+    "stream_capture",
+    "stream_experiment",
     "Kitsune",
     "HELAD",
     "DNNClassifierIDS",

@@ -1,14 +1,17 @@
 """Command-line interface for the reproduction pipeline.
 
-Six subcommands mirror the artefacts a user actually wants:
+Seven subcommands mirror the artefacts a user actually wants:
 
 * ``repro-cli tables`` — print the static inventories (Tables I-III);
 * ``repro-cli generate`` — synthesise a dataset and write it to pcap;
 * ``repro-cli evaluate`` — run one IDS x dataset cell (optionally
   across several seeds) and print metrics;
 * ``repro-cli table4`` — run the full (or restricted) Table IV matrix;
-* ``repro-cli table4-sweep`` — run the matrix across N seeds and print
-  the mean±std view of every cell;
+* ``repro-cli table4-sweep`` — run the matrix across N seeds (and
+  optionally a scale grid) and print the mean±std view of every cell;
+* ``repro-cli stream`` — run an IDS *online* over a live packet stream
+  (synthetic dataset replay or a pcap file), with sliding-window
+  metrics, alert episodes and a JSON report;
 * ``repro-cli cache`` — inspect (``stats``) or LRU-trim (``gc``) an
   on-disk cache directory.
 
@@ -16,6 +19,7 @@ Usage::
 
     python -m repro.cli table4 --scale 0.2 --ids DNN Slips
     python -m repro.cli table4-sweep --seeds 3 --scale 0.1 --jobs 2
+    python -m repro.cli stream --ids kitsune --dataset mirai --window 10s
 
 See ``docs/CLI.md`` for the full reference.
 """
@@ -23,6 +27,7 @@ See ``docs/CLI.md`` for the full reference.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 
@@ -95,6 +100,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
           f"({config.threshold_strategy})")
     for key_, value in sorted(result.notes.items()):
         print(f"  note: {key_} = {value}")
+    if args.json:
+        _write_json(args.json, {
+            "ids": args.ids, "dataset": args.dataset,
+            "seed": args.seed, "scale": args.scale,
+            "accuracy": m.accuracy, "precision": m.precision,
+            "recall": m.recall, "f1": m.f1,
+            "threshold": result.threshold,
+        })
     return 0
 
 
@@ -114,7 +127,20 @@ def _evaluate_sweep(args: argparse.Namespace) -> int:
               f"rec={m.recall:.4f} f1={m.f1:.4f}")
     for metric in METRIC_NAMES:
         print(f"  {metric:9s} {cell.distribution(metric).format()}")
+    if args.json:
+        from repro.core.export import cell_sweep_to_dict
+
+        payload = cell_sweep_to_dict(cell)
+        payload["scale"] = args.scale
+        _write_json(args.json, payload)
     return 0
+
+
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote JSON report to {path}")
 
 
 def _cmd_table4(args: argparse.Namespace) -> int:
@@ -158,13 +184,14 @@ def _cmd_table4_sweep(args: argparse.Namespace) -> int:
     from repro.core.experiment import DATASET_ORDER
     from repro.core.report import render_table4_sweep
     from repro.runner import ExperimentEngine, ProgressReporter
-    from repro.runner.sweep import sweep_matrix
+    from repro.runner.sweep import sweep_matrix, sweep_scale_grid
 
     ids_names = tuple(args.ids)
     dataset_names = tuple(args.datasets or DATASET_ORDER)
     seeds = tuple(range(args.seed, args.seed + args.seeds))
+    scales = args.scales or [args.scale]
     reporter = ProgressReporter(
-        len(ids_names) * len(dataset_names) * len(seeds)
+        len(ids_names) * len(dataset_names) * len(seeds) * len(scales)
     )
     engine = ExperimentEngine(
         jobs=args.jobs,
@@ -173,14 +200,133 @@ def _cmd_table4_sweep(args: argparse.Namespace) -> int:
         result_cache_bytes=_mb_to_bytes(args.cache_max_mb),
         progress=reporter.cell_done,
     )
-    sweep = sweep_matrix(
-        ids_names, dataset_names, seeds=seeds, scale=args.scale, engine=engine
-    )
+    if args.scales:
+        sweeps = sweep_scale_grid(
+            ids_names, dataset_names, seeds=seeds, scales=scales,
+            engine=engine,
+        )
+    else:
+        sweeps = [sweep_matrix(
+            ids_names, dataset_names, seeds=seeds, scale=args.scale,
+            engine=engine,
+        )]
     print()
-    if sweep.telemetry is not None:
-        print(sweep.telemetry.summary())
+    if sweeps[-1].telemetry is not None:
+        print(sweeps[-1].telemetry.summary())
+    for sweep in sweeps:
         print()
-    print(render_table4_sweep(sweep))
+        if len(sweeps) > 1:
+            print(f"=== scale {sweep.scale} ===")
+        print(render_table4_sweep(sweep))
+    if args.json:
+        from repro.core.export import sweep_to_dict
+
+        if len(sweeps) == 1:
+            _write_json(args.json, sweep_to_dict(sweeps[0]))
+        else:
+            _write_json(args.json, {
+                "scales": [sweep_to_dict(sweep) for sweep in sweeps],
+            })
+    return 0
+
+
+def _parse_duration(value: str) -> float:
+    """A duration like ``10s``, ``2m``, ``0.5h`` or plain seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0}
+    factor = units.get(value[-1:].lower())
+    digits = value[:-1] if factor else value
+    try:
+        seconds = float(digits) * (factor or 1.0)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid duration {value!r} (use e.g. 10s, 2m, 0.5h)"
+        ) from None
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("duration must be positive")
+    return seconds
+
+
+def _parse_scales(value: str) -> list[float]:
+    """A comma-separated scale grid: ``0.1,0.5,1.0``."""
+    try:
+        scales = [float(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid scale list {value!r} (use e.g. 0.1,0.5,1.0)"
+        ) from None
+    if not scales or any(scale <= 0 for scale in scales):
+        raise argparse.ArgumentTypeError("scales must be positive floats")
+    return scales
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream import (
+        PcapReplaySource,
+        build_streaming_detector,
+        canonical_ids_name,
+        stream_capture,
+        stream_experiment,
+    )
+
+    try:
+        ids_name = canonical_ids_name(args.ids)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    def live_window(snapshot) -> None:
+        if not args.quiet:
+            print(snapshot.describe())
+
+    if args.pcap:
+        if args.threshold is None:
+            print("error: --pcap streams are unlabelled; pass an explicit "
+                  "--threshold", file=sys.stderr)
+            return 2
+        detector = build_streaming_detector(
+            ids_name, seed=args.seed, batch_size=args.batch,
+            schema=args.schema, labelled=False,
+            warmup_packets=args.train_packets,
+        )
+        try:
+            report = stream_capture(
+                PcapReplaySource(args.pcap),
+                detector,
+                warmup_packets=args.train_packets,
+                threshold=args.threshold,
+                window_seconds=args.window,
+                on_window=live_window,
+            )
+        except ValueError as error:
+            # e.g. a supervised IDS over an unlabelled capture.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        from repro.core.experiment import EXPERIMENT_MATRIX, ExperimentConfig
+        from repro.datasets.registry import canonical_dataset_name
+
+        try:
+            dataset_name = canonical_dataset_name(args.dataset)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        base = EXPERIMENT_MATRIX.get((ids_name, dataset_name))
+        if base is None:
+            # Off-matrix pairing: evaluate with the config defaults.
+            base = ExperimentConfig(ids_name=ids_name, dataset_name=dataset_name)
+        config = replace(base, seed=args.seed, scale=args.scale,
+                         schema=args.schema)
+        report = stream_experiment(
+            config,
+            batch_size=args.batch,
+            window_seconds=args.window,
+            threshold=args.threshold,
+            on_window=live_window,
+        )
+    print()
+    print(report.render_summary())
+    if args.json:
+        _write_json(args.json, report.to_dict())
     return 0
 
 
@@ -283,6 +429,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for a multi-seed sweep")
     p_eval.add_argument("--cache-dir",
                         help="on-disk cache reused across sweep runs")
+    p_eval.add_argument("--json",
+                        help="write the result (or the multi-seed sweep "
+                             "distributions) to this path as JSON")
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_t4 = sub.add_parser("table4", help="run the Table IV matrix")
@@ -306,8 +455,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--ids", nargs="+",
                          default=["Kitsune", "HELAD", "DNN", "Slips"])
     p_sweep.add_argument("--datasets", nargs="+")
+    p_sweep.add_argument("--scales", type=_parse_scales,
+                         help="comma-separated scale grid (e.g. "
+                              "0.1,0.5,1.0); renders one mean±std table "
+                              "per scale and overrides --scale")
+    p_sweep.add_argument("--json",
+                         help="write the sweep distributions to this "
+                              "path as JSON (a list of per-scale sweeps "
+                              "when --scales is given)")
     _add_engine_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_table4_sweep)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="run an IDS online over a live packet stream",
+    )
+    p_stream.add_argument("--ids", default="Kitsune",
+                          help="IDS to run (case-insensitive: kitsune, "
+                               "helad, dnn, slips)")
+    p_stream.add_argument("--dataset", default="Mirai",
+                          help="synthetic dataset to replay "
+                               "(case-insensitive)")
+    p_stream.add_argument("--pcap",
+                          help="replay a capture file instead of a "
+                               "synthetic dataset (unlabelled: requires "
+                               "--threshold)")
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument("--scale", type=float, default=0.2,
+                          help="dataset generation scale (dataset mode)")
+    p_stream.add_argument("--window", type=_parse_duration, default=10.0,
+                          help="metrics window width (e.g. 10s, 2m; "
+                               "default 10s)")
+    p_stream.add_argument("--batch", type=_positive_int, default=256,
+                          help="micro-batch size for online scoring "
+                               "(a pure throughput knob: scores are "
+                               "bit-identical at any batch size)")
+    p_stream.add_argument("--threshold", type=float,
+                          help="fixed alert threshold; default derives "
+                               "the batch pipeline's standardized "
+                               "threshold post hoc (dataset mode only)")
+    p_stream.add_argument("--train-packets", type=_non_negative_int,
+                          default=1000,
+                          help="warmup prefix length in pcap mode "
+                               "(default 1000)")
+    p_stream.add_argument("--schema", choices=("netflow", "cicflow"),
+                          default="netflow",
+                          help="flow feature schema for flow-level IDSs")
+    p_stream.add_argument("--json", help="write the stream report to "
+                                         "this path as JSON")
+    p_stream.add_argument("--quiet", action="store_true",
+                          help="suppress per-window live output")
+    p_stream.set_defaults(func=_cmd_stream)
 
     p_cache = sub.add_parser("cache",
                              help="inspect or trim an on-disk cache")

@@ -186,6 +186,70 @@ def resolve_experiment_kind(name: str) -> ExperimentRunner:
     )
 
 
+def experiment_input_kind(config: ExperimentConfig) -> InputKind:
+    """Whether this cell's IDS consumes packets or flows."""
+    factory, _ = _build_ids(config)
+    return factory.input_kind
+
+
+def build_packet_cell(config: ExperimentConfig, dataset):
+    """Adapt ``dataset`` and instantiate the IDS for one packet-level
+    cell, exactly as :func:`run_experiment` does.
+
+    This is the shared substrate of the batch path and the streaming
+    path (:mod:`repro.stream.service`): both derive the same RNG
+    children, the same train/test adaptation and the same grace-period
+    arithmetic, so their scores agree bit for bit. Returns the
+    *untrained* IDS and the adapted :class:`PacketExperimentData`.
+    """
+    rng = SeededRNG(config.seed, f"exp/{config.ids_name}/{config.dataset_name}")
+    factory, kwargs = _build_ids(config)
+    if factory.input_kind is not InputKind.PACKET:
+        raise ValueError(f"{config.ids_name} is not a packet-level IDS")
+    data = prepare_packet_experiment(
+        dataset,
+        rng.child("prep"),
+        train_fraction=config.train_fraction,
+        test_prevalence=config.test_prevalence,
+        max_test_packets=config.max_test_packets,
+        max_train_packets=config.max_train_packets,
+    )
+    if config.ids_name == "Kitsune":
+        # Grace periods must fit the available training stream —
+        # the per-dataset setup labour the paper describes.
+        fm = max(100, len(data.train_packets) // 10)
+        kwargs.setdefault("seed", config.seed)
+        kwargs["fm_grace"] = fm
+        kwargs["ad_grace"] = max(100, len(data.train_packets) - fm)
+    else:
+        kwargs.setdefault("seed", config.seed)
+    return factory(**kwargs), data
+
+
+def build_flow_cell(config: ExperimentConfig, dataset, train_dataset=None):
+    """Adapt ``dataset`` and instantiate the IDS for one flow-level
+    cell, exactly as :func:`run_experiment` does (see
+    :func:`build_packet_cell`). Returns the *untrained* IDS and the
+    adapted :class:`FlowExperimentData`."""
+    rng = SeededRNG(config.seed, f"exp/{config.ids_name}/{config.dataset_name}")
+    factory, kwargs = _build_ids(config)
+    if factory.input_kind is not InputKind.FLOW:
+        raise ValueError(f"{config.ids_name} is not a flow-level IDS")
+    data = prepare_flow_experiment(
+        dataset,
+        rng.child("prep"),
+        schema=config.schema,
+        train_dataset=train_dataset,
+        train_fraction=config.flow_train_fraction,
+        train_prevalence=config.train_prevalence,
+        test_prevalence=config.test_prevalence,
+        max_flows=config.max_flows,
+    )
+    if config.ids_name == "DNN":
+        kwargs.setdefault("seed", config.seed)
+    return factory(**kwargs), data
+
+
 def run_experiment(
     config: ExperimentConfig,
     *,
@@ -206,31 +270,13 @@ def run_experiment(
     provider: DatasetProvider = dataset_provider or generate_dataset
     if config.experiment != TABLE4_KIND:
         return resolve_experiment_kind(config.experiment)(config, provider)
-    rng = SeededRNG(config.seed, f"exp/{config.ids_name}/{config.dataset_name}")
     dataset = provider(
         config.dataset_name, seed=config.seed, scale=config.scale
     )
-    factory, kwargs = _build_ids(config)
+    factory, _ = _build_ids(config)
 
     if factory.input_kind is InputKind.PACKET:
-        data = prepare_packet_experiment(
-            dataset,
-            rng.child("prep"),
-            train_fraction=config.train_fraction,
-            test_prevalence=config.test_prevalence,
-            max_test_packets=config.max_test_packets,
-            max_train_packets=config.max_train_packets,
-        )
-        if config.ids_name == "Kitsune":
-            # Grace periods must fit the available training stream —
-            # the per-dataset setup labour the paper describes.
-            fm = max(100, len(data.train_packets) // 10)
-            kwargs.setdefault("seed", config.seed)
-            kwargs["fm_grace"] = fm
-            kwargs["ad_grace"] = max(100, len(data.train_packets) - fm)
-        else:
-            kwargs.setdefault("seed", config.seed)
-        ids = factory(**kwargs)
+        ids, data = build_packet_cell(config, dataset)
         fit_score_start = time.perf_counter()
         ids.fit(data.train_packets)
         scores = ids.anomaly_scores(data.test_packets)
@@ -244,19 +290,7 @@ def run_experiment(
         if requirement is not None:
             cc_name, cc_seed, cc_scale = requirement
             train_dataset = provider(cc_name, seed=cc_seed, scale=cc_scale)
-        data = prepare_flow_experiment(
-            dataset,
-            rng.child("prep"),
-            schema=config.schema,
-            train_dataset=train_dataset,
-            train_fraction=config.flow_train_fraction,
-            train_prevalence=config.train_prevalence,
-            test_prevalence=config.test_prevalence,
-            max_flows=config.max_flows,
-        )
-        if config.ids_name == "DNN":
-            kwargs.setdefault("seed", config.seed)
-        ids = factory(**kwargs)
+        ids, data = build_flow_cell(config, dataset, train_dataset)
         fit_score_start = time.perf_counter()
         ids.fit(data.train_flows, data.train_features, data.train_labels)
         scores = ids.anomaly_scores(data.test_flows, data.test_features)

@@ -60,6 +60,66 @@ def results_to_json(pipeline, *, indent: int = 2) -> str:
     return json.dumps(results_to_dict(pipeline), indent=indent)
 
 
+def distribution_to_dict(dist) -> dict[str, Any]:
+    """Flatten a :class:`~repro.runner.sweep.MetricDistribution`."""
+    return {
+        "mean": dist.mean,
+        "std": dist.std,
+        "min": dist.min,
+        "max": dist.max,
+        "values": list(dist.values),
+    }
+
+
+def cell_sweep_to_dict(cell) -> dict[str, Any]:
+    """Flatten one :class:`~repro.runner.sweep.CellSweep`."""
+    from repro.runner.sweep import METRIC_NAMES
+
+    return {
+        "ids": cell.ids_name,
+        "dataset": cell.dataset_name,
+        "seeds": list(cell.seeds),
+        "metrics": {
+            metric: distribution_to_dict(cell.distribution(metric))
+            for metric in METRIC_NAMES
+        },
+        "per_seed": [
+            {"seed": seed, "accuracy": m.accuracy, "precision": m.precision,
+             "recall": m.recall, "f1": m.f1}
+            for seed, m in cell.per_seed()
+        ],
+    }
+
+
+def sweep_to_dict(sweep) -> dict[str, Any]:
+    """Flatten a :class:`~repro.runner.sweep.SweepResult` for ``--json``
+    export: per-cell metric distributions plus the per-IDS average
+    rows, mirroring the text rendering's content."""
+    averages = {}
+    for ids_name in sweep.ids_names:
+        if all((ids_name, d) in sweep.cells for d in sweep.dataset_names):
+            averages[ids_name] = {
+                metric: distribution_to_dict(dist)
+                for metric, dist in sweep.average_for(ids_name).items()
+            }
+    return {
+        "ids": list(sweep.ids_names),
+        "datasets": list(sweep.dataset_names),
+        "seeds": list(sweep.seeds),
+        "scale": sweep.scale,
+        "cells": [
+            cell_sweep_to_dict(sweep.cells[key])
+            for key in sorted(sweep.cells)
+        ],
+        "averages": averages,
+    }
+
+
+def sweep_to_json(sweep, *, indent: int = 2) -> str:
+    """Serialise a sweep result to a JSON string."""
+    return json.dumps(sweep_to_dict(sweep), indent=indent)
+
+
 def results_to_markdown(pipeline) -> str:
     """Render Table IV as one markdown table per IDS."""
     sections = []

@@ -69,9 +69,10 @@ class MetricReport:
         )
 
 
-def compute_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> MetricReport:
-    """Accuracy/precision/recall/F1 with zero-division-to-zero rules."""
-    tp, fp, tn, fn = confusion_matrix(y_true, y_pred)
+def metrics_from_counts(tp: int, fp: int, tn: int, fn: int) -> MetricReport:
+    """The four metrics from raw confusion counts, with the paper's
+    zero-division-to-zero conventions — the single place those rules
+    live (the batch pipeline and the streaming windows both use it)."""
     total = tp + fp + tn + fn
     accuracy = (tp + tn) / total if total else 0.0
     precision = tp / (tp + fp) if (tp + fp) else 0.0
@@ -85,6 +86,11 @@ def compute_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> MetricReport:
         accuracy=accuracy, precision=precision, recall=recall, f1=f1,
         tp=tp, fp=fp, tn=tn, fn=fn,
     )
+
+
+def compute_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> MetricReport:
+    """Accuracy/precision/recall/F1 with zero-division-to-zero rules."""
+    return metrics_from_counts(*confusion_matrix(y_true, y_pred))
 
 
 def average_metrics(reports: list[MetricReport]) -> MetricReport:

@@ -192,6 +192,20 @@ def install_dataset_cache(
     return previous
 
 
+def canonical_dataset_name(name: str) -> str:
+    """Resolve a (case-insensitive) dataset name to its registry
+    spelling — lets the CLI accept ``mirai`` for ``Mirai``."""
+    known = {**USED_DATASETS, **EXTRA_DATASETS}
+    if name in known:
+        return name
+    lowered = {key.lower(): key for key in known}
+    try:
+        return lowered[name.lower()]
+    except KeyError:
+        names = ", ".join(sorted(known))
+        raise KeyError(f"unknown dataset {name!r}; known: {names}") from None
+
+
 def generate_dataset_uncached(
     name: str, *, seed: int = 0, scale: float = 1.0
 ) -> SyntheticDataset:

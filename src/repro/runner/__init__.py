@@ -30,6 +30,7 @@ from repro.runner.sweep import (
     sweep_cell,
     sweep_configs,
     sweep_matrix,
+    sweep_scale_grid,
 )
 from repro.runner.telemetry import CellTelemetry, ProgressReporter, RunTelemetry
 
@@ -59,4 +60,5 @@ __all__ = [
     "sweep_cell",
     "sweep_configs",
     "sweep_matrix",
+    "sweep_scale_grid",
 ]

@@ -268,6 +268,29 @@ class DatasetCache:
         """Return the dataset for ``(name, seed, scale)``, generating it
         via ``generator`` (default: the registry's uncached generator)
         only on a full miss."""
+        dataset = self.lookup(name, seed=seed, scale=scale)
+        if dataset is not None:
+            return dataset
+        self.stats.misses += 1
+        if generator is None:
+            from repro.datasets.registry import generate_dataset_uncached
+
+            generator = generate_dataset_uncached
+        dataset = generator(name, seed=seed, scale=scale)
+        key = dataset_key(name, seed=seed, scale=scale)
+        self._remember(key, dataset)
+        if self._disk is not None:
+            self._disk.store(key, dataset)
+        return dataset
+
+    def lookup(
+        self, name: str, *, seed: int = 0, scale: float = 1.0
+    ) -> "SyntheticDataset | None":
+        """The cached dataset for ``(name, seed, scale)``, or ``None``
+        without generating. Hits count in :attr:`stats` (a miss does
+        not — the caller decides whether it leads to generation); this
+        is both :meth:`get_or_generate`'s probe and how the engine's
+        parallel warm-up decides which datasets need a worker."""
         key = dataset_key(name, seed=seed, scale=scale)
         dataset = self._memory.get(key)
         if dataset is not None:
@@ -282,16 +305,18 @@ class DatasetCache:
                 self.stats.disk_hits += 1
                 self._remember(key, dataset)
                 return dataset
-        self.stats.misses += 1
-        if generator is None:
-            from repro.datasets.registry import generate_dataset_uncached
+        return None
 
-            generator = generate_dataset_uncached
-        dataset = generator(name, seed=seed, scale=scale)
+    def put(
+        self, name: str, dataset: "SyntheticDataset",
+        *, seed: int = 0, scale: float = 1.0,
+    ) -> None:
+        """Insert an externally-generated dataset (e.g. one a warm-up
+        worker produced) into both tiers."""
+        key = dataset_key(name, seed=seed, scale=scale)
         self._remember(key, dataset)
         if self._disk is not None:
             self._disk.store(key, dataset)
-        return dataset
 
     def _remember(self, key: str, dataset: "SyntheticDataset") -> None:
         while len(self._memory) >= self.max_memory_items:

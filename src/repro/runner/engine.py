@@ -125,6 +125,19 @@ def _worker_run_cell(config: ExperimentConfig) -> _CellOutcome:
     return _execute_cell(config, _WORKER_CACHE)
 
 
+def _generate_requirement(requirement: tuple[str, int, float]):
+    """Warm-up task: generate one dataset in a pool worker.
+
+    Generation bypasses every cache on purpose — the parent already
+    established this requirement is a miss, and warm-pool workers have
+    no shared cache to consult.
+    """
+    from repro.datasets.registry import generate_dataset_uncached
+
+    name, seed, scale = requirement
+    return requirement, generate_dataset_uncached(name, seed=seed, scale=scale)
+
+
 class ExperimentEngine:
     """Cached, optionally parallel executor for experiment cell plans.
 
@@ -268,12 +281,47 @@ class ExperimentEngine:
                 self._finish_cell(spec, outcome, attempts, outcomes, telemetry)
                 break
 
+    def _warm_datasets(self, requirements, telemetry) -> None:
+        """Warm every plan requirement into the dataset cache before
+        cell dispatch, generating cache misses *through the process
+        pool* when there is more than one — dataset generation was the
+        cold-sweep serial bottleneck (one dataset at a time in the
+        parent while workers sat idle).
+
+        Generators are deterministic in ``(name, seed, scale)``, so
+        where a dataset is generated cannot change any result.
+        """
+        warm_start = time.perf_counter()
+        missing = [
+            requirement
+            for requirement in requirements
+            if self.dataset_cache.lookup(
+                requirement[0], seed=requirement[1], scale=requirement[2]
+            ) is None
+        ]
+        if len(missing) > 1 and self.jobs > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(missing))
+            ) as pool:
+                for requirement, dataset in pool.map(
+                    _generate_requirement, missing
+                ):
+                    name, seed, scale = requirement
+                    self.dataset_cache.put(name, dataset, seed=seed, scale=scale)
+                    # Pool generation bypasses get_or_generate; account
+                    # the miss it would have counted.
+                    self.dataset_cache.stats.misses += 1
+        else:
+            for name, seed, scale in missing:
+                self.dataset_cache.get_or_generate(name, seed=seed, scale=scale)
+        telemetry.datasets_warmed = len(missing)
+        telemetry.dataset_warm_seconds = time.perf_counter() - warm_start
+
     def _run_parallel(self, pending, outcomes, telemetry) -> None:
-        # Warm every dataset the plan needs once, in the parent, so
-        # workers inherit generated datasets instead of racing to
-        # regenerate them per process.
-        for name, seed, scale in dataset_requirements(pending):
-            self.dataset_cache.get_or_generate(name, seed=seed, scale=scale)
+        # Warm every dataset the plan needs once (in parallel when
+        # several are missing), so cell workers inherit generated
+        # datasets instead of racing to regenerate them per process.
+        self._warm_datasets(dataset_requirements(pending), telemetry)
 
         max_workers = min(self.jobs, len(pending))
         attempts: dict[int, int] = {spec.index: 0 for spec in pending}

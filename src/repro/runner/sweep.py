@@ -223,6 +223,51 @@ def sweep_matrix(
     )
 
 
+def sweep_scale_grid(
+    ids_names: Sequence[str],
+    dataset_names: Sequence[str] = DATASET_ORDER,
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    scales: Sequence[float] = (0.1, 0.5, 1.0),
+    engine: ExperimentEngine | None = None,
+    matrix: Mapping[tuple[str, str], ExperimentConfig] = EXPERIMENT_MATRIX,
+) -> list[SweepResult]:
+    """Sweep the matrix across a seeds × scales grid, one
+    :class:`SweepResult` per scale.
+
+    All strata dispatch through a *single* :meth:`run_configs` call, so
+    cells cache and parallelise across the whole grid exactly like a
+    seed sweep; within one scale the configs are identical to a plain
+    :func:`sweep_matrix` at that scale, and therefore bit-identical per
+    seed (``tests/test_runner_sweep.py``).
+    """
+    if not scales:
+        raise ValueError("at least one scale is required")
+    engine = engine if engine is not None else ExperimentEngine()
+    bases = [
+        matrix[(ids_name, dataset_name)]
+        for dataset_name in dataset_names  # dataset-major, like plan_cells
+        for ids_name in ids_names
+    ]
+    configs = expand_configs(bases, seeds=seeds, scales=list(scales))
+    results = engine.run_configs(configs)
+    stride = len(bases) * len(seeds)
+    sweeps: list[SweepResult] = []
+    for i, scale in enumerate(scales):
+        chunk = slice(i * stride, (i + 1) * stride)
+        sweeps.append(
+            SweepResult(
+                ids_names=tuple(ids_names),
+                dataset_names=tuple(dataset_names),
+                seeds=tuple(seeds),
+                scale=scale,
+                cells=_group_by_cell(configs[chunk], results[chunk]),
+                telemetry=engine.last_telemetry,
+            )
+        )
+    return sweeps
+
+
 def sweep_cell(
     ids_name: str,
     dataset_name: str,

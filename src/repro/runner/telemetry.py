@@ -58,6 +58,11 @@ class RunTelemetry:
     jobs: int = 1
     cells: list[CellTelemetry] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Datasets the pre-dispatch warm-up actually generated (cache
+    #: misses), and how long the warm-up took. Parallel runs warm
+    #: misses through the process pool (see ``ExperimentEngine``).
+    datasets_warmed: int = 0
+    dataset_warm_seconds: float = 0.0
     _started: float = field(default=0.0, repr=False)
 
     def start(self) -> None:
@@ -108,6 +113,11 @@ class RunTelemetry:
             f"cumulative cell time {self.cell_wall_seconds:.2f}s "
             f"(fit/score {self.fit_score_seconds:.2f}s)",
         ]
+        if self.datasets_warmed:
+            lines.append(
+                f"engine: warmed {self.datasets_warmed} dataset(s) in "
+                f"{self.dataset_warm_seconds:.2f}s before dispatch"
+            )
         return "\n".join(lines)
 
 

@@ -1,0 +1,63 @@
+"""Online streaming detection: live packet streams through the IDSs.
+
+The batch pipeline (:mod:`repro.core`) materialises a dataset, adapts
+it, then fits and scores in one shot. This package is the *push* mode
+the evaluated systems were actually built for: a
+:class:`~repro.stream.sources.PacketSource` feeds packets one at a time
+into a :class:`~repro.stream.detector.StreamingDetector`, flows are
+assembled incrementally (:class:`~repro.stream.tracker.StreamingFlowTracker`),
+scores emerge in micro-batches, and sliding-window metrics
+(:class:`~repro.stream.metrics.WindowedMetrics`) plus a hysteresis alert
+sink (:class:`~repro.stream.alerts.HysteresisAlerter`) summarise the
+stream as it runs.
+
+Contract with the batch path: for the same packets, the streaming
+scores are *bit-identical* to the batch pipeline's
+(``tests/test_stream_parity.py``). See ``docs/STREAMING.md``.
+"""
+
+from repro.stream.alerts import AlertEpisode, HysteresisAlerter
+from repro.stream.detector import (
+    FlowStreamDetector,
+    PacketStreamDetector,
+    StreamingDetector,
+    StreamScore,
+    build_streaming_detector,
+    canonical_ids_name,
+)
+from repro.stream.metrics import WindowedMetrics, WindowSnapshot
+from repro.stream.sources import (
+    DatasetSource,
+    ListSource,
+    MixedSource,
+    PacketSource,
+    PcapReplaySource,
+)
+from repro.stream.tracker import StreamingFlowTracker
+from repro.stream.service import (
+    StreamReport,
+    stream_capture,
+    stream_experiment,
+)
+
+__all__ = [
+    "AlertEpisode",
+    "HysteresisAlerter",
+    "FlowStreamDetector",
+    "PacketStreamDetector",
+    "StreamingDetector",
+    "StreamScore",
+    "build_streaming_detector",
+    "canonical_ids_name",
+    "WindowedMetrics",
+    "WindowSnapshot",
+    "DatasetSource",
+    "ListSource",
+    "MixedSource",
+    "PacketSource",
+    "PcapReplaySource",
+    "StreamingFlowTracker",
+    "StreamReport",
+    "stream_capture",
+    "stream_experiment",
+]

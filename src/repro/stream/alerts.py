@@ -1,0 +1,125 @@
+"""Alerting over a live score stream, with threshold hysteresis.
+
+A raw per-item threshold fires one alert per packet during an attack —
+thousands of alerts for one event. :class:`HysteresisAlerter` collapses
+them into *episodes*: an episode opens when the score crosses the
+threshold and stays open until the score falls below a lower release
+level (``threshold * release_ratio``). The gap between the two levels
+absorbs score flutter around the boundary, the classic Schmitt-trigger
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_fraction
+
+
+@dataclass
+class AlertEpisode:
+    """One contiguous run of alert-level scores."""
+
+    start: float
+    end: float
+    items: int
+    peak_score: float
+    peak_timestamp: float
+    #: Most common attack family among labelled items in the episode
+    #: (empty for unlabelled sources or benign false alarms).
+    attack_type: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def describe(self) -> str:
+        label = f" [{self.attack_type}]" if self.attack_type else ""
+        return (
+            f"alert [{self.start:10.2f}, {self.end:10.2f}] "
+            f"items={self.items:6d} peak={self.peak_score:.4f}{label}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "items": self.items,
+            "peak_score": self.peak_score,
+            "peak_timestamp": self.peak_timestamp,
+            "attack_type": self.attack_type,
+        }
+
+
+class HysteresisAlerter:
+    """Schmitt-trigger episode detection over (timestamp, score) items."""
+
+    def __init__(self, threshold: float, *, release_ratio: float = 0.8) -> None:
+        check_fraction("release_ratio", release_ratio)
+        self.threshold = float(threshold)
+        # For non-positive thresholds (fully-degenerate score streams)
+        # the release level coincides with the threshold: scaling a
+        # non-positive number would *raise* the release point.
+        self.release = (
+            self.threshold * release_ratio if self.threshold > 0
+            else self.threshold
+        )
+        self.episodes: list[AlertEpisode] = []
+        self._active: AlertEpisode | None = None
+        self._attack_counts: dict[str, int] = {}
+
+    @property
+    def active(self) -> bool:
+        return self._active is not None
+
+    def update(
+        self,
+        timestamp: float,
+        score: float,
+        *,
+        attack_type: str = "",
+    ) -> AlertEpisode | None:
+        """Feed one scored item; return an episode iff this item closed
+        one."""
+        if self._active is None:
+            if score >= self.threshold:
+                self._active = AlertEpisode(
+                    start=timestamp, end=timestamp, items=1,
+                    peak_score=score, peak_timestamp=timestamp,
+                )
+                self._attack_counts = {}
+                if attack_type:
+                    self._attack_counts[attack_type] = 1
+            return None
+        if score < self.release:
+            return self._close()
+        episode = self._active
+        episode.end = timestamp
+        episode.items += 1
+        if score > episode.peak_score:
+            episode.peak_score = score
+            episode.peak_timestamp = timestamp
+        if attack_type:
+            self._attack_counts[attack_type] = (
+                self._attack_counts.get(attack_type, 0) + 1
+            )
+        return None
+
+    def finish(self) -> AlertEpisode | None:
+        """Close any episode still open at end of stream."""
+        if self._active is None:
+            return None
+        return self._close()
+
+    def _close(self) -> AlertEpisode:
+        assert self._active is not None
+        episode = self._active
+        if self._attack_counts:
+            episode.attack_type = max(
+                self._attack_counts.items(), key=lambda kv: (kv[1], kv[0])
+            )[0]
+        self.episodes.append(episode)
+        self._active = None
+        self._attack_counts = {}
+        return episode

@@ -1,0 +1,304 @@
+"""Streaming adapters over the registry's IDS models.
+
+A :class:`StreamingDetector` turns a batch-interface IDS
+(:class:`~repro.ids.base.PacketIDS` / :class:`~repro.ids.base.FlowIDS`)
+into a push-based scorer: train on a prefix (``warmup``), then score
+the live stream with micro-batched ``process`` calls.
+
+**Parity contract.** The evaluated packet IDSs (Kitsune, HELAD) are
+online systems: their internal state advances one packet at a time, so
+calling ``anomaly_scores`` on consecutive micro-batches produces the
+*bit-identical* score sequence a single batch call would — that is what
+makes micro-batching a pure throughput knob rather than a semantic one
+(``tests/test_stream_parity.py`` enforces it). Flow IDSs split two
+ways: the DNN scores flows row-independently, so completed flows are
+scored as they close; Slips accumulates evidence across *all* profile
+windows, so its adapter defers scoring to ``finish`` — the only point
+where its batch semantics exist at all.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.features.encoding import FlowVectorEncoder
+from repro.flows.record import FlowRecord
+from repro.ids.base import FlowIDS, InputKind, PacketIDS
+from repro.ids.registry import evaluated_ids_factories
+from repro.net.packet import Packet
+from repro.stream.tracker import StreamingFlowTracker
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StreamScore:
+    """One scored item (packet or flow) of the stream."""
+
+    index: int
+    timestamp: float
+    score: float
+    label: int | None = None
+    attack_type: str = ""
+
+
+def canonical_ids_name(name: str) -> str:
+    """Resolve a (case-insensitive) IDS name to its Table IV spelling."""
+    factories = evaluated_ids_factories()
+    lowered = {known.lower(): known for known in factories}
+    try:
+        return lowered[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(factories))
+        raise KeyError(f"unknown IDS {name!r}; known: {known}") from None
+
+
+class StreamingDetector(abc.ABC):
+    """Push-based scoring facade over one IDS instance."""
+
+    #: What one emitted :class:`StreamScore` covers.
+    unit: str  # "packet" | "flow"
+
+    def __init__(self, *, batch_size: int = 256) -> None:
+        self.batch_size = int(check_positive("batch_size", batch_size))
+        self.items_scored = 0
+
+    @abc.abstractmethod
+    def warmup(self, packets: Sequence[Packet]) -> None:
+        """Train on the stream's prefix (fit-on-prefix regime)."""
+
+    @abc.abstractmethod
+    def process(self, packet: Packet) -> list[StreamScore]:
+        """Consume one live packet; return any scores it released."""
+
+    @abc.abstractmethod
+    def finish(self) -> list[StreamScore]:
+        """Drain buffered work at end of stream."""
+
+
+class PacketStreamDetector(StreamingDetector):
+    """Micro-batched per-packet scoring for Kitsune/HELAD."""
+
+    unit = "packet"
+
+    def __init__(self, ids: PacketIDS, *, batch_size: int = 256) -> None:
+        super().__init__(batch_size=batch_size)
+        if ids.input_kind is not InputKind.PACKET:
+            raise TypeError(f"{ids.name} is not a packet-level IDS")
+        self.ids = ids
+        self._buffer: list[Packet] = []
+
+    def warmup(self, packets: Sequence[Packet]) -> None:
+        self.ids.fit(packets)
+
+    def process(self, packet: Packet) -> list[StreamScore]:
+        self._buffer.append(packet)
+        if len(self._buffer) >= self.batch_size:
+            return self._drain()
+        return []
+
+    def finish(self) -> list[StreamScore]:
+        return self._drain()
+
+    def _drain(self) -> list[StreamScore]:
+        if not self._buffer:
+            return []
+        batch, self._buffer = self._buffer, []
+        scores = self.ids.anomaly_scores(batch)
+        emitted = [
+            StreamScore(
+                index=self.items_scored + offset,
+                timestamp=packet.timestamp,
+                score=float(score),
+                label=packet.label,
+                attack_type=packet.attack_type,
+            )
+            for offset, (packet, score) in enumerate(zip(batch, scores))
+        ]
+        self.items_scored += len(emitted)
+        return emitted
+
+
+class FlowStreamDetector(StreamingDetector):
+    """Flow-level streaming: assemble incrementally, score on close.
+
+    ``deferred=True`` (Slips) accumulates completed flows and scores
+    them in one call at ``finish`` — Slips' evidence accumulation and
+    recidivism are defined over the whole window set, so per-flow
+    scoring would silently change its semantics. The DNN scores each
+    micro-batch of closed flows as it fills.
+
+    ``process_flow`` lets pre-assembled flows (the batch pipeline's
+    adapted flow sample) be replayed directly, bypassing the tracker —
+    the parity path used by :func:`repro.stream.service.stream_experiment`.
+    """
+
+    unit = "flow"
+
+    def __init__(
+        self,
+        ids: FlowIDS,
+        *,
+        schema: str = "netflow",
+        batch_size: int = 64,
+        deferred: bool | None = None,
+        encoder: FlowVectorEncoder | None = None,
+        idle_timeout: float = 120.0,
+        active_timeout: float = 3600.0,
+        labelled: bool = True,
+    ) -> None:
+        super().__init__(batch_size=batch_size)
+        if ids.input_kind is not InputKind.FLOW:
+            raise TypeError(f"{ids.name} is not a flow-level IDS")
+        self.ids = ids
+        self.schema = schema
+        # Slips is the only evaluated IDS whose scores couple across
+        # flows; default its adapter to end-of-stream scoring.
+        self.deferred = (ids.name == "Slips") if deferred is None else deferred
+        self.encoder = encoder or self._default_encoder(schema)
+        self.tracker = StreamingFlowTracker(
+            idle_timeout=idle_timeout, active_timeout=active_timeout
+        )
+        self.labelled = labelled
+        self._buffer: list[FlowRecord] = []
+        self._deferred_flows: list[FlowRecord] = []
+
+    @staticmethod
+    def _default_encoder(schema: str) -> FlowVectorEncoder:
+        """A live stream sees full packets, so every schema feature is
+        available — no zero-filled adaptation loss."""
+        if schema == "cicflow":
+            from repro.flows.cicflow import CICFLOW_FEATURE_NAMES
+
+            return FlowVectorEncoder(CICFLOW_FEATURE_NAMES)
+        if schema == "netflow":
+            from repro.flows.netflow import NETFLOW_FEATURE_NAMES
+
+            return FlowVectorEncoder(NETFLOW_FEATURE_NAMES)
+        raise ValueError(f"unknown flow schema {schema!r}")
+
+    def _encode(self, flows: Sequence[FlowRecord]) -> np.ndarray:
+        from repro.core.preprocessing import flow_feature_dicts
+
+        return self.encoder.encode(flow_feature_dicts(flows, self.schema))
+
+    def warmup(self, packets: Sequence[Packet]) -> None:
+        """Assemble the prefix into flows and fit the IDS on them."""
+        from repro.flows.assembler import FlowAssembler
+
+        flows = FlowAssembler().assemble(packets)
+        features = self._encode(flows)
+        labels = (
+            np.array([flow.label for flow in flows], dtype=int)
+            if self.labelled else None
+        )
+        if self.ids.supervised and labels is None:
+            raise ValueError(
+                f"{self.ids.name} is supervised; an unlabelled source "
+                "cannot provide its training labels"
+            )
+        self.warmup_flows(flows, features, labels)
+
+    def warmup_flows(
+        self,
+        flows: Sequence[FlowRecord],
+        features: np.ndarray,
+        labels: np.ndarray | None,
+    ) -> None:
+        """Fit directly on pre-assembled (batch-adapted) flows."""
+        self.ids.fit(list(flows), features, labels)
+
+    def process(self, packet: Packet) -> list[StreamScore]:
+        emitted: list[StreamScore] = []
+        for flow in self.tracker.add(packet):
+            emitted.extend(self.process_flow(flow))
+        return emitted
+
+    def process_flow(self, flow: FlowRecord) -> list[StreamScore]:
+        if self.deferred:
+            self._deferred_flows.append(flow)
+            return []
+        self._buffer.append(flow)
+        if len(self._buffer) >= self.batch_size:
+            return self._drain()
+        return []
+
+    def finish(self) -> list[StreamScore]:
+        emitted: list[StreamScore] = []
+        for flow in self.tracker.flush():
+            emitted.extend(self.process_flow(flow))
+        if self.deferred and self._deferred_flows:
+            flows, self._deferred_flows = self._deferred_flows, []
+            emitted.extend(self._emit(flows))
+        else:
+            emitted.extend(self._drain())
+        return emitted
+
+    def _drain(self) -> list[StreamScore]:
+        if not self._buffer:
+            return []
+        batch, self._buffer = self._buffer, []
+        return self._emit(batch)
+
+    def _emit(self, flows: list[FlowRecord]) -> list[StreamScore]:
+        scores = self.ids.anomaly_scores(flows, self._encode(flows))
+        emitted = [
+            StreamScore(
+                index=self.items_scored + offset,
+                timestamp=flow.end_time,
+                score=float(score),
+                label=flow.label if self.labelled else None,
+                attack_type=flow.attack_type,
+            )
+            for offset, (flow, score) in enumerate(zip(flows, scores))
+        ]
+        self.items_scored += len(emitted)
+        return emitted
+
+
+def build_streaming_detector(
+    ids_name: str,
+    *,
+    seed: int = 0,
+    batch_size: int = 256,
+    schema: str = "netflow",
+    ids_overrides: dict | None = None,
+    labelled: bool = True,
+    warmup_packets: int | None = None,
+) -> StreamingDetector:
+    """Construct a streaming adapter for one of the evaluated IDSs.
+
+    The IDS is built from its out-of-the-box ``default_config`` (paper
+    Section IV-A-3) plus ``ids_overrides``, mirroring how the batch
+    experiment path instantiates it. Pass ``warmup_packets`` (the live
+    session's training-prefix length) so Kitsune's grace periods are
+    scaled to fit the prefix exactly as the batch path scales them —
+    otherwise a short prefix leaves KitNET still in its grace periods
+    and 'scores' are silently training-step outputs.
+    """
+    name = canonical_ids_name(ids_name)
+    factory = evaluated_ids_factories()[name]
+    kwargs = dict(factory.default_config())
+    overrides = dict(ids_overrides or {})
+    kwargs.update(overrides)
+    if name != "Slips":
+        kwargs.setdefault("seed", seed)
+    if (
+        name == "Kitsune"
+        and warmup_packets is not None
+        and "fm_grace" not in overrides
+        and "ad_grace" not in overrides
+    ):
+        # Same arithmetic as build_packet_cell in repro.core.experiment.
+        fm = max(100, warmup_packets // 10)
+        kwargs["fm_grace"] = fm
+        kwargs["ad_grace"] = max(100, warmup_packets - fm)
+    ids = factory(**kwargs)
+    if ids.input_kind is InputKind.PACKET:
+        return PacketStreamDetector(ids, batch_size=batch_size)
+    return FlowStreamDetector(
+        ids, schema=schema, batch_size=batch_size, labelled=labelled
+    )

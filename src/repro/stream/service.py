@@ -1,0 +1,433 @@
+"""The streaming session: source → detector → windows → alerts.
+
+Two entry points:
+
+* :func:`stream_experiment` — the parity-bearing path. It adapts a
+  dataset exactly as the batch pipeline does (same
+  :func:`~repro.core.experiment.build_packet_cell` /
+  :func:`~repro.core.experiment.build_flow_cell` substrate, same RNG
+  derivations), trains on the prefix, then pushes the test stream
+  through a :class:`~repro.stream.detector.StreamingDetector`. For the
+  same config, its per-item scores are bit-identical to
+  :func:`~repro.core.experiment.run_experiment` for the packet IDSs —
+  streaming is an execution mode, not a different experiment.
+* :func:`stream_capture` — the live path: any
+  :class:`~repro.stream.sources.PacketSource` (pcap replay, synthetic
+  generator, multi-attack mix), train-on-first-N packets, score the
+  rest. Unlabelled sources report alert rates only.
+
+Both produce a :class:`StreamReport`: overall metrics, per-window
+snapshots, alert episodes and throughput, JSON-exportable for CI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.experiment import (
+    ExperimentConfig,
+    build_flow_cell,
+    build_packet_cell,
+    cross_corpus_requirement,
+    experiment_input_kind,
+)
+from repro.core.metrics import MetricReport
+from repro.core.thresholds import standard_threshold
+from repro.ids.base import InputKind
+from repro.stream.alerts import AlertEpisode, HysteresisAlerter
+from repro.stream.detector import (
+    FlowStreamDetector,
+    PacketStreamDetector,
+    StreamingDetector,
+    StreamScore,
+)
+from repro.stream.metrics import WindowedMetrics, WindowSnapshot
+from repro.stream.sources import PacketSource
+from repro.net.packet import Packet
+
+#: Fired with each closed window — the CLI's live summary hook.
+WindowCallback = Callable[[WindowSnapshot], None]
+
+
+@dataclass
+class StreamReport:
+    """Everything one streaming session produced."""
+
+    ids_name: str
+    source: str
+    unit: str  # "packet" | "flow"
+    labelled: bool
+    batch_size: int
+    window_seconds: float
+    threshold: float
+    threshold_source: str  # "fixed" | "posthoc:<strategy>"
+    n_warmup: int
+    n_scored: int
+    packets_streamed: int
+    warmup_seconds: float
+    stream_seconds: float
+    metrics: MetricReport | None
+    alert_rate: float
+    windows: list[WindowSnapshot]
+    alerts: list[AlertEpisode]
+    scores: np.ndarray
+    y_true: np.ndarray | None
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def packets_per_second(self) -> float:
+        """Streamed packets over scoring wall time (the bench metric)."""
+        if self.stream_seconds <= 0:
+            return 0.0
+        return self.packets_streamed / self.stream_seconds
+
+    @property
+    def items_per_second(self) -> float:
+        if self.stream_seconds <= 0:
+            return 0.0
+        return self.n_scored / self.stream_seconds
+
+    def to_dict(self, *, include_scores: bool = False) -> dict:
+        """JSON-serialisable report (the ``--json`` artefact)."""
+        payload = {
+            "ids": self.ids_name,
+            "source": self.source,
+            "unit": self.unit,
+            "labelled": self.labelled,
+            "batch_size": self.batch_size,
+            "window_seconds": self.window_seconds,
+            "threshold": self.threshold,
+            "threshold_source": self.threshold_source,
+            "n_warmup": self.n_warmup,
+            "n_scored": self.n_scored,
+            "packets_streamed": self.packets_streamed,
+            "warmup_seconds": self.warmup_seconds,
+            "stream_seconds": self.stream_seconds,
+            "packets_per_second": self.packets_per_second,
+            "items_per_second": self.items_per_second,
+            "alert_rate": self.alert_rate,
+            "metrics": None,
+            "windows": [w.to_dict() for w in self.windows],
+            "alerts": [a.to_dict() for a in self.alerts],
+            "notes": {k: _jsonable(v) for k, v in self.notes.items()},
+        }
+        if self.metrics is not None:
+            m = self.metrics
+            payload["metrics"] = {
+                "accuracy": m.accuracy, "precision": m.precision,
+                "recall": m.recall, "f1": m.f1,
+                "tp": m.tp, "fp": m.fp, "tn": m.tn, "fn": m.fn,
+            }
+        if self.scores.size:
+            payload["score_stats"] = {
+                "min": float(self.scores.min()),
+                "max": float(self.scores.max()),
+                "mean": float(self.scores.mean()),
+            }
+        if include_scores:
+            payload["scores"] = [float(s) for s in self.scores]
+        return payload
+
+    def render_summary(self) -> str:
+        """The CLI's end-of-stream text block."""
+        lines = [
+            f"stream: {self.ids_name} over {self.source}",
+            f"  scored {self.n_scored} {self.unit}s "
+            f"({self.packets_streamed} packets) in "
+            f"{self.stream_seconds:.2f}s — "
+            f"{self.packets_per_second:,.0f} pkt/s, warmup on "
+            f"{self.n_warmup} item(s) in {self.warmup_seconds:.2f}s",
+            f"  threshold {self.threshold:.6f} ({self.threshold_source}); "
+            f"alert rate {self.alert_rate:.1%} across "
+            f"{len(self.windows)} windows, {len(self.alerts)} alert "
+            f"episode(s)",
+        ]
+        if self.metrics is not None:
+            m = self.metrics
+            lines.append(
+                f"  accuracy {m.accuracy:.4f}  precision {m.precision:.4f}"
+                f"  recall {m.recall:.4f}  f1 {m.f1:.4f}"
+            )
+        else:
+            lines.append("  (unlabelled source: alert rates only)")
+        for episode in self.alerts[:10]:
+            lines.append("  " + episode.describe())
+        if len(self.alerts) > 10:
+            lines.append(f"  ... {len(self.alerts) - 10} more episode(s)")
+        return "\n".join(lines)
+
+
+def _jsonable(value):
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def _evaluate_stream(
+    emitted: list[StreamScore],
+    *,
+    labelled: bool,
+    threshold: float,
+    window_seconds: float,
+    on_window: WindowCallback | None,
+) -> tuple[WindowedMetrics, HysteresisAlerter]:
+    """Replay emitted scores through the window/alert consumers.
+
+    Items are replayed in timestamp order: flow scores are emitted in
+    *completion* order, where a long-lived flow's end time can precede
+    an already-emitted short flow's — but windowed metrics and episode
+    boundaries are defined over stream time, and both consumers require
+    non-decreasing timestamps. The sort is stable on emission index, so
+    packet streams (already monotonic) replay unchanged.
+    """
+    windows = WindowedMetrics(window_seconds, on_close=on_window)
+    alerter = HysteresisAlerter(threshold)
+    for item in sorted(emitted, key=lambda it: (it.timestamp, it.index)):
+        alerted = item.score >= threshold
+        label = item.label if labelled else None
+        windows.add(item.timestamp, alerted, label)
+        alerter.update(item.timestamp, item.score,
+                       attack_type=item.attack_type if alerted else "")
+    windows.finalize()
+    alerter.finish()
+    return windows, alerter
+
+
+def _resolve_threshold(
+    config: ExperimentConfig,
+    y_true: np.ndarray,
+    scores: np.ndarray,
+) -> float:
+    """The batch pipeline's standardized threshold over the streamed
+    scores — identical inputs, identical cut point."""
+    return standard_threshold(
+        y_true,
+        scores,
+        strategy=config.threshold_strategy,
+        max_fpr=config.max_fpr,
+        lambda_fpr=config.lambda_fpr,
+        fixed_value=config.fixed_threshold,
+    )
+
+
+def stream_experiment(
+    config: ExperimentConfig,
+    *,
+    batch_size: int = 256,
+    window_seconds: float = 10.0,
+    threshold: float | None = None,
+    dataset_provider=None,
+    on_window: WindowCallback | None = None,
+) -> StreamReport:
+    """Run one Table IV cell as an online streaming session.
+
+    The dataset is adapted exactly as the batch path adapts it; the
+    test stream is then scored through micro-batched online processing.
+    With ``threshold=None`` the standardized batch threshold is applied
+    post hoc, so the final metrics coincide with the batch cell's.
+    """
+    from repro.datasets import generate_dataset
+
+    provider = dataset_provider or generate_dataset
+    dataset = provider(config.dataset_name, seed=config.seed, scale=config.scale)
+    kind = experiment_input_kind(config)
+
+    if kind is InputKind.PACKET:
+        ids, data = build_packet_cell(config, dataset)
+        detector: StreamingDetector = PacketStreamDetector(
+            ids, batch_size=batch_size
+        )
+        train_items = data.train_packets
+        stream_items = data.test_packets
+        feed = detector.process
+    else:
+        train_dataset = None
+        requirement = cross_corpus_requirement(config)
+        if requirement is not None:
+            cc_name, cc_seed, cc_scale = requirement
+            train_dataset = provider(cc_name, seed=cc_seed, scale=cc_scale)
+        ids, data = build_flow_cell(config, dataset, train_dataset)
+        flow_detector = FlowStreamDetector(
+            ids,
+            schema=config.schema,
+            batch_size=batch_size,
+            encoder=data.encoder,
+        )
+        detector = flow_detector
+        train_items = data.train_flows
+        stream_items = data.test_flows
+        feed = flow_detector.process_flow
+
+    warmup_start = time.perf_counter()
+    if kind is InputKind.PACKET:
+        detector.warmup(train_items)
+    else:
+        flow_detector.warmup_flows(
+            data.train_flows, data.train_features, data.train_labels
+        )
+    warmup_seconds = time.perf_counter() - warmup_start
+
+    emitted: list[StreamScore] = []
+    stream_start = time.perf_counter()
+    for item in stream_items:
+        emitted.extend(feed(item))
+    emitted.extend(detector.finish())
+    stream_seconds = time.perf_counter() - stream_start
+
+    scores = np.array([item.score for item in emitted], dtype=np.float64)
+    y_true = data.y_true
+    if threshold is None:
+        resolved = _resolve_threshold(config, y_true, scores)
+        threshold_source = f"posthoc:{config.threshold_strategy}"
+    else:
+        resolved = float(threshold)
+        threshold_source = "fixed"
+
+    windows, alerter = _evaluate_stream(
+        emitted,
+        labelled=True,
+        threshold=resolved,
+        window_seconds=window_seconds,
+        on_window=on_window,
+    )
+    notes = dict(data.notes)
+    notes["seed"] = config.seed
+    notes["scale"] = config.scale
+    return StreamReport(
+        ids_name=config.ids_name,
+        source=f"dataset:{config.dataset_name} "
+               f"(seed={config.seed}, scale={config.scale})",
+        unit=detector.unit,
+        labelled=True,
+        batch_size=batch_size,
+        window_seconds=window_seconds,
+        threshold=resolved,
+        threshold_source=threshold_source,
+        n_warmup=len(train_items),
+        n_scored=len(emitted),
+        packets_streamed=(
+            len(stream_items) if kind is InputKind.PACKET
+            else sum(flow.total_packets for flow in stream_items)
+        ),
+        warmup_seconds=warmup_seconds,
+        stream_seconds=stream_seconds,
+        metrics=windows.overall(),
+        alert_rate=windows.alert_rate,
+        windows=windows.windows,
+        alerts=alerter.episodes,
+        scores=scores,
+        y_true=y_true,
+        notes=notes,
+    )
+
+
+def stream_capture(
+    source: PacketSource,
+    detector: StreamingDetector,
+    *,
+    warmup_packets: int,
+    threshold: float | None = None,
+    window_seconds: float = 10.0,
+    on_window: WindowCallback | None = None,
+) -> StreamReport:
+    """Stream a raw packet source: train on the first ``warmup_packets``
+    packets, score everything after them.
+
+    Unlabelled sources (pcap replay) must pass an explicit
+    ``threshold`` — there is no ground truth to standardise against —
+    and report alert rates instead of precision/recall.
+    """
+    if warmup_packets < 0:
+        raise ValueError(f"warmup_packets must be >= 0, got {warmup_packets}")
+    if threshold is None and not source.labelled:
+        raise ValueError(
+            "unlabelled sources need an explicit threshold "
+            "(no ground truth to standardise against)"
+        )
+
+    prefix: list[Packet] = []
+    emitted: list[StreamScore] = []
+    packets_streamed = 0
+    warmup_seconds = 0.0
+    warmed = False
+    stream_start: float | None = None
+
+    def warm_now() -> None:
+        # With warmup_packets == 0 this fits on an empty prefix:
+        # training-free IDSs accept that, supervised ones raise their
+        # clear error up front instead of failing mid-stream.
+        nonlocal warmup_seconds, warmed
+        warmup_start = time.perf_counter()
+        detector.warmup(prefix)
+        warmup_seconds = time.perf_counter() - warmup_start
+        warmed = True
+
+    for packet in source:
+        if len(prefix) < warmup_packets:
+            prefix.append(packet)
+            if len(prefix) == warmup_packets:
+                warm_now()
+            continue
+        if not warmed:
+            warm_now()
+        if stream_start is None:
+            stream_start = time.perf_counter()
+        packets_streamed += 1
+        emitted.extend(detector.process(packet))
+    if not warmed:
+        # Short (or empty) capture: everything fell into the prefix.
+        warm_now()
+    if stream_start is None:
+        stream_start = time.perf_counter()
+    emitted.extend(detector.finish())
+    stream_seconds = time.perf_counter() - stream_start
+
+    scores = np.array([item.score for item in emitted], dtype=np.float64)
+    labelled = source.labelled
+    y_true = (
+        np.array([item.label for item in emitted], dtype=int)
+        if labelled else None
+    )
+    if threshold is None:
+        assert y_true is not None
+        resolved = standard_threshold(y_true, scores, strategy="fpr-budget")
+        threshold_source = "posthoc:fpr-budget"
+    else:
+        resolved = float(threshold)
+        threshold_source = "fixed"
+
+    windows, alerter = _evaluate_stream(
+        emitted,
+        labelled=labelled,
+        threshold=resolved,
+        window_seconds=window_seconds,
+        on_window=on_window,
+    )
+    return StreamReport(
+        ids_name=getattr(detector, "ids", detector).name,
+        source=source.describe(),
+        unit=detector.unit,
+        labelled=labelled,
+        batch_size=detector.batch_size,
+        window_seconds=window_seconds,
+        threshold=resolved,
+        threshold_source=threshold_source,
+        n_warmup=len(prefix),
+        n_scored=len(emitted),
+        packets_streamed=packets_streamed,
+        warmup_seconds=warmup_seconds,
+        stream_seconds=stream_seconds,
+        metrics=windows.overall(),
+        alert_rate=windows.alert_rate,
+        windows=windows.windows,
+        alerts=alerter.episodes,
+        scores=scores,
+        y_true=y_true,
+        notes={"non_ip_packets": getattr(
+            getattr(detector, "tracker", None), "non_ip_packets", 0
+        )},
+    )

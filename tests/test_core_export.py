@@ -48,3 +48,47 @@ class TestMarkdownExport:
         assert "| Dataset | Acc. | Prec. | Rec. | F1 |" in md
         assert "**Average**" in md
         assert "Mirai" in md and "Stratosphere" in md
+
+
+class TestSweepExport:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.runner import ExperimentEngine
+        from repro.runner.sweep import sweep_matrix
+
+        return sweep_matrix(
+            ("Slips",), ("Mirai",), seeds=(0, 1), scale=0.05,
+            engine=ExperimentEngine(),
+        )
+
+    def test_sweep_to_dict_shape(self, sweep):
+        from repro.core.export import sweep_to_dict
+
+        payload = sweep_to_dict(sweep)
+        assert payload["ids"] == ["Slips"]
+        assert payload["seeds"] == [0, 1]
+        assert payload["scale"] == 0.05
+        (cell,) = payload["cells"]
+        assert cell["ids"] == "Slips" and cell["dataset"] == "Mirai"
+        for metric in ("accuracy", "precision", "recall", "f1"):
+            dist = cell["metrics"][metric]
+            assert {"mean", "std", "min", "max", "values"} <= set(dist)
+            assert len(dist["values"]) == 2
+        assert len(cell["per_seed"]) == 2
+        assert cell["per_seed"][0]["seed"] == 0
+        # The per-IDS average row is present for complete rows.
+        assert "Slips" in payload["averages"]
+
+    def test_sweep_json_roundtrip(self, sweep):
+        from repro.core.export import sweep_to_dict, sweep_to_json
+
+        assert json.loads(sweep_to_json(sweep)) == sweep_to_dict(sweep)
+
+    def test_cell_sweep_to_dict(self, sweep):
+        from repro.core.export import cell_sweep_to_dict
+
+        payload = cell_sweep_to_dict(sweep.cell("Slips", "Mirai"))
+        assert payload["seeds"] == [0, 1]
+        assert payload["metrics"]["f1"]["mean"] == pytest.approx(
+            sweep.cell("Slips", "Mirai").f1.mean
+        )

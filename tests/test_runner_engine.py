@@ -345,3 +345,44 @@ class TestRuntimeSecondsSemantics:
         result = run_experiment(config)
         assert result.runtime_seconds > 0.0
         assert result.notes["setup_seconds"] > 0.0
+
+
+class TestParallelDatasetWarming:
+    """Dataset warming runs through the pool; results must not change."""
+
+    def test_lookup_and_put_roundtrip(self, tmp_path):
+        cache = DatasetCache(cache_dir=tmp_path)
+        assert cache.lookup("Mirai", seed=0, scale=0.02) is None
+        dataset = generate_dataset_uncached("Mirai", seed=0, scale=0.02)
+        cache.put("Mirai", dataset, seed=0, scale=0.02)
+        assert cache.lookup("Mirai", seed=0, scale=0.02) is dataset
+        # put wrote through to disk: a fresh cache over the same dir hits.
+        other = DatasetCache(cache_dir=tmp_path)
+        loaded = other.lookup("Mirai", seed=0, scale=0.02)
+        assert loaded is not None
+        assert len(loaded.packets) == len(dataset.packets)
+
+    def test_parallel_warm_matches_serial(self):
+        cells = plan_cells(IDS_NAMES, DATASET_NAMES, seed=SEED, scale=0.05)
+        serial = ExperimentEngine(jobs=1).run(cells)
+        engine = ExperimentEngine(jobs=2)
+        parallel = engine.run(cells)
+        _assert_identical(serial, parallel)
+        telemetry = engine.last_telemetry
+        # DNN cells also require the KDD-reference training corpus.
+        assert telemetry.datasets_warmed == 3
+        assert telemetry.dataset_warm_seconds > 0.0
+        assert "warmed 3 dataset(s)" in telemetry.summary()
+
+    def test_warm_skips_already_cached_datasets(self, tmp_path):
+        slips = plan_cells(("Slips",), DATASET_NAMES, seed=SEED, scale=0.05)
+        first = ExperimentEngine(jobs=2, cache_dir=tmp_path)
+        first.run(slips)
+        assert first.last_telemetry.datasets_warmed == 2
+        # Fresh engine over the same disk cache: the DNN cells reuse
+        # both datasets from disk and only the KDD training corpus is
+        # an actual miss.
+        dnn = plan_cells(("DNN",), DATASET_NAMES, seed=SEED, scale=0.05)
+        second = ExperimentEngine(jobs=2, cache_dir=tmp_path)
+        second.run(dnn)
+        assert second.last_telemetry.datasets_warmed == 1

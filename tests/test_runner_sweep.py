@@ -278,3 +278,45 @@ class TestExperimentKinds:
             config_key(replace(base, experiment_params={"value": 2})),
         }
         assert len(keys) == 4
+
+
+class TestSweepScaleGrid:
+    def test_one_sweep_result_per_scale(self):
+        from repro.runner import sweep_scale_grid
+
+        engine = ExperimentEngine()
+        sweeps = sweep_scale_grid(
+            ("Slips",), ("Mirai",), seeds=(0, 1), scales=(0.03, 0.05),
+            engine=engine,
+        )
+        assert [s.scale for s in sweeps] == [0.03, 0.05]
+        for sweep in sweeps:
+            assert sweep.seeds == (0, 1)
+            cell = sweep.cell("Slips", "Mirai")
+            assert cell.seeds == (0, 1)
+            # Every per-seed result really ran at this sweep's scale.
+            assert all(r.config.scale == sweep.scale for r in cell.results)
+
+    def test_grid_cells_bit_identical_to_plain_sweep(self):
+        from repro.runner import sweep_scale_grid
+
+        grid = sweep_scale_grid(
+            ("Slips",), ("Mirai",), seeds=(0, 1), scales=(0.05,),
+            engine=ExperimentEngine(),
+        )
+        plain = sweep_matrix(
+            ("Slips",), ("Mirai",), seeds=(0, 1), scale=0.05,
+            engine=ExperimentEngine(),
+        )
+        for (grid_cell, plain_cell) in zip(
+            grid[0].cells.values(), plain.cells.values()
+        ):
+            for a, b in zip(grid_cell.results, plain_cell.results):
+                np.testing.assert_array_equal(a.scores, b.scores)
+                assert a.metrics == b.metrics
+
+    def test_rejects_empty_scales(self):
+        from repro.runner import sweep_scale_grid
+
+        with pytest.raises(ValueError, match="scale"):
+            sweep_scale_grid(("Slips",), ("Mirai",), seeds=(0,), scales=())

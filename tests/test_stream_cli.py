@@ -1,0 +1,154 @@
+"""The ``repro-cli stream`` surface and its JSON report."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import pytest
+
+from repro.cli import _parse_duration, _parse_scales, main
+
+
+class TestDurationParsing:
+    def test_plain_seconds_and_suffixes(self):
+        assert _parse_duration("10") == 10.0
+        assert _parse_duration("10s") == 10.0
+        assert _parse_duration("2m") == 120.0
+        assert _parse_duration("0.5h") == 1800.0
+
+    def test_rejects_garbage_and_nonpositive(self):
+        for bad in ("abc", "10x", "-5s", "0"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _parse_duration(bad)
+
+
+class TestScalesParsing:
+    def test_comma_separated_floats(self):
+        assert _parse_scales("0.1,0.5,1.0") == [0.1, 0.5, 1.0]
+        assert _parse_scales("0.2") == [0.2]
+
+    def test_rejects_bad_grids(self):
+        for bad in ("", "a,b", "0.1,-0.5", "0"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _parse_scales(bad)
+
+
+class TestStreamCommand:
+    def test_dataset_mode_case_insensitive_with_json(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main([
+            "stream", "--ids", "kitsune", "--dataset", "mirai",
+            "--window", "30s", "--batch", "128", "--scale", "0.03",
+            "--json", str(out), "--quiet",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "stream: Kitsune over dataset:Mirai" in captured
+        payload = json.loads(out.read_text())
+        assert payload["ids"] == "Kitsune"
+        assert payload["unit"] == "packet"
+        assert payload["labelled"] is True
+        assert payload["batch_size"] == 128
+        assert payload["window_seconds"] == 30.0
+        assert payload["metrics"] is not None
+        assert payload["n_scored"] > 0
+        assert payload["windows"]
+
+    def test_pcap_mode_requires_threshold(self, tmp_path, capsys):
+        from repro.datasets import generate_dataset
+
+        pcap = tmp_path / "tiny.pcap"
+        generate_dataset("Mirai", seed=0, scale=0.02).to_pcap(pcap)
+        code = main(["stream", "--ids", "Kitsune", "--pcap", str(pcap)])
+        assert code == 2
+        assert "--threshold" in capsys.readouterr().err
+
+    def test_pcap_mode_unlabelled_report(self, tmp_path, capsys):
+        from repro.datasets import generate_dataset
+
+        pcap = tmp_path / "tiny.pcap"
+        generate_dataset("Mirai", seed=0, scale=0.02).to_pcap(pcap)
+        out = tmp_path / "report.json"
+        code = main([
+            "stream", "--ids", "Kitsune", "--pcap", str(pcap),
+            "--threshold", "0.5", "--train-packets", "150",
+            "--batch", "64", "--window", "60s", "--json", str(out),
+            "--quiet",
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["labelled"] is False
+        assert payload["metrics"] is None  # no ground truth in pcap
+        assert payload["threshold_source"] == "fixed"
+        assert payload["n_warmup"] == 150
+        assert payload["n_scored"] > 0
+
+    def test_pcap_mode_scales_kitsune_grace_to_prefix(self):
+        from repro.stream import build_streaming_detector
+
+        detector = build_streaming_detector(
+            "kitsune", warmup_packets=1000, labelled=False
+        )
+        # Same arithmetic as the batch path's build_packet_cell: the
+        # grace periods fit the training prefix exactly, so scoring
+        # starts trained.
+        assert detector.ids.kitnet.fm_grace == 100
+        assert detector.ids.kitnet.ad_grace == 900
+        # Explicit overrides win over the scaling.
+        pinned = build_streaming_detector(
+            "kitsune", warmup_packets=1000,
+            ids_overrides={"fm_grace": 50, "ad_grace": 60},
+        )
+        assert pinned.ids.kitnet.fm_grace == 50
+        assert pinned.ids.kitnet.ad_grace == 60
+
+    def test_pcap_mode_supervised_ids_is_a_clean_error(self, tmp_path, capsys):
+        from repro.datasets import generate_dataset
+
+        pcap = tmp_path / "tiny.pcap"
+        generate_dataset("Mirai", seed=0, scale=0.02).to_pcap(pcap)
+        code = main([
+            "stream", "--ids", "dnn", "--pcap", str(pcap),
+            "--threshold", "0.5", "--train-packets", "100", "--quiet",
+        ])
+        assert code == 2
+        assert "supervised" in capsys.readouterr().err
+
+    def test_zero_warmup_works_for_training_free_ids(self):
+        from repro.stream import (
+            DatasetSource, build_streaming_detector, stream_capture,
+        )
+
+        detector = build_streaming_detector("slips", batch_size=64)
+        report = stream_capture(
+            DatasetSource("Mirai", seed=0, scale=0.02),
+            detector,
+            warmup_packets=0,
+            threshold=0.5,
+            window_seconds=600.0,
+        )
+        assert report.n_warmup == 0
+        assert report.n_scored > 0
+
+    def test_unknown_ids_is_a_clean_error(self, capsys):
+        code = main(["stream", "--ids", "nonsense"])
+        assert code == 2
+        assert "unknown IDS" in capsys.readouterr().err
+
+    def test_unknown_dataset_is_a_clean_error(self, capsys):
+        code = main(["stream", "--ids", "Slips", "--dataset", "nope"])
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_flow_ids_stream(self, tmp_path, capsys):
+        out = tmp_path / "slips.json"
+        code = main([
+            "stream", "--ids", "slips", "--dataset", "Mirai",
+            "--scale", "0.03", "--window", "10m", "--json", str(out),
+            "--quiet",
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["unit"] == "flow"
+        assert payload["window_seconds"] == 600.0

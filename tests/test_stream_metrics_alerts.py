@@ -1,0 +1,148 @@
+"""Hand-computed checks for windowed metrics and hysteresis alerting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.alerts import HysteresisAlerter
+from repro.stream.metrics import WindowedMetrics
+
+
+class TestWindowedMetrics:
+    def test_hand_computed_two_windows(self):
+        wm = WindowedMetrics(10.0)
+        # Window 0 ([100, 110)): tp, fp, tn
+        wm.add(100.0, True, 1)   # tp
+        wm.add(104.0, True, 0)   # fp
+        wm.add(109.9, False, 0)  # tn
+        # Window 1 ([110, 120)): fn, tp
+        wm.add(110.0, False, 1)  # fn
+        wm.add(115.0, True, 1)   # tp
+        windows = wm.finalize()
+        assert [w.index for w in windows] == [0, 1]
+        w0, w1 = windows
+        assert (w0.start, w0.end) == (100.0, 110.0)
+        assert (w0.tp, w0.fp, w0.tn, w0.fn) == (1, 1, 1, 0)
+        assert w0.alerts == 2 and w0.items == 3
+        assert w0.alert_rate == pytest.approx(2 / 3)
+        r0 = w0.report
+        assert r0.precision == pytest.approx(0.5)
+        assert r0.recall == pytest.approx(1.0)
+        assert r0.f1 == pytest.approx(2 / 3)
+        assert (w1.tp, w1.fp, w1.tn, w1.fn) == (1, 0, 0, 1)
+        assert w1.report.recall == pytest.approx(0.5)
+        # Overall aggregate: tp=2 fp=1 tn=1 fn=1 over 5 items.
+        overall = wm.overall()
+        assert (overall.tp, overall.fp, overall.tn, overall.fn) == (2, 1, 1, 1)
+        assert overall.accuracy == pytest.approx(3 / 5)
+        assert wm.alert_rate == pytest.approx(3 / 5)
+
+    def test_gap_windows_are_skipped(self):
+        wm = WindowedMetrics(1.0)
+        wm.add(0.0, False, 0)
+        wm.add(100.0, False, 0)  # 99 empty windows in between
+        windows = wm.finalize()
+        assert [w.index for w in windows] == [0, 100]
+        assert all(w.items == 1 for w in windows)
+
+    def test_unlabelled_stream_has_no_reports(self):
+        wm = WindowedMetrics(10.0)
+        wm.add(0.0, True, None)
+        wm.add(1.0, False, None)
+        (window,) = wm.finalize()
+        assert window.report is None
+        assert window.alerts == 1
+        assert wm.overall() is None
+
+    def test_on_close_fires_per_window(self):
+        closed = []
+        wm = WindowedMetrics(1.0, on_close=closed.append)
+        wm.add(0.0, False, 0)
+        wm.add(1.5, False, 0)
+        assert len(closed) == 1  # first window closed by the second item
+        wm.finalize()
+        assert len(closed) == 2
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            WindowedMetrics(0.0)
+
+
+class TestEvaluateStreamOrdering:
+    def test_flow_completion_order_is_resorted_to_stream_time(self):
+        """Flow scores arrive in completion order: a long flow's end
+        time can precede an already-emitted short flow's. The evaluator
+        must replay them in stream time, not emission order."""
+        from repro.stream.detector import StreamScore
+        from repro.stream.service import _evaluate_stream
+
+        emitted = [
+            # Long flow closes at t=25 and is emitted first...
+            StreamScore(index=0, timestamp=25.0, score=1.0, label=1),
+            # ...then two short flows that ended earlier surface.
+            StreamScore(index=1, timestamp=3.0, score=0.0, label=0),
+            StreamScore(index=2, timestamp=14.0, score=1.0, label=1),
+        ]
+        windows, alerter = _evaluate_stream(
+            emitted, labelled=True, threshold=0.5,
+            window_seconds=10.0, on_window=None,
+        )
+        assert [w.index for w in windows.windows] == [0, 1, 2]
+        assert [(w.items, w.alerts) for w in windows.windows] == [
+            (1, 0), (1, 1), (1, 1),
+        ]
+        # Episodes are time-ordered too: one from t=14, one from t=25
+        # (score dips below release at no point in between... the t=25
+        # item extends the episode opened at t=14).
+        assert len(alerter.episodes) == 1
+        episode = alerter.episodes[0]
+        assert (episode.start, episode.end) == (14.0, 25.0)
+
+
+class TestHysteresisAlerter:
+    def test_episode_opens_at_threshold_closes_below_release(self):
+        # threshold 1.0, release 0.8: 0.9 keeps the episode alive.
+        alerter = HysteresisAlerter(1.0, release_ratio=0.8)
+        assert alerter.update(0.0, 0.5) is None
+        assert alerter.update(1.0, 1.2) is None      # opens
+        assert alerter.active
+        assert alerter.update(2.0, 0.9) is None      # hysteresis holds
+        assert alerter.update(3.0, 1.5) is None      # new peak
+        episode = alerter.update(4.0, 0.1)           # closes
+        assert episode is not None
+        assert (episode.start, episode.end) == (1.0, 3.0)
+        assert episode.items == 3
+        assert episode.peak_score == 1.5
+        assert episode.peak_timestamp == 3.0
+        assert episode.duration == 2.0
+        assert not alerter.active
+
+    def test_flutter_without_hysteresis_would_split(self):
+        """The score dips to 0.9 twice; one episode, not three."""
+        alerter = HysteresisAlerter(1.0, release_ratio=0.8)
+        for ts, score in enumerate([1.1, 0.9, 1.1, 0.9, 1.1]):
+            alerter.update(float(ts), score)
+        assert alerter.finish() is not None
+        assert len(alerter.episodes) == 1
+        assert alerter.episodes[0].items == 5
+
+    def test_finish_closes_open_episode(self):
+        alerter = HysteresisAlerter(0.5)
+        alerter.update(0.0, 0.7)
+        episode = alerter.finish()
+        assert episode is not None and episode.items == 1
+        assert alerter.finish() is None
+
+    def test_attack_type_majority_vote(self):
+        alerter = HysteresisAlerter(0.5)
+        alerter.update(0.0, 0.9, attack_type="ddos")
+        alerter.update(1.0, 0.9, attack_type="scan")
+        alerter.update(2.0, 0.9, attack_type="ddos")
+        episode = alerter.finish()
+        assert episode.attack_type == "ddos"
+
+    def test_nonpositive_threshold_release_does_not_rise(self):
+        alerter = HysteresisAlerter(-0.5, release_ratio=0.8)
+        assert alerter.release == -0.5
+        alerter.update(0.0, 0.0)
+        assert alerter.active

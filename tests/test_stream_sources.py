@@ -1,0 +1,90 @@
+"""Packet sources: ordering, restartability, labelling, mixing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.stream.sources import (
+    DatasetSource,
+    ListSource,
+    MixedSource,
+    PcapReplaySource,
+)
+
+from tests.conftest import make_udp_packet
+
+
+def _packets(timestamps, src="10.0.0.1"):
+    return [make_udp_packet(ts=ts, src=src) for ts in timestamps]
+
+
+class TestListSource:
+    def test_preserves_order_and_is_restartable(self):
+        source = ListSource(_packets([0.0, 1.0, 2.0]))
+        first = [p.timestamp for p in source]
+        second = [p.timestamp for p in source]
+        assert first == second == [0.0, 1.0, 2.0]
+        assert source.labelled
+        assert "3 packets" in source.describe()
+
+
+class TestPcapReplaySource:
+    def test_replays_written_capture(self, tmp_path):
+        from repro.net.pcap import write_pcap
+
+        path = tmp_path / "capture.pcap"
+        packets = _packets([10.0, 10.5, 11.25])
+        write_pcap(path, packets)
+        source = PcapReplaySource(path)
+        replayed = list(source)
+        assert [round(p.timestamp, 6) for p in replayed] == [10.0, 10.5, 11.25]
+        # pcap has no label field: the source must not claim ground truth.
+        assert not source.labelled
+        # Restartable: a second iteration re-opens the file.
+        assert len(list(source)) == 3
+
+
+class TestDatasetSource:
+    def test_lazy_deterministic_generation(self):
+        source = DatasetSource("Mirai", seed=3, scale=0.02)
+        assert source._dataset is None  # nothing generated yet
+        replayed = list(source)
+        reference = generate_dataset("Mirai", seed=3, scale=0.02)
+        assert len(replayed) == len(reference.packets)
+        assert [p.timestamp for p in replayed] == [
+            p.timestamp for p in reference.packets
+        ]
+        assert source.labelled
+        assert "dataset:Mirai" in source.describe()
+
+
+class TestMixedSource:
+    def test_merges_by_timestamp(self):
+        a = ListSource(_packets([0.0, 2.0, 4.0], src="10.0.0.1"), name="a")
+        b = ListSource(_packets([1.0, 3.0, 5.0], src="10.0.0.2"), name="b")
+        merged = list(MixedSource([a, b]))
+        assert [p.timestamp for p in merged] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_ties_break_by_source_position(self):
+        a = ListSource(_packets([1.0], src="10.0.0.1"), name="a")
+        b = ListSource(_packets([1.0], src="10.0.0.2"), name="b")
+        merged = list(MixedSource([a, b]))
+        assert [p.src_ip for p in merged] == ["10.0.0.1", "10.0.0.2"]
+        # And deterministically so on replay.
+        merged_again = list(MixedSource([a, b]))
+        assert [p.src_ip for p in merged_again] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_labelled_only_if_all_parts_are(self, tmp_path):
+        from repro.net.pcap import write_pcap
+
+        path = tmp_path / "part.pcap"
+        write_pcap(path, _packets([0.0]))
+        labelled = ListSource(_packets([1.0]))
+        mixed = MixedSource([labelled, PcapReplaySource(path)])
+        assert not mixed.labelled
+        assert MixedSource([labelled]).labelled
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MixedSource([])
