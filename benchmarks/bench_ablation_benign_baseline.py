@@ -28,7 +28,8 @@ from repro.ids.kitsune import Kitsune
 from repro.runner import ExperimentEngine
 from repro.utils.tables import TextTable
 
-from benchmarks.conftest import jobs_or, save_result, scale_or
+from benchmarks.conftest import (bench_seconds, jobs_or,
+                                 save_bench_json, save_result, scale_or)
 
 CONTAMINATION = (0.0, 0.1, 0.3, 0.6)
 DEFAULT_SCALE = 0.2
@@ -128,5 +129,10 @@ def test_benign_baseline_ablation(benchmark, bench_scale, bench_jobs):
     # baseline (attack traffic normalised into "normal") loses recall.
     clean_f1 = rows[0][1].f1
     dirty_f1 = rows[-1][1].f1
+    save_bench_json(
+        "ablation_benign_baseline", metric="sweep_seconds",
+        value=round(bench_seconds(benchmark), 3), scale=scale,
+        clean_f1=clean_f1, dirty_f1=dirty_f1,
+    )
     assert clean_f1 > 0.8
     assert dirty_f1 < clean_f1

@@ -37,7 +37,8 @@ from repro.runner import ExperimentEngine
 from repro.utils.rng import SeededRNG
 from repro.utils.tables import TextTable
 
-from benchmarks.conftest import jobs_or, save_result, scale_or
+from benchmarks.conftest import (bench_seconds, jobs_or,
+                                 save_bench_json, save_result, scale_or)
 
 DEFAULT_SCALE = 0.2
 
@@ -109,5 +110,10 @@ def test_classical_ml_ablation(benchmark, bench_scale, bench_jobs):
     # the DNN separate CICIDS2017 attacks well — the out-of-the-box
     # Table IV collapse is a *deployment* failure, not a model one.
     results = dict(rows)
+    save_bench_json(
+        "ablation_classical_ml", metric="sweep_seconds",
+        value=round(bench_seconds(benchmark), 3), scale=scale,
+        mean_f1=sum(m.f1 for _, m in rows) / len(rows),
+    )
     assert results["RandomForest"].f1 > 0.8
     assert results["DNN (in-distribution)"].f1 > 0.8

@@ -24,7 +24,8 @@ from repro.runner import ExperimentEngine
 from repro.utils.rng import SeededRNG
 from repro.utils.tables import TextTable
 
-from benchmarks.conftest import jobs_or, save_result, scale_or
+from benchmarks.conftest import (bench_seconds, jobs_or,
+                                 save_bench_json, save_result, scale_or)
 
 FRACTIONS = (1.0, 0.5, 0.25, 0.1)
 DEFAULT_SCALE = 0.15
@@ -110,6 +111,11 @@ def test_sampling_ablation(benchmark, bench_scale, bench_jobs):
         table.add_row([f"{fraction:.2f}", f"{fmean:.2f}", fcount,
                        f"{pmean:.2f}", pcount])
     save_result("ablation_sampling", table.render())
+    save_bench_json(
+        "ablation_sampling", metric="sweep_seconds",
+        value=round(bench_seconds(benchmark), 3), scale=scale,
+        baseline_mean_pkts_per_flow=baseline_mean,
+    )
 
     # Shape: flow sampling preserves the per-flow packet distribution at
     # every fraction; packet sampling shreds it.

@@ -20,7 +20,8 @@ from repro.core.thresholds import standard_threshold
 from repro.runner import ExperimentEngine
 from repro.utils.tables import TextTable
 
-from benchmarks.conftest import jobs_or, save_result, scale_or
+from benchmarks.conftest import (bench_seconds, jobs_or,
+                                 save_bench_json, save_result, scale_or)
 
 DEFAULT_SCALE = 0.2
 
@@ -64,6 +65,11 @@ def test_threshold_strategy_ablation(benchmark, score_streams):
         table.add_row([dataset, strategy, *m.row()])
         by_key[(dataset, strategy)] = m
     save_result("ablation_thresholds", table.render())
+    save_bench_json(
+        "ablation_thresholds", metric="sweep_seconds",
+        value=round(bench_seconds(benchmark), 3),
+        strategies=len(STRATEGIES), datasets=len(score_streams),
+    )
 
     # Shape: on the separable dataset every strategy agrees (floods are
     # unmistakable); on the inseparable one, detection-priority floods

@@ -30,7 +30,8 @@ from repro.core.experiment import (
 )
 from repro.runner import ExperimentEngine, plan_cells
 
-from benchmarks.conftest import jobs_or, save_result, scale_or
+from benchmarks.conftest import (jobs_or, save_bench_json, save_result,
+                                 scale_or)
 
 DEFAULT_SCALE = 0.35
 DEFAULT_JOBS = 2
@@ -91,6 +92,13 @@ def test_engine_speedup(tmp_path, bench_scale, bench_jobs):
         "  warm run:  " + warm_engine.last_telemetry.summary().replace("\n", "\n  "),
     ])
     save_result("engine_speedup", report)
+    save_bench_json(
+        "engine_speedup", metric="warm_speedup",
+        value=round(speedup_warm, 3), scale=SCALE, jobs=JOBS,
+        cold_speedup=round(speedup_cold, 3),
+        baseline_seconds=round(t_baseline, 3),
+        cold_seconds=round(t_cold, 3), warm_seconds=round(t_warm, 3),
+    )
 
     assert warm_engine.last_telemetry.result_cache_hits == len(cells)
     # At benchmark scale the cold engine must at least not lose to the

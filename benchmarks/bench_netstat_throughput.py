@@ -1,0 +1,123 @@
+"""AfterImage feature-path throughput: scalar reference vs vectorized.
+
+The NetStat hot loop sits under every Kitsune/HELAD cell of the Table
+IV matrix *and* under ``repro.stream``'s live packet path, so its
+features/sec bound both batch reproduction time and online pps. This
+bench extracts the full Mirai replay through each engine, cross-checks
+bit-for-bit parity while it measures (a fast-but-wrong engine must not
+pass), and records the speedup in ``BENCH_netstat_throughput.json``.
+
+Run the acceptance configuration with::
+
+    PYTHONPATH=src pytest benchmarks/bench_netstat_throughput.py -s --scale 1.0
+
+The default vector engine must beat the scalar reference wherever a
+C compiler is available (the native kernel); at full scale it must be
+>= 3x. Without a compiler the NumPy fallback kernel is roughly
+scalar-speed per packet and the speedup gates are skipped.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from repro.features.netstat import NetStat
+
+from benchmarks.conftest import save_bench_json, save_result, scale_or
+
+DEFAULT_SCALE = 1.0
+SEED = 0
+DATASET = "Mirai"
+#: Engines measured; "vector" resolves to the native kernel when a C
+#: compiler is available and the NumPy kernel otherwise.
+ENGINES = ("scalar", "vector", "vector-numpy")
+#: Acceptance gate for the default vector engine at scale >= 1.0.
+FULL_SCALE_SPEEDUP = 3.0
+
+
+@lru_cache(maxsize=2)
+def _packets(scale: float):
+    from repro.datasets.registry import generate_dataset_uncached
+
+    return generate_dataset_uncached(DATASET, seed=SEED, scale=scale).packets
+
+
+def _measure(engine: str, packets) -> tuple[float, np.ndarray, str]:
+    extractor = NetStat(engine=engine)
+    kernel = "objects" if engine == "scalar" else extractor._db.kernel_name
+    start = time.perf_counter()
+    matrix = extractor.extract_all(packets)
+    elapsed = time.perf_counter() - start
+    return elapsed, matrix, kernel
+
+
+def test_netstat_throughput(bench_scale):
+    scale = scale_or(bench_scale, DEFAULT_SCALE)
+    packets = _packets(scale)
+    n_packets = len(packets)
+    feature_count = NetStat().feature_count
+
+    rows = {}
+    reference = None
+    for engine in ENGINES:
+        elapsed, matrix, kernel = _measure(engine, packets)
+        rows[engine] = {
+            "kernel": kernel,
+            "seconds": elapsed,
+            "pps": n_packets / elapsed,
+            "features_per_second": n_packets * feature_count / elapsed,
+        }
+        # Parity gate: speed must not come from changed semantics.
+        if reference is None:
+            reference = matrix
+        else:
+            assert np.array_equal(reference, matrix), (
+                f"{engine} diverged from the scalar reference — "
+                "parity contract broken"
+            )
+
+    speedup = rows["vector"]["pps"] / rows["scalar"]["pps"]
+    native_active = rows["vector"]["kernel"] == "native"
+
+    lines = [
+        f"netstat throughput @ scale={scale} dataset={DATASET} seed={SEED} "
+        f"({n_packets} packets, {feature_count} features)",
+        f"  {'engine':14s} {'kernel':8s} {'pkt/s':>12s} "
+        f"{'features/s':>14s} {'seconds':>9s}",
+    ]
+    for engine, row in rows.items():
+        lines.append(
+            f"  {engine:14s} {row['kernel']:8s} {row['pps']:12,.0f} "
+            f"{row['features_per_second']:14,.0f} {row['seconds']:9.3f}"
+        )
+    lines.append(f"  vector speedup over scalar: {speedup:.2f}x "
+                 f"(native kernel: {native_active})")
+    save_result("netstat_throughput", "\n".join(lines))
+    save_bench_json(
+        "netstat_throughput",
+        metric="vector_speedup",
+        value=round(speedup, 3),
+        scale=scale,
+        dataset=DATASET,
+        packets=n_packets,
+        native_kernel=native_active,
+        scalar_pps=round(rows["scalar"]["pps"]),
+        vector_pps=round(rows["vector"]["pps"]),
+        vector_features_per_second=round(
+            rows["vector"]["features_per_second"]
+        ),
+        numpy_kernel_pps=round(rows["vector-numpy"]["pps"]),
+    )
+
+    assert rows["scalar"]["pps"] > 0
+    if native_active:
+        # The native kernel must always win; at full scale by >= 3x.
+        assert speedup >= 1.0, f"vector slower than scalar: {speedup:.2f}x"
+        if scale >= 1.0:
+            assert speedup >= FULL_SCALE_SPEEDUP, (
+                f"vector speedup {speedup:.2f}x below the "
+                f"{FULL_SCALE_SPEEDUP}x acceptance gate at scale {scale}"
+            )

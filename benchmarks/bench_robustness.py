@@ -17,7 +17,8 @@ from repro.core.robustness import stability_report
 from repro.runner import ExperimentEngine
 from repro.utils.tables import TextTable
 
-from benchmarks.conftest import jobs_or, save_result, scale_or
+from benchmarks.conftest import (bench_seconds, jobs_or,
+                                 save_bench_json, save_result, scale_or)
 
 SEEDS = (0, 1, 2)
 DEFAULT_SCALE = 0.12
@@ -45,6 +46,11 @@ def test_seed_stability(benchmark, bench_scale, bench_jobs):
                 f"{cell.f1_coefficient_of_variation:.3f}",
             ])
     save_result("robustness_seed_stability", table.render())
+    save_bench_json(
+        "robustness_seed_stability", metric="sweep_seconds",
+        value=round(bench_seconds(benchmark), 3), scale=scale,
+        seeds=len(SEEDS),
+    )
 
     # The DNN's Stratosphere collapse is structural, not seed luck.
     dnn = {cell.dataset_name: cell for cell in reports["DNN"]}

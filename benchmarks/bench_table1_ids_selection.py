@@ -7,7 +7,7 @@ fifteen investigated systems) and saves the rendered table.
 from repro.core.report import render_table1
 from repro.core.selection import run_selection, selected_names
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import bench_seconds, save_bench_json, save_result
 
 
 def test_table1_ids_selection(benchmark):
@@ -21,3 +21,7 @@ def test_table1_ids_selection(benchmark):
         "StratosphereIPS (Slips)",
     }
     save_result("table1_ids_selection", render_table1())
+    save_bench_json(
+        "table1_ids_selection", metric="selection_seconds",
+        value=round(bench_seconds(benchmark), 6), systems=len(outcomes),
+    )

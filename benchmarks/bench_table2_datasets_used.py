@@ -8,7 +8,7 @@ the rendered inventory.
 from repro.core.report import render_table2
 from repro.datasets import USED_DATASETS, generate_dataset
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import bench_seconds, save_bench_json, save_result
 
 
 def _generate_all():
@@ -33,3 +33,8 @@ def test_table2_datasets_used(benchmark):
             f"duration={dataset.duration:8.0f}s"
         )
     save_result("table2_datasets_used", "\n".join(lines))
+    save_bench_json(
+        "table2_datasets_used", metric="generation_seconds",
+        value=round(bench_seconds(benchmark), 3), scale=0.1,
+        total_packets=sum(len(dataset) for dataset in datasets.values()),
+    )

@@ -3,7 +3,7 @@
 from repro.core.report import render_table3
 from repro.datasets import EXCLUDED_DATASETS, all_dataset_infos
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import bench_seconds, save_bench_json, save_result
 
 
 def test_table3_datasets_excluded(benchmark):
@@ -12,3 +12,7 @@ def test_table3_datasets_excluded(benchmark):
     assert len(EXCLUDED_DATASETS) == 13
     assert all(info.exclusion_reason for info in EXCLUDED_DATASETS)
     save_result("table3_datasets_excluded", render_table3())
+    save_bench_json(
+        "table3_datasets_excluded", metric="inventory_seconds",
+        value=round(bench_seconds(benchmark), 6), datasets=len(infos),
+    )

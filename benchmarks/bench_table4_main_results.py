@@ -11,7 +11,8 @@ import pytest
 from repro.core.pipeline import IDSAnalysisPipeline
 from repro.core.report import render_shape_checks, render_table4
 
-from benchmarks.conftest import jobs_or, save_result, scale_or
+from benchmarks.conftest import (jobs_or, save_bench_json, save_result,
+                                 scale_or)
 
 DEFAULT_SCALE = 0.35
 SEED = 0
@@ -33,6 +34,12 @@ def test_table4_full_matrix(benchmark, pipeline):
     report += "\n\n" + pipeline.telemetry.summary()
     save_result("table4_main_results", report)
     checks = pipeline.shape_checks()
+    save_bench_json(
+        "table4_main_results", metric="shape_checks_passed",
+        value=sum(1 for c in checks if c.passed), scale=pipeline.scale,
+        total_checks=len(checks),
+        cells=len(pipeline.results),
+    )
     failed = [c for c in checks if not c.passed]
     assert not failed, "shape checks failed: " + "; ".join(
         f"{c.claim} ({c.detail})" for c in failed

@@ -11,7 +11,8 @@ import pytest
 from repro.core.pipeline import IDSAnalysisPipeline
 from repro.core.report import render_table4
 
-from benchmarks.conftest import jobs_or, save_result, scale_or
+from benchmarks.conftest import (bench_seconds, jobs_or,
+                                 save_bench_json, save_result, scale_or)
 
 DEFAULT_SCALE = 0.2
 SEED = 0
@@ -33,6 +34,10 @@ def test_table4_row_kitsune(benchmark, _run_row):
     pipeline = benchmark.pedantic(lambda: _run_row("Kitsune"),
                                   rounds=1, iterations=1)
     save_result("table4_row_kitsune", render_table4(pipeline))
+    save_bench_json(
+        "table4_row_kitsune", metric="row_seconds",
+        value=round(bench_seconds(benchmark), 3), scale=pipeline.scale,
+    )
     f1 = {d: pipeline.f1_of("Kitsune", d) for d in pipeline.dataset_names}
     assert min(f1["BoT-IoT"], f1["Mirai"]) > 0.8
     assert max(f1["UNSW-NB15"], f1["CICIDS2017"]) < 0.35
@@ -42,6 +47,10 @@ def test_table4_row_helad(benchmark, _run_row):
     pipeline = benchmark.pedantic(lambda: _run_row("HELAD"),
                                   rounds=1, iterations=1)
     save_result("table4_row_helad", render_table4(pipeline))
+    save_bench_json(
+        "table4_row_helad", metric="row_seconds",
+        value=round(bench_seconds(benchmark), 3), scale=pipeline.scale,
+    )
     metrics = pipeline.results[("HELAD", "CICIDS2017")].metrics
     assert metrics.precision >= metrics.recall
     assert pipeline.f1_of("HELAD", "Stratosphere") > 0.6
@@ -51,6 +60,10 @@ def test_table4_row_dnn(benchmark, _run_row):
     pipeline = benchmark.pedantic(lambda: _run_row("DNN"),
                                   rounds=1, iterations=1)
     save_result("table4_row_dnn", render_table4(pipeline))
+    save_bench_json(
+        "table4_row_dnn", metric="row_seconds",
+        value=round(bench_seconds(benchmark), 3), scale=pipeline.scale,
+    )
     for dataset in pipeline.dataset_names:
         metrics = pipeline.results[("DNN", dataset)].metrics
         assert metrics.recall > 0.9, dataset
@@ -61,6 +74,10 @@ def test_table4_row_slips(benchmark, _run_row):
     pipeline = benchmark.pedantic(lambda: _run_row("Slips"),
                                   rounds=1, iterations=1)
     save_result("table4_row_slips", render_table4(pipeline))
+    save_bench_json(
+        "table4_row_slips", metric="row_seconds",
+        value=round(bench_seconds(benchmark), 3), scale=pipeline.scale,
+    )
     assert pipeline.f1_of("Slips", "UNSW-NB15") == 0.0
     assert pipeline.f1_of("Slips", "BoT-IoT") == 0.0
     best = max(pipeline.dataset_names,

@@ -18,12 +18,15 @@ equivalent knobs for CI, with the command line taking precedence.
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def pytest_addoption(parser):
@@ -75,3 +78,47 @@ def save_result(name: str, content: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(content + "\n")
     print(f"\n{content}\n")
+
+
+def _git_rev() -> str:
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return result.stdout.strip() or "unknown"
+
+
+def save_bench_json(
+    name: str,
+    metric: str,
+    value: float,
+    *,
+    scale: float | None = None,
+    **extra,
+) -> None:
+    """Write ``BENCH_<name>.json`` at the repo root.
+
+    One headline metric per bench, plus whatever context the bench
+    wants to record, makes the performance trajectory machine-readable:
+    CI uploads these files as artifacts and any regression tooling can
+    diff them across revisions via the embedded git rev.
+    """
+    payload = {
+        "bench": name,
+        "metric": metric,
+        "value": value,
+        "scale": scale,
+        "git_rev": _git_rev(),
+        **extra,
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench-json] {path.name}: {metric}={value}")
+
+
+def bench_seconds(benchmark) -> float:
+    """Mean seconds per round of a completed ``benchmark`` fixture run."""
+    return float(benchmark.stats.stats.mean)

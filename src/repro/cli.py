@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction pipeline.
 
-Seven subcommands mirror the artefacts a user actually wants:
+Eight subcommands mirror the artefacts a user actually wants:
 
 * ``repro-cli tables`` — print the static inventories (Tables I-III);
 * ``repro-cli generate`` — synthesise a dataset and write it to pcap;
@@ -12,6 +12,9 @@ Seven subcommands mirror the artefacts a user actually wants:
 * ``repro-cli stream`` — run an IDS *online* over a live packet stream
   (synthetic dataset replay or a pcap file), with sliding-window
   metrics, alert episodes and a JSON report;
+* ``repro-cli profile`` — time the packet path stage by stage
+  (parse → netstat → kitnet) under a chosen feature engine, with a
+  scalar-reference comparison and a JSON export;
 * ``repro-cli cache`` — inspect (``stats``) or LRU-trim (``gc``) an
   on-disk cache directory.
 
@@ -330,6 +333,34 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.profiling import profile_packet_path
+    from repro.datasets.registry import canonical_dataset_name
+
+    try:
+        dataset_name = canonical_dataset_name(args.dataset)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        profile = profile_packet_path(
+            dataset_name,
+            seed=args.seed,
+            scale=args.scale,
+            engine=args.engine,
+            max_packets=args.packets,
+            compare_scalar=not args.no_compare,
+        )
+    except RuntimeError as error:
+        # e.g. --engine vector-native on a box without a C compiler.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(profile.render())
+    if args.json:
+        _write_json(args.json, profile.to_dict())
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.runner import cache_dir_stats, gc_cache_dir
 
@@ -506,6 +537,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--quiet", action="store_true",
                           help="suppress per-window live output")
     p_stream.set_defaults(func=_cmd_stream)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="time the packet path stage by stage (parse/netstat/kitnet)",
+    )
+    p_profile.add_argument("--dataset", default="Mirai",
+                           help="synthetic dataset to replay "
+                                "(case-insensitive)")
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--scale", type=float, default=0.2,
+                           help="dataset generation scale (default 0.2)")
+    p_profile.add_argument("--packets", type=_positive_int,
+                           help="cap the replay at this many packets")
+    p_profile.add_argument("--engine",
+                           choices=("vector", "vector-numpy",
+                                    "vector-native", "scalar"),
+                           default="vector",
+                           help="NetStat feature engine to profile "
+                                "(default vector: native kernel when "
+                                "available)")
+    p_profile.add_argument("--no-compare", action="store_true",
+                           help="skip the scalar-reference NetStat "
+                                "timing comparison")
+    p_profile.add_argument("--json", help="write the profile to this "
+                                          "path as JSON")
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_cache = sub.add_parser("cache",
                              help="inspect or trim an on-disk cache")

@@ -1,0 +1,204 @@
+"""Stage-by-stage timing of the per-packet detection path.
+
+The online packet path is a three-stage pipeline::
+
+    wire bytes --parse--> Packet --netstat--> features --kitnet--> score
+
+Each stage has a very different cost profile (codec, damped statistics,
+ensemble of autoencoders), so a single end-to-end number hides where
+the budget goes. :func:`profile_packet_path` times each stage over a
+synthetic replay and reports per-packet microseconds, packets/second
+and each stage's share — the workflow behind ``repro-cli profile``
+(see ``docs/PERFORMANCE.md``).
+
+The NetStat stage can be profiled under any feature engine; with
+``compare_scalar=True`` (default) the scalar reference is timed too,
+which is the quickest way to see the vectorized engine's speedup on a
+given machine and traffic mix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.features.netstat import NetStat
+from repro.net.packet import Packet
+from repro.utils.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock cost of one pipeline stage over the whole replay."""
+
+    stage: str
+    seconds: float
+    packets: int
+
+    @property
+    def per_packet_us(self) -> float:
+        return self.seconds / self.packets * 1e6 if self.packets else 0.0
+
+    @property
+    def packets_per_second(self) -> float:
+        return self.packets / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class PacketPathProfile:
+    """The full stage breakdown for one dataset replay."""
+
+    dataset: str
+    seed: int
+    scale: float
+    packets: int
+    engine: str
+    kernel: str
+    stages: tuple[StageTiming, ...]
+    scalar_netstat_seconds: float | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    @property
+    def netstat_speedup(self) -> float | None:
+        """Scalar-reference / profiled-engine NetStat time ratio."""
+        if self.scalar_netstat_seconds is None:
+            return None
+        for stage in self.stages:
+            if stage.stage == "netstat" and stage.seconds > 0:
+                return self.scalar_netstat_seconds / stage.seconds
+        return None
+
+    def render(self) -> str:
+        total = self.total_seconds
+        lines = [
+            f"packet path profile: {self.dataset} seed={self.seed} "
+            f"scale={self.scale} ({self.packets} packets, "
+            f"engine={self.engine}/{self.kernel})",
+            f"  {'stage':10s} {'seconds':>9s} {'us/pkt':>9s} "
+            f"{'pkt/s':>12s} {'share':>7s}",
+        ]
+        for stage in self.stages:
+            share = stage.seconds / total if total else 0.0
+            lines.append(
+                f"  {stage.stage:10s} {stage.seconds:9.3f} "
+                f"{stage.per_packet_us:9.1f} "
+                f"{stage.packets_per_second:12,.0f} {share:6.1%}"
+            )
+        lines.append(
+            f"  {'total':10s} {total:9.3f} "
+            f"{total / self.packets * 1e6 if self.packets else 0:9.1f} "
+            f"{self.packets / total if total else 0:12,.0f} {1:6.1%}"
+        )
+        speedup = self.netstat_speedup
+        if speedup is not None:
+            lines.append(
+                f"  netstat engine speedup vs scalar reference: "
+                f"{speedup:.2f}x (scalar {self.scalar_netstat_seconds:.3f}s)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "scale": self.scale,
+            "packets": self.packets,
+            "engine": self.engine,
+            "kernel": self.kernel,
+            "total_seconds": self.total_seconds,
+            "netstat_speedup": self.netstat_speedup,
+            "scalar_netstat_seconds": self.scalar_netstat_seconds,
+            "stages": [
+                {
+                    "stage": stage.stage,
+                    "seconds": stage.seconds,
+                    "per_packet_us": stage.per_packet_us,
+                    "packets_per_second": stage.packets_per_second,
+                }
+                for stage in self.stages
+            ],
+        }
+
+
+def profile_packet_path(
+    dataset: str = "Mirai",
+    *,
+    seed: int = 0,
+    scale: float = 0.2,
+    engine: str = "vector",
+    max_packets: int | None = None,
+    compare_scalar: bool = True,
+    dataset_provider=None,
+) -> PacketPathProfile:
+    """Time parse → netstat → kitnet over a synthetic dataset replay."""
+    if dataset_provider is None:
+        from repro.datasets import generate_dataset as dataset_provider
+    data = dataset_provider(dataset, seed=seed, scale=scale)
+    packets = list(data.packets)
+    if max_packets is not None:
+        packets = packets[:max_packets]
+    if not packets:
+        raise ValueError("profiling needs a non-empty packet stream")
+    count = len(packets)
+
+    # Stage 1: wire-format parse (serialisation itself is untimed prep).
+    frames = [packet.to_bytes() for packet in packets]
+    timestamps = [packet.timestamp for packet in packets]
+    start = time.perf_counter()
+    parsed = [
+        Packet.from_bytes(frame, timestamp)
+        for frame, timestamp in zip(frames, timestamps)
+    ]
+    parse_seconds = time.perf_counter() - start
+    del parsed
+
+    # Stage 2: AfterImage features under the requested engine.
+    extractor = NetStat(engine=engine)
+    kernel = (
+        "objects" if engine == "scalar" else extractor._db.kernel_name
+    )
+    start = time.perf_counter()
+    features = extractor.extract_all(packets)
+    netstat_seconds = time.perf_counter() - start
+
+    scalar_seconds: float | None = None
+    if compare_scalar and engine != "scalar":
+        reference = NetStat(engine="scalar")
+        start = time.perf_counter()
+        reference.extract_all(packets)
+        scalar_seconds = time.perf_counter() - start
+
+    # Stage 3: KitNET with grace periods scaled to the replay length
+    # (same arithmetic as the experiment pipeline's Kitsune cells).
+    from repro.ids.kitsune.kitnet import KitNET
+
+    fm_grace = max(100, count // 10)
+    detector = KitNET(
+        extractor.feature_count,
+        fm_grace=fm_grace,
+        ad_grace=max(100, count - fm_grace),
+        rng=SeededRNG(seed, "profile"),
+    )
+    start = time.perf_counter()
+    for row in features:
+        detector.process(row)
+    kitnet_seconds = time.perf_counter() - start
+
+    stages = (
+        StageTiming("parse", parse_seconds, count),
+        StageTiming("netstat", netstat_seconds, count),
+        StageTiming("kitnet", kitnet_seconds, count),
+    )
+    return PacketPathProfile(
+        dataset=data.name,
+        seed=seed,
+        scale=scale,
+        packets=count,
+        engine=engine,
+        kernel=kernel,
+        stages=stages,
+        scalar_netstat_seconds=scalar_seconds,
+    )

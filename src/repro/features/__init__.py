@@ -11,6 +11,7 @@ used by the flow-level IDSs.
 
 from repro.features.incstat import IncStat, IncStatCov
 from repro.features.afterimage import IncStatDB
+from repro.features.vector import VectorIncStatDB
 from repro.features.netstat import NetStat, KITSUNE_FEATURE_COUNT
 from repro.features.normalize import OnlineMinMaxScaler, ZScoreScaler
 from repro.features.encoding import FlowVectorEncoder
@@ -19,6 +20,7 @@ __all__ = [
     "IncStat",
     "IncStatCov",
     "IncStatDB",
+    "VectorIncStatDB",
     "NetStat",
     "KITSUNE_FEATURE_COUNT",
     "OnlineMinMaxScaler",

@@ -4,9 +4,16 @@ Maintains one :class:`repro.features.incstat.IncStat` per (stream key,
 decay factor), creating streams lazily on first sight — the behaviour
 that makes Kitsune "plug and play" on a never-seen network. A size
 bound with LRU-ish pruning keeps memory stable on long captures.
+
+This is the *reference* implementation of the AfterImage semantics;
+:class:`repro.features.vector.VectorIncStatDB` is the vectorized
+structure-of-arrays engine that must match it bit-for-bit (the parity
+contract in ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
+
+import heapq
 
 from repro.features.incstat import IncStat, IncStatCov
 
@@ -39,6 +46,9 @@ class IncStatDB:
         self.max_streams = max_streams
         self._streams: dict[str, list[IncStat]] = {}
         self._covs: dict[str, list[IncStatCov]] = {}
+        #: Reverse-direction key per covariance key, so pruning can drop
+        #: covariances whose *either* endpoint stream was evicted.
+        self._cov_pair: dict[str, str] = {}
 
     def __len__(self) -> int:
         return len(self._streams)
@@ -78,6 +88,7 @@ class IncStatDB:
                 IncStatCov(a, b) for a, b in zip(stats_ab, stats_ba, strict=True)
             ]
             self._covs[key_ab] = covs
+            self._cov_pair[key_ab] = key_ba
         out: list[float] = []
         for stat, cov in zip(stats_ab, covs, strict=True):
             stat.insert(value, timestamp)
@@ -97,11 +108,27 @@ class IncStatDB:
     def _maybe_prune(self) -> None:
         if len(self._streams) <= self.max_streams:
             return
-        # Evict the stalest half by last update time.
-        items = sorted(
-            self._streams.items(), key=lambda kv: kv[1][0].last_time
+        # Evict the stalest half by last update time. ``heapq.nsmallest``
+        # is a partial selection — O(n log k) instead of the former full
+        # O(n log n) sort on every insert past the bound — and is
+        # documented to match ``sorted(...)[:k]`` exactly, so eviction
+        # order (including insertion-order tie-breaks) is unchanged.
+        cutoff = len(self._streams) // 2
+        stale = heapq.nsmallest(
+            cutoff, self._streams.items(), key=lambda kv: kv[1][0].last_time
         )
-        cutoff = len(items) // 2
-        for key, _ in items[:cutoff]:
-            self._streams.pop(key, None)
-            self._covs.pop(key, None)
+        evicted = {key for key, _ in stale}
+        for key in evicted:
+            del self._streams[key]
+        # A covariance is only meaningful while *both* direction streams
+        # are alive; drop it when either endpoint goes, so a re-seen
+        # reverse direction re-pairs against a fresh stream instead of a
+        # dangling evicted one.
+        dead_covs = [
+            key_ab
+            for key_ab, key_ba in self._cov_pair.items()
+            if key_ab in evicted or key_ba in evicted
+        ]
+        for key_ab in dead_covs:
+            del self._covs[key_ab]
+            del self._cov_pair[key_ab]

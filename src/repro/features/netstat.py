@@ -12,6 +12,18 @@ across five decay factors (Mirsky et al., NDSS 2018, Table I):
   (35 features).
 
 Total: 100 features per packet, computed in O(1) amortised time.
+
+Two engines implement the same semantics bit-for-bit:
+
+* ``engine="scalar"`` — the reference path over per-stream
+  :class:`~repro.features.incstat.IncStat` objects;
+* ``engine="vector"`` (default) — the structure-of-arrays
+  :class:`~repro.features.vector.VectorIncStatDB`, which interns the
+  four stream keys per (MAC, IPs, ports) tuple once and then updates
+  all decay factors of a packet's working set with vectorized kernels
+  (``"vector-numpy"`` / ``"vector-native"`` pin a specific kernel).
+
+See ``docs/PERFORMANCE.md`` for the layout and the parity contract.
 """
 
 from __future__ import annotations
@@ -19,10 +31,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.features.afterimage import DEFAULT_DECAYS, IncStatDB
+from repro.features.vector import VectorIncStatDB
 from repro.net.packet import Packet
 
 #: Dimensionality of the exported vector.
 KITSUNE_FEATURE_COUNT = 100
+
+#: ``engine`` argument → VectorIncStatDB kernel choice.
+_VECTOR_ENGINES = {
+    "vector": "auto",
+    "vector-numpy": "numpy",
+    "vector-native": "native",
+}
+
+#: Upper bound on cached (mac, ips, ports) → interned-rows entries.
+_ENTRY_CACHE_LIMIT = 1 << 17
 
 
 class NetStat:
@@ -37,9 +60,22 @@ class NetStat:
         decays: tuple[float, ...] = DEFAULT_DECAYS,
         *,
         max_streams: int = 100_000,
+        engine: str = "vector",
     ) -> None:
         self.decays = tuple(decays)
-        self._db = IncStatDB(self.decays, max_streams=max_streams)
+        self.engine = engine
+        if engine == "scalar":
+            self._db = IncStatDB(self.decays, max_streams=max_streams)
+        elif engine in _VECTOR_ENGINES:
+            self._db = VectorIncStatDB(
+                self.decays,
+                max_streams=max_streams,
+                kernel=_VECTOR_ENGINES[engine],
+            )
+        else:
+            known = ", ".join(["scalar", *_VECTOR_ENGINES])
+            raise ValueError(f"unknown engine {engine!r}; known: {known}")
+        self._entries: dict[tuple, object] = {}
         self.packets_seen = 0
 
     @property
@@ -54,6 +90,13 @@ class NetStat:
         fields contribute zero-keyed streams, mirroring how Kitsune's
         packet parser degrades on unusual frames.
         """
+        if self.engine == "scalar":
+            return self._update_scalar(packet)
+        out = np.empty(self.feature_count)
+        self._update_into(packet, out)
+        return out
+
+    def _update_scalar(self, packet: Packet) -> np.ndarray:
         self.packets_seen += 1
         timestamp = packet.timestamp
         size = float(packet.wire_len)
@@ -88,9 +131,57 @@ class NetStat:
         )
         return np.asarray(features, dtype=np.float64)
 
+    def _update_into(
+        self, packet: Packet, out: np.ndarray, out_ptr: int | None = None
+    ) -> None:
+        """Vector fast path: write ``packet``'s features into ``out``."""
+        timestamp = packet.timestamp
+        size = float(packet.wire_len)
+        ether = packet.ether
+        src_mac = ether.src_mac if ether is not None else "??"
+        src_ip = packet.src_ip or "0.0.0.0"
+        dst_ip = packet.dst_ip or "0.0.0.0"
+        src_port = packet.src_port
+        if src_port is None:
+            src_port = 0
+        dst_port = packet.dst_port
+        if dst_port is None:
+            dst_port = 0
+
+        db = self._db
+        cache_key = (src_mac, src_ip, dst_ip, src_port, dst_port)
+        entry = self._entries.get(cache_key)
+        if entry is None or entry.epoch != db.epoch:
+            entry = db.packet_entry(
+                src_mac, src_ip, dst_ip, src_port, dst_port, timestamp
+            )
+            if len(self._entries) >= _ENTRY_CACHE_LIMIT:
+                self._entries.clear()
+            self._entries[cache_key] = entry
+        db.update_packet(entry, size, timestamp, out, out_ptr)
+        self.packets_seen += 1
+
     def extract_all(self, packets) -> np.ndarray:
-        """Vectorise a whole packet sequence into an (n, d) matrix."""
-        rows = [self.update(packet) for packet in packets]
-        if not rows:
-            return np.empty((0, self.feature_count), dtype=np.float64)
-        return np.vstack(rows)
+        """Vectorise a whole packet sequence into an (n, d) matrix.
+
+        The vector engine writes every packet's features straight into
+        the preallocated result matrix (no per-packet allocations)."""
+        if self.engine == "scalar":
+            rows = [self.update(packet) for packet in packets]
+            if not rows:
+                return np.empty((0, self.feature_count), dtype=np.float64)
+            return np.vstack(rows)
+        packets = list(packets)
+        width = self.feature_count
+        matrix = np.empty((len(packets), width))
+        base = matrix.ctypes.data
+        stride = width * matrix.itemsize
+        for index, packet in enumerate(packets):
+            self._update_into(packet, matrix[index], base + index * stride)
+        return matrix
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Interned-row entries hold raw pointers; rebuild after unpickle.
+        state["_entries"] = {}
+        return state

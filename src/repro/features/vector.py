@@ -1,0 +1,533 @@
+"""Vectorized AfterImage: a structure-of-arrays damped-statistics engine.
+
+:class:`VectorIncStatDB` replaces the per-stream ``IncStat`` object
+graph of :class:`repro.features.afterimage.IncStatDB` with three flat
+NumPy tables::
+
+    state: (capacity, 3, D) float64   # [weight | linear_sum | squared_sum]
+    last:  (capacity,)      float64   # shared last-update time per stream
+    seq:   (capacity,)      int64     # insertion sequence (prune ties)
+
+where ``D`` is the number of decay factors. One row holds *all* decay
+horizons of a stream, so decaying a stream is a single vectorized
+multiply instead of ``D`` attribute-walking Python calls. Covariance
+accumulators reuse the same row shape (``weight | sum_residual | —``),
+which lets one packet's whole working set live in eight rows:
+``[mac, ip, ch_ab, sk_ab, cov_ch, cov_sk, ch_ba, sk_ba]``.
+
+Keys are interned once — :class:`repro.features.netstat.NetStat` caches
+the interned row ids per (MAC, IPs, ports) tuple, so the steady-state
+packet path performs no f-string key construction and no string-dict
+lookups. Pruning uses amortized partial selection (``np.argpartition``)
+instead of a full sort, with insertion-order tie-breaking identical to
+the reference implementation's ``heapq.nsmallest``.
+
+**Parity contract.** Every float operation runs in the same order as
+the scalar reference (:class:`~repro.features.incstat.IncStat` /
+:class:`~repro.features.incstat.IncStatCov`), so outputs are
+bit-for-bit identical — enforced by ``tests/test_features_parity.py``.
+Two interchangeable kernels drive the arrays:
+
+* ``numpy`` — portable row-wise ufunc kernel;
+* ``native`` — a small C kernel (see :mod:`repro.features._native`)
+  compiled on demand, ~10x faster because it removes per-call ufunc
+  dispatch overhead. Falls back to ``numpy`` when no compiler exists.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.features import _native
+from repro.utils.validation import check_positive
+
+_POW = math.pow
+_HYPOT = math.hypot
+
+
+class _PacketEntry:
+    """Interned row ids for one (mac, src, dst, ports) packet shape."""
+
+    __slots__ = ("epoch", "rows", "rows_arr", "rows_ptr")
+
+    def __init__(self, epoch: int, rows: tuple[int, ...]) -> None:
+        self.epoch = epoch
+        self.rows = rows
+        self.rows_arr = np.array(rows, dtype=np.int64)
+        self.rows_ptr = self.rows_arr.ctypes.data
+
+
+class VectorIncStatDB:
+    """Structure-of-arrays drop-in for :class:`IncStatDB`.
+
+    Parameters
+    ----------
+    decays:
+        Decay factors; one table column block per factor.
+    max_streams:
+        Soft bound on tracked keys; the stalest half is evicted past it
+        (identical eviction set to the scalar reference).
+    kernel:
+        ``"auto"`` (native when available), ``"numpy"``, or ``"native"``
+        (raises if the native kernel cannot be built).
+    """
+
+    def __init__(
+        self,
+        decays: tuple[float, ...] = (5.0, 3.0, 1.0, 0.1, 0.01),
+        *,
+        max_streams: int = 100_000,
+        kernel: str = "auto",
+        capacity: int = 1024,
+    ) -> None:
+        if not decays:
+            raise ValueError("at least one decay factor is required")
+        for decay in decays:
+            check_positive("decay", decay)
+        if kernel not in ("auto", "numpy", "native"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self.decays = tuple(float(d) for d in decays)
+        self.max_streams = max_streams
+        self.kernel = kernel
+        self._d = len(self.decays)
+        self._capacity = max(int(capacity), 8)
+        self._size = 0
+        self._state = np.zeros((self._capacity, 3, self._d))
+        self._last = np.zeros(self._capacity)
+        self._seq = np.zeros(self._capacity, dtype=np.int64)
+        self._next_seq = 0
+        self._keys: dict[str, int] = {}
+        self._cov_keys: dict[str, int] = {}
+        self._cov_pair: dict[str, str] = {}
+        self._free: list[int] = []
+        #: Bumped whenever rows are freed; cached entries re-resolve.
+        self.epoch = 0
+        self._build_layout()
+        self._init_kernel()
+
+    # -- construction helpers -------------------------------------------
+    def _build_layout(self) -> None:
+        d = self._d
+        self._block_1d = tuple(
+            tuple(slice(base + offset, base + 3 * d, 3) for offset in range(3))
+            for base in (0, 3 * d)
+        )
+        self._block_2d = tuple(
+            tuple(slice(base + offset, base + 7 * d, 7) for offset in range(7))
+            for base in (6 * d, 13 * d)
+        )
+        # The channel and socket blocks are adjacent with the same
+        # stride, so one strided slice covers the magnitude (and one
+        # the radius) slots of *both* blocks.
+        self._mag_slice = slice(6 * d + 3, 20 * d, 7)
+        self._rad_slice = slice(6 * d + 4, 20 * d, 7)
+
+    def _init_kernel(self) -> None:
+        self._decays_arr = np.array(self.decays)
+        self._decays_ptr = self._decays_arr.ctypes.data
+        self._factor_buf = np.empty(self._d)
+        self._aux = np.empty(8 * self._d)
+        self._aux_ptr = self._aux.ctypes.data
+        self._native_fn = None
+        if self.kernel != "numpy" and self._d <= _native.MAX_DECAYS:
+            library = _native.load_kernel()
+            if library is not None:
+                self._native_fn = library.afterimage_update_packet
+        if self.kernel == "native" and self._native_fn is None:
+            raise RuntimeError(
+                "native AfterImage kernel unavailable (no C compiler, "
+                "REPRO_DISABLE_NATIVE set, or too many decay factors)"
+            )
+        self._refresh_pointers()
+
+    def _refresh_pointers(self) -> None:
+        self._state_ptr = self._state.ctypes.data
+        self._last_ptr = self._last.ctypes.data
+
+    @property
+    def kernel_name(self) -> str:
+        """Which kernel actually drives ``update_packet``."""
+        return "native" if self._native_fn is not None else "numpy"
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def feature_count(self) -> int:
+        return 20 * self._d
+
+    # -- row allocation --------------------------------------------------
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        state = np.zeros((new_capacity, 3, self._d))
+        state[: self._size] = self._state[: self._size]
+        last = np.zeros(new_capacity)
+        last[: self._size] = self._last[: self._size]
+        seq = np.zeros(new_capacity, dtype=np.int64)
+        seq[: self._size] = self._seq[: self._size]
+        self._state, self._last, self._seq = state, last, seq
+        self._capacity = new_capacity
+        self._refresh_pointers()
+
+    def _alloc_row(self, exclude: set[int]) -> int:
+        free = self._free
+        if free:
+            # Rows referenced by the packet being resolved must not be
+            # recycled mid-packet — the scalar path keeps evicted
+            # streams alive as locals until its update completes.
+            skipped: list[int] = []
+            row = -1
+            while free:
+                candidate = free.pop()
+                if candidate in exclude:
+                    skipped.append(candidate)
+                else:
+                    row = candidate
+                    break
+            free.extend(skipped)
+            if row >= 0:
+                # Recycled rows keep their evicted values until here
+                # (freed-but-in-flight packets still read them); fresh
+                # rows from growth are already zero.
+                self._state[row] = 0.0
+                self._last[row] = 0.0
+                return row
+        if self._size == self._capacity:
+            self._grow()
+        row = self._size
+        self._size += 1
+        return row
+
+    def _intern(
+        self,
+        key,
+        timestamp: float,
+        pending: dict[int, float],
+        exclude: set[int],
+    ) -> int:
+        row = self._keys.get(key)
+        if row is not None:
+            return row
+        row = self._alloc_row(exclude)
+        exclude.add(row)
+        self._last[row] = timestamp
+        self._seq[row] = self._next_seq
+        self._next_seq += 1
+        self._keys[key] = row
+        if len(self._keys) > self.max_streams:
+            self._prune(pending)
+        return row
+
+    def _intern_cov(self, key_ab, key_ba, exclude: set[int]) -> int:
+        row = self._cov_keys.get(key_ab)
+        if row is not None:
+            return row
+        row = self._alloc_row(exclude)
+        exclude.add(row)
+        # IncStatCov starts its clock at zero; _alloc_row hands out
+        # zeroed rows, so no further initialisation is needed.
+        self._cov_keys[key_ab] = row
+        self._cov_pair[key_ab] = key_ba
+        return row
+
+    def _prune(self, pending: dict[int, float]) -> None:
+        """Evict the stalest half of the streams by last update time.
+
+        ``pending`` maps row → virtual timestamp for streams the current
+        packet has conceptually already updated (the scalar path updates
+        group by group, so a later group's creation sees earlier groups
+        at the packet timestamp). Partial selection via
+        ``np.argpartition`` with insertion-order tie-breaking reproduces
+        ``heapq.nsmallest`` exactly without a full sort.
+        """
+        cutoff = len(self._keys) // 2
+        if cutoff == 0:
+            return
+        keys_list = list(self._keys)
+        rows_arr = np.fromiter(
+            self._keys.values(), dtype=np.int64, count=len(keys_list)
+        )
+        saved = [(row, self._last[row]) for row in pending]
+        for row, ts in pending.items():
+            self._last[row] = ts
+        stale_times = self._last[rows_arr]
+        for row, value in saved:
+            self._last[row] = value
+        kth = cutoff - 1
+        partition = np.argpartition(stale_times, kth)
+        boundary = stale_times[partition[kth]]
+        below = np.nonzero(stale_times < boundary)[0]
+        ties = np.nonzero(stale_times == boundary)[0][: cutoff - below.size]
+        evicted = {keys_list[i] for i in below.tolist()}
+        evicted.update(keys_list[i] for i in ties.tolist())
+        for key in evicted:
+            self._free.append(self._keys.pop(key))
+        dead_covs = [
+            key_ab
+            for key_ab, key_ba in self._cov_pair.items()
+            if key_ab in evicted or key_ba in evicted
+        ]
+        for key_ab in dead_covs:
+            self._free.append(self._cov_keys.pop(key_ab))
+            del self._cov_pair[key_ab]
+        self.epoch += 1
+
+    # -- row-wise primitives (NumPy kernel + compat API) -----------------
+    def _decay_factors(self, dt: float) -> np.ndarray:
+        # math.pow matches the scalar reference bit-for-bit; NumPy's
+        # exp2/power differ in the last ulp on some platforms. The
+        # buffer is consumed immediately by the caller's multiply.
+        factors = self._factor_buf
+        factors[:] = [_POW(2.0, -decay * dt) for decay in self.decays]
+        return factors
+
+    def _insert_row(self, row: int, value: float, timestamp: float):
+        stats = self._state[row]
+        dt = timestamp - float(self._last[row])
+        if dt > 0.0:
+            stats *= self._decay_factors(dt)
+            self._last[row] = timestamp
+        weight = stats[0]
+        weight += 1.0
+        linear = stats[1]
+        linear += value
+        squared = stats[2]
+        squared += value * value
+        mean = linear / weight
+        variance = np.abs(squared / weight - mean * mean)
+        return weight, mean, variance, np.sqrt(variance)
+
+    def _read_row(self, row: int):
+        stats = self._state[row]
+        weight = stats[0]
+        # Stored weights are exactly 0 (never inserted => sums are 0
+        # too) or >= 1, so dividing by max(weight, 1) reproduces the
+        # scalar `weight > 0` guards bit-for-bit without branching.
+        safe = np.maximum(weight, 1.0)
+        mean = stats[1] / safe
+        variance = np.abs(stats[2] / safe - mean * mean)
+        return mean, variance, np.sqrt(variance)
+
+    def _update_cov_row(
+        self, row, value, timestamp, mean_a, std_a, std_b
+    ):
+        stats = self._state[row]
+        last = float(self._last[row])
+        dt = timestamp - last
+        if dt > 0.0:
+            accum = stats[:2]
+            accum *= self._decay_factors(dt)
+            self._last[row] = timestamp
+        elif last == 0.0:
+            self._last[row] = timestamp
+        residual = (value - mean_a) * std_b
+        sum_residual = stats[1]
+        sum_residual += residual
+        weight = stats[0]
+        weight += 1.0
+        covariance = sum_residual / weight
+        denominator = std_a * std_b
+        correlation = np.zeros(self._d)
+        np.divide(covariance, denominator, out=correlation,
+                  where=denominator > 0.0)
+        np.minimum(correlation, 1.0, out=correlation)
+        np.maximum(correlation, -1.0, out=correlation)
+        return covariance, correlation
+
+    # -- IncStatDB-compatible API ----------------------------------------
+    def update_get_1d(
+        self, key: str, value: float, timestamp: float
+    ) -> list[float]:
+        """Update stream ``key``; return ``3 * D`` floats like the
+        scalar reference: (weight, mean, std) per decay."""
+        row = self._intern(key, timestamp, {}, set())
+        weight, mean, _, std = self._insert_row(row, value, timestamp)
+        out = np.empty(3 * self._d)
+        out[0::3] = weight
+        out[1::3] = mean
+        out[2::3] = std
+        return out.tolist()
+
+    def update_get_2d(
+        self, key_ab: str, key_ba: str, value: float, timestamp: float
+    ) -> list[float]:
+        """Update the A→B channel direction; return ``7 * D`` floats."""
+        exclude: set[int] = set()
+        row_ab = self._intern(key_ab, timestamp, {}, exclude)
+        row_ba = self._intern(key_ba, timestamp, {}, exclude)
+        row_cov = self._intern_cov(key_ab, key_ba, exclude)
+        weight, mean, variance, std = self._insert_row(
+            row_ab, value, timestamp
+        )
+        mean_b, var_b, std_b = self._read_row(row_ba)
+        covariance, correlation = self._update_cov_row(
+            row_cov, value, timestamp, mean, std, std_b
+        )
+        out = np.empty(7 * self._d)
+        out[0::7] = weight
+        out[1::7] = mean
+        out[2::7] = std
+        out[3::7] = [
+            _HYPOT(a, b) for a, b in zip(mean.tolist(), mean_b.tolist())
+        ]
+        out[4::7] = [
+            _HYPOT(a, b) for a, b in zip(variance.tolist(), var_b.tolist())
+        ]
+        out[5::7] = covariance
+        out[6::7] = correlation
+        return out.tolist()
+
+    # -- packet fast path ------------------------------------------------
+    def packet_entry(
+        self,
+        src_mac: str,
+        src_ip: str,
+        dst_ip: str,
+        src_port: int,
+        dst_port: int,
+        timestamp: float,
+    ) -> _PacketEntry:
+        """Intern one packet's eight rows (creating streams as needed).
+
+        Keys are component tuples (``("ch", src, dst)``) rather than
+        formatted strings — interning happens once per distinct packet
+        shape, and the hot path never builds key strings at all.
+        Creation order and prune timing replicate the scalar path:
+        MAC, IP, channel a→b/b→a (+cov), socket a→b/b→a (+cov), with
+        earlier groups' streams presented to the pruner at the packet
+        timestamp (``pending``) because the scalar path has already
+        updated them by the time a later group's creation prunes.
+        """
+        mac_key = ("mac", src_mac, src_ip)
+        ip_key = ("ip", src_ip)
+        ch_ab = ("ch", src_ip, dst_ip)
+        ch_ba = ("ch", dst_ip, src_ip)
+        sk_ab = ("sk", src_ip, src_port, dst_ip, dst_port)
+        sk_ba = ("sk", dst_ip, dst_port, src_ip, src_port)
+        epoch_before = self.epoch
+        pending: dict[int, float] = {}
+        exclude: set[int] = set()
+        r_mac = self._intern(mac_key, timestamp, pending, exclude)
+        exclude.add(r_mac)
+        pending[r_mac] = timestamp
+        r_ip = self._intern(ip_key, timestamp, pending, exclude)
+        exclude.add(r_ip)
+        pending[r_ip] = timestamp
+        r_ch_ab = self._intern(ch_ab, timestamp, pending, exclude)
+        exclude.add(r_ch_ab)
+        r_ch_ba = self._intern(ch_ba, timestamp, pending, exclude)
+        exclude.add(r_ch_ba)
+        r_cov_ch = self._intern_cov(ch_ab, ch_ba, exclude)
+        exclude.add(r_cov_ch)
+        pending[r_ch_ab] = timestamp
+        r_sk_ab = self._intern(sk_ab, timestamp, pending, exclude)
+        exclude.add(r_sk_ab)
+        r_sk_ba = self._intern(sk_ba, timestamp, pending, exclude)
+        exclude.add(r_sk_ba)
+        r_cov_sk = self._intern_cov(sk_ab, sk_ba, exclude)
+        rows = (r_mac, r_ip, r_ch_ab, r_sk_ab, r_cov_ch, r_cov_sk,
+                r_ch_ba, r_sk_ba)
+        epoch = self.epoch
+        if epoch != epoch_before:
+            # A prune ran mid-resolution; if it evicted any of this
+            # packet's own rows the entry is single-use (the scalar
+            # path would recreate those streams on the next packet).
+            alive = (
+                self._keys.get(mac_key) == r_mac
+                and self._keys.get(ip_key) == r_ip
+                and self._keys.get(ch_ab) == r_ch_ab
+                and self._keys.get(ch_ba) == r_ch_ba
+                and self._keys.get(sk_ab) == r_sk_ab
+                and self._keys.get(sk_ba) == r_sk_ba
+                and self._cov_keys.get(ch_ab) == r_cov_ch
+                and self._cov_keys.get(sk_ab) == r_cov_sk
+            )
+            if not alive:
+                epoch = -1
+        return _PacketEntry(epoch, rows)
+
+    def update_packet(
+        self,
+        entry: _PacketEntry,
+        value: float,
+        timestamp: float,
+        out: np.ndarray,
+        out_ptr: int | None = None,
+    ) -> None:
+        """Fold one packet into all eight rows; write ``20 * D``
+        features into ``out`` (a preallocated contiguous buffer).
+        ``out_ptr`` lets batch callers skip the per-row pointer lookup
+        when ``out`` is a view into a preallocated matrix."""
+        if self._native_fn is not None:
+            self._native_fn(
+                self._state_ptr, self._last_ptr, entry.rows_ptr,
+                timestamp, value, self._decays_ptr, self._d,
+                out.ctypes.data if out_ptr is None else out_ptr,
+                self._aux_ptr,
+            )
+            self._fill_hypot(out, self._aux.tolist())
+            return
+        rows = entry.rows
+        for index in (0, 1):
+            weight, mean, _, std = self._insert_row(
+                rows[index], value, timestamp
+            )
+            block = self._block_1d[index]
+            out[block[0]] = weight
+            out[block[1]] = mean
+            out[block[2]] = std
+        mean_a: list[float] = []
+        var_a: list[float] = []
+        mean_b: list[float] = []
+        var_b: list[float] = []
+        for group in (0, 1):
+            weight, mean, variance, std = self._insert_row(
+                rows[2 + group], value, timestamp
+            )
+            rev_mean, rev_var, rev_std = self._read_row(rows[6 + group])
+            covariance, correlation = self._update_cov_row(
+                rows[4 + group], value, timestamp, mean, std, rev_std
+            )
+            block = self._block_2d[group]
+            out[block[0]] = weight
+            out[block[1]] = mean
+            out[block[2]] = std
+            out[block[5]] = covariance
+            out[block[6]] = correlation
+            mean_a += mean.tolist()
+            var_a += variance.tolist()
+            mean_b += rev_mean.tolist()
+            var_b += rev_var.tolist()
+        self._fill_hypot(out, mean_a + var_a + mean_b + var_b)
+
+    def _fill_hypot(self, out: np.ndarray, aux: list[float]) -> None:
+        """Fill the magnitude/radius slots with ``math.hypot``.
+
+        CPython's hypot is more accurate than libm's, so both kernels
+        defer these two derived statistics to this shared Python pass —
+        keeping them bit-identical to the scalar reference. ``aux`` is
+        operand-major: ``[mean_a | var_a | mean_b | var_b]``, each of
+        length ``2 * D`` (channel then socket block).
+        """
+        d2 = 2 * self._d
+        out[self._mag_slice] = list(
+            map(_HYPOT, aux[:d2], aux[2 * d2:3 * d2])
+        )
+        out[self._rad_slice] = list(
+            map(_HYPOT, aux[d2:2 * d2], aux[3 * d2:])
+        )
+
+    # -- pickling --------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for transient in ("_native_fn", "_decays_arr", "_decays_ptr",
+                          "_factor_buf", "_aux", "_aux_ptr",
+                          "_state_ptr", "_last_ptr"):
+            state.pop(transient, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._init_kernel()

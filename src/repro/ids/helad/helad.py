@@ -54,12 +54,15 @@ class HELAD(PacketIDS):
         lstm_learning_rate: float = 0.03,
         decays: tuple[float, ...] = (5.0, 3.0, 1.0, 0.1, 0.01),
         seed: int = 0,
+        netstat_engine: str = "vector",
     ) -> None:
         if window < 2:
             raise ValueError("window must be >= 2")
         self.window = window
         self.blend = check_fraction("blend", blend)
-        self.netstat = NetStat(decays)
+        # Bit-identical to the scalar AfterImage reference; a pure
+        # throughput knob (see docs/PERFORMANCE.md).
+        self.netstat = NetStat(decays, engine=netstat_engine)
         rng = SeededRNG(seed, "helad")
         # Unclipped AfterImage normalisation: post-training regime
         # shifts scale past [0, 1] and blow up reconstruction error.

@@ -66,6 +66,12 @@ class KitNET:
 
     def _build_ensemble(self) -> None:
         groups = self.mapper.finalise()
+        # Pre-built index arrays make the per-packet feature-group
+        # gather a single optimized fancy-index instead of a
+        # list-to-array conversion on every call.
+        self._group_index = [
+            np.asarray(group, dtype=np.intp) for group in groups
+        ]
         self.ensemble = [
             Autoencoder(
                 len(group),
@@ -101,7 +107,9 @@ class KitNET:
         return self._execute(row)
 
     def _group_rmses(self, scaled: np.ndarray, *, train: bool) -> np.ndarray:
-        groups = self.mapper.groups or []
+        groups = getattr(self, "_group_index", None)
+        if groups is None:
+            groups = self.mapper.groups or []
         rmses = np.empty(len(groups))
         for i, group in enumerate(groups):
             sub = scaled[group]

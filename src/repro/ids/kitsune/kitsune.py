@@ -36,8 +36,12 @@ class Kitsune(PacketIDS):
         learning_rate: float = 0.1,
         decays: tuple[float, ...] = (5.0, 3.0, 1.0, 0.1, 0.01),
         seed: int = 0,
+        netstat_engine: str = "vector",
     ) -> None:
-        self.netstat = NetStat(decays)
+        # The vectorized AfterImage engine is bit-identical to the
+        # scalar reference (tests/test_features_parity.py), so the
+        # engine choice is a pure throughput knob.
+        self.netstat = NetStat(decays, engine=netstat_engine)
         from repro.ids.kitsune.kitnet import KitNET
 
         self.kitnet = KitNET(

@@ -17,6 +17,21 @@ from repro.ml.dense import DenseLayer
 from repro.ml.optimizers import SGD
 from repro.utils.rng import SeededRNG
 
+_FLOAT64 = np.dtype(np.float64)
+
+
+def _as_row(x: np.ndarray) -> np.ndarray:
+    """``x`` as a (1, d) float64 matrix, without copying when possible.
+
+    The per-packet scoring loops (KitNET's execute path feeds one
+    feature-group slice per autoencoder per packet) hand in 1-D float64
+    arrays; reshaping those to a row is a view. Anything else takes the
+    general conversion path.
+    """
+    if type(x) is np.ndarray and x.ndim == 1 and x.dtype == _FLOAT64:
+        return x.reshape(1, -1)
+    return np.atleast_2d(np.asarray(x, dtype=np.float64))
+
 
 class Autoencoder:
     """``d -> hidden -> d`` sigmoid autoencoder with RMSE scoring."""
@@ -44,7 +59,7 @@ class Autoencoder:
 
     def score(self, x: np.ndarray) -> float:
         """Reconstruction RMSE of a single instance."""
-        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        x = _as_row(x)
         reconstruction = self.reconstruct(x)
         return float(np.sqrt(np.mean((reconstruction - x) ** 2)))
 
@@ -54,7 +69,7 @@ class Autoencoder:
         Returning the pre-update score mirrors KitNET's execute-then-
         train semantics during its training phase.
         """
-        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        x = _as_row(x)
         reconstruction = self.reconstruct(x)
         rmse = float(np.sqrt(np.mean((reconstruction - x) ** 2)))
         grad = 2.0 * (reconstruction - x) / x.size

@@ -10,7 +10,10 @@ online systems: their internal state advances one packet at a time, so
 calling ``anomaly_scores`` on consecutive micro-batches produces the
 *bit-identical* score sequence a single batch call would — that is what
 makes micro-batching a pure throughput knob rather than a semantic one
-(``tests/test_stream_parity.py`` enforces it). Flow IDSs split two
+(``tests/test_stream_parity.py`` enforces it). The packet IDSs extract
+features through the vectorized AfterImage engine by default, itself
+bit-identical to the scalar reference (``docs/PERFORMANCE.md``), so the
+streaming digests are engine-independent too. Flow IDSs split two
 ways: the DNN scores flows row-independently, so completed flows are
 scored as they close; Slips accumulates evidence across *all* profile
 windows, so its adapter defers scoring to ``finish`` — the only point

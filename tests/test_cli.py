@@ -37,6 +37,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.engine == "vector"
+        assert args.dataset == "Mirai"
+        assert not args.no_compare
+
+    def test_profile_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--engine", "cuda"])
+
 
 class TestCommands:
     def test_tables_prints_inventories(self, capsys):
@@ -72,6 +82,33 @@ class TestCommands:
 
     def test_evaluate_unknown_dataset_errors(self, capsys):
         assert main(["evaluate", "Slips", "NoSuchSet"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_profile_packet_path(self, capsys, tmp_path):
+        report = tmp_path / "profile.json"
+        assert main(["profile", "--dataset", "mirai", "--scale", "0.03",
+                     "--packets", "300", "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        for stage in ("parse", "netstat", "kitnet", "total"):
+            assert stage in out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["packets"] == 300
+        assert payload["engine"] == "vector"
+        assert len(payload["stages"]) == 3
+        assert all(s["seconds"] >= 0 for s in payload["stages"])
+        # The default engine is compared against the scalar reference.
+        assert payload["netstat_speedup"] is not None
+
+    def test_profile_scalar_engine_skips_comparison(self, capsys):
+        assert main(["profile", "--dataset", "mirai", "--scale", "0.03",
+                     "--packets", "200", "--engine", "scalar"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" not in out
+
+    def test_profile_unknown_dataset_errors(self, capsys):
+        assert main(["profile", "--dataset", "NoSuchSet"]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_table4_restricted(self, capsys):
