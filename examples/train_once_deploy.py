@@ -58,10 +58,13 @@ def main() -> None:
               f"({model_path.stat().st_size / 1024:.1f} KiB)")
 
         # --- day N: restore in a fresh process and execute -------------
+        # The restored detector is execute-only, so whole micro-batches
+        # go through the packed batched engine (bit-identical to the
+        # per-packet loop, dozens of times faster).
         restored = load_kitnet(model_path)
         fresh_netstat = NetStat()  # stream state rebuilds online
-        scores = np.array(
-            [restored.process(fresh_netstat.update(p)) for p in attack_tail]
+        scores = restored.process_batch(
+            fresh_netstat.extract_all(attack_tail)
         )
         # Skip the stream warm-up packets when summarising.
         steady = scores[200:]

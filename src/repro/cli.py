@@ -13,8 +13,10 @@ Eight subcommands mirror the artefacts a user actually wants:
   (synthetic dataset replay or a pcap file), with sliding-window
   metrics, alert episodes and a JSON report;
 * ``repro-cli profile`` — time the packet path stage by stage
-  (parse → netstat → kitnet) under a chosen feature engine, with a
-  scalar-reference comparison and a JSON export;
+  (parse → netstat → kitnet-train → kitnet → kitnet-batch) under a
+  chosen feature engine, with a scalar-reference comparison, a
+  batched-vs-per-packet KitNET speedup and parity check, and a JSON
+  export;
 * ``repro-cli cache`` — inspect (``stats``) or LRU-trim (``gc``) an
   on-disk cache directory.
 
@@ -350,6 +352,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             engine=args.engine,
             max_packets=args.packets,
             compare_scalar=not args.no_compare,
+            batch_size=args.batch,
         )
     except RuntimeError as error:
         # e.g. --engine vector-native on a box without a C compiler.
@@ -520,7 +523,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--batch", type=_positive_int, default=256,
                           help="micro-batch size for online scoring "
                                "(a pure throughput knob: scores are "
-                               "bit-identical at any batch size)")
+                               "bit-identical at any batch size; "
+                               "batch-capable IDSs score each "
+                               "micro-batch through their packed "
+                               "batched engine — the report's "
+                               "scoring_path note records whether the "
+                               "batched path or the per-packet "
+                               "fallback ran)")
     p_stream.add_argument("--threshold", type=float,
                           help="fixed alert threshold; default derives "
                                "the batch pipeline's standardized "
@@ -540,7 +549,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_profile = sub.add_parser(
         "profile",
-        help="time the packet path stage by stage (parse/netstat/kitnet)",
+        help="time the packet path stage by stage (parse, netstat, "
+             "kitnet-train, per-packet kitnet, batched kitnet)",
     )
     p_profile.add_argument("--dataset", default="Mirai",
                            help="synthetic dataset to replay "
@@ -557,6 +567,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="NetStat feature engine to profile "
                                 "(default vector: native kernel when "
                                 "available)")
+    p_profile.add_argument("--batch", type=_positive_int, default=256,
+                           help="micro-batch size for the kitnet-batch "
+                                "stage (default 256)")
     p_profile.add_argument("--no-compare", action="store_true",
                            help="skip the scalar-reference NetStat "
                                 "timing comparison")

@@ -9,7 +9,11 @@ ensemble of autoencoders), so a single end-to-end number hides where
 the budget goes. :func:`profile_packet_path` times each stage over a
 synthetic replay and reports per-packet microseconds, packets/second
 and each stage's share — the workflow behind ``repro-cli profile``
-(see ``docs/PERFORMANCE.md``).
+(see ``docs/PERFORMANCE.md``). The KitNET stage is split into the
+sequential grace periods (``kitnet-train``), the per-packet execute
+reference (``kitnet``) and the packed batched engine re-scoring the
+same rows (``kitnet-batch``), whose scores are parity-checked bit for
+bit while they are timed.
 
 The NetStat stage can be profiled under any feature engine; with
 ``compare_scalar=True`` (default) the scalar reference is timed too,
@@ -46,7 +50,15 @@ class StageTiming:
 
 @dataclass(frozen=True)
 class PacketPathProfile:
-    """The full stage breakdown for one dataset replay."""
+    """The full stage breakdown for one dataset replay.
+
+    The KitNET phase is split three ways: ``kitnet-train`` covers the
+    grace periods (inherently sequential online SGD), ``kitnet`` is the
+    per-packet execute reference, and ``kitnet-batch`` re-scores the
+    same execute rows through the packed batched engine — the ratio of
+    the last two is the batched speedup, and their scores must agree
+    bit for bit (``kitnet_batch_parity``).
+    """
 
     dataset: str
     seed: int
@@ -56,20 +68,39 @@ class PacketPathProfile:
     kernel: str
     stages: tuple[StageTiming, ...]
     scalar_netstat_seconds: float | None = None
+    batch_size: int = 256
+    kitnet_batch_parity: bool | None = None
 
     @property
     def total_seconds(self) -> float:
         return sum(stage.seconds for stage in self.stages)
+
+    def _stage_seconds(self, name: str) -> float | None:
+        for stage in self.stages:
+            if stage.stage == name and stage.seconds > 0:
+                return stage.seconds
+        return None
 
     @property
     def netstat_speedup(self) -> float | None:
         """Scalar-reference / profiled-engine NetStat time ratio."""
         if self.scalar_netstat_seconds is None:
             return None
-        for stage in self.stages:
-            if stage.stage == "netstat" and stage.seconds > 0:
-                return self.scalar_netstat_seconds / stage.seconds
-        return None
+        seconds = self._stage_seconds("netstat")
+        return None if seconds is None else self.scalar_netstat_seconds / seconds
+
+    @property
+    def kitnet_batch_speedup(self) -> float | None:
+        """Per-packet execute / batched execute time ratio."""
+        by_name = {stage.stage: stage for stage in self.stages}
+        reference = by_name.get("kitnet")
+        batched = by_name.get("kitnet-batch")
+        if (
+            reference is None or batched is None
+            or batched.packets == 0 or batched.seconds <= 0
+        ):
+            return None
+        return reference.seconds / batched.seconds
 
     def render(self) -> str:
         total = self.total_seconds
@@ -77,18 +108,18 @@ class PacketPathProfile:
             f"packet path profile: {self.dataset} seed={self.seed} "
             f"scale={self.scale} ({self.packets} packets, "
             f"engine={self.engine}/{self.kernel})",
-            f"  {'stage':10s} {'seconds':>9s} {'us/pkt':>9s} "
+            f"  {'stage':13s} {'seconds':>9s} {'us/pkt':>9s} "
             f"{'pkt/s':>12s} {'share':>7s}",
         ]
         for stage in self.stages:
             share = stage.seconds / total if total else 0.0
             lines.append(
-                f"  {stage.stage:10s} {stage.seconds:9.3f} "
+                f"  {stage.stage:13s} {stage.seconds:9.3f} "
                 f"{stage.per_packet_us:9.1f} "
                 f"{stage.packets_per_second:12,.0f} {share:6.1%}"
             )
         lines.append(
-            f"  {'total':10s} {total:9.3f} "
+            f"  {'total':13s} {total:9.3f} "
             f"{total / self.packets * 1e6 if self.packets else 0:9.1f} "
             f"{self.packets / total if total else 0:12,.0f} {1:6.1%}"
         )
@@ -97,6 +128,16 @@ class PacketPathProfile:
             lines.append(
                 f"  netstat engine speedup vs scalar reference: "
                 f"{speedup:.2f}x (scalar {self.scalar_netstat_seconds:.3f}s)"
+            )
+        batch_speedup = self.kitnet_batch_speedup
+        if batch_speedup is not None:
+            parity = (
+                "bit-identical" if self.kitnet_batch_parity
+                else "PARITY BROKEN"
+            )
+            lines.append(
+                f"  kitnet batched execute speedup vs per-packet: "
+                f"{batch_speedup:.2f}x (batch={self.batch_size}, {parity})"
             )
         return "\n".join(lines)
 
@@ -111,6 +152,9 @@ class PacketPathProfile:
             "total_seconds": self.total_seconds,
             "netstat_speedup": self.netstat_speedup,
             "scalar_netstat_seconds": self.scalar_netstat_seconds,
+            "batch_size": self.batch_size,
+            "kitnet_batch_speedup": self.kitnet_batch_speedup,
+            "kitnet_batch_parity": self.kitnet_batch_parity,
             "stages": [
                 {
                     "stage": stage.stage,
@@ -123,6 +167,21 @@ class PacketPathProfile:
         }
 
 
+def kitnet_grace_split(count: int) -> tuple[int, int, int]:
+    """Grace-period arithmetic for an execute-phase measurement over a
+    ``count``-packet replay: train on the first half (fm/ad scaled to
+    it, the experiment pipeline's per-cell arithmetic), execute the
+    rest. Shared by the profile's ``kitnet-batch`` stage and
+    ``benchmarks/bench_kitnet_batch.py`` so both measure the same
+    phase. Returns ``(fm_grace, ad_grace, boundary)``; rows past
+    ``boundary`` are execute-phase.
+    """
+    train_count = count // 2
+    fm_grace = max(100, train_count // 10)
+    ad_grace = max(100, train_count - fm_grace)
+    return fm_grace, ad_grace, min(fm_grace + ad_grace, count)
+
+
 def profile_packet_path(
     dataset: str = "Mirai",
     *,
@@ -131,9 +190,11 @@ def profile_packet_path(
     engine: str = "vector",
     max_packets: int | None = None,
     compare_scalar: bool = True,
+    batch_size: int = 256,
     dataset_provider=None,
 ) -> PacketPathProfile:
-    """Time parse → netstat → kitnet over a synthetic dataset replay."""
+    """Time parse → netstat → kitnet-train → kitnet → kitnet-batch
+    over a synthetic dataset replay."""
     if dataset_provider is None:
         from repro.datasets import generate_dataset as dataset_provider
     data = dataset_provider(dataset, seed=seed, scale=scale)
@@ -171,26 +232,51 @@ def profile_packet_path(
         reference.extract_all(packets)
         scalar_seconds = time.perf_counter() - start
 
-    # Stage 3: KitNET with grace periods scaled to the replay length
-    # (same arithmetic as the experiment pipeline's Kitsune cells).
+    # Stage 3/4/5: KitNET. The replay splits into a training prefix
+    # (grace periods scaled to it, same arithmetic as the experiment
+    # pipeline's Kitsune cells) and an execute remainder — the latter
+    # timed twice: per-packet reference, then the batched engine.
+    import numpy as np
+
     from repro.ids.kitsune.kitnet import KitNET
 
-    fm_grace = max(100, count // 10)
+    fm_grace, ad_grace, boundary = kitnet_grace_split(count)
     detector = KitNET(
         extractor.feature_count,
         fm_grace=fm_grace,
-        ad_grace=max(100, count - fm_grace),
+        ad_grace=ad_grace,
         rng=SeededRNG(seed, "profile"),
     )
     start = time.perf_counter()
-    for row in features:
+    for row in features[:boundary]:
         detector.process(row)
-    kitnet_seconds = time.perf_counter() - start
+    train_seconds = time.perf_counter() - start
+
+    execute_rows = features[boundary:]
+    start = time.perf_counter()
+    reference_scores = np.array(
+        [detector.process(row) for row in execute_rows]
+    )
+    execute_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched_chunks = [
+        detector.execute_batch(execute_rows[i : i + batch_size])
+        for i in range(0, len(execute_rows), batch_size)
+    ]
+    batch_seconds = time.perf_counter() - start
+    if batched_chunks:
+        batched_scores = np.concatenate(batched_chunks)
+        batch_parity = bool(np.array_equal(batched_scores, reference_scores))
+    else:
+        batch_parity = None
 
     stages = (
         StageTiming("parse", parse_seconds, count),
         StageTiming("netstat", netstat_seconds, count),
-        StageTiming("kitnet", kitnet_seconds, count),
+        StageTiming("kitnet-train", train_seconds, boundary),
+        StageTiming("kitnet", execute_seconds, len(execute_rows)),
+        StageTiming("kitnet-batch", batch_seconds, len(execute_rows)),
     )
     return PacketPathProfile(
         dataset=data.name,
@@ -201,4 +287,6 @@ def profile_packet_path(
         kernel=kernel,
         stages=stages,
         scalar_netstat_seconds=scalar_seconds,
+        batch_size=batch_size,
+        kitnet_batch_parity=batch_parity,
     )

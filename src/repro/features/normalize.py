@@ -29,37 +29,77 @@ class OnlineMinMaxScaler:
         self.max = np.full(dim, -np.inf)
         self.frozen = False
 
-    def partial_fit(self, row: np.ndarray) -> None:
-        """Update the running extrema with one observation."""
+    def _checked(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.shape == (self.dim,) or (
+            rows.ndim == 2 and rows.shape[1] == self.dim
+        ):
+            return rows
+        raise ValueError(
+            f"expected shape ({self.dim},) or (n, {self.dim}), "
+            f"got {rows.shape}"
+        )
+
+    def partial_fit(self, rows: np.ndarray) -> None:
+        """Update the running extrema with one observation or a batch.
+
+        A ``(n, dim)`` batch folds in via ``np.minimum.reduce`` /
+        ``np.maximum.reduce`` — extrema are order-independent, so the
+        result is exactly what ``n`` sequential single-row calls
+        produce.
+        """
         if self.frozen:
             return
-        row = np.asarray(row, dtype=np.float64)
-        if row.shape != (self.dim,):
-            raise ValueError(f"expected shape ({self.dim},), got {row.shape}")
-        np.minimum(self.min, row, out=self.min)
-        np.maximum(self.max, row, out=self.max)
+        rows = self._checked(rows)
+        if rows.ndim == 2:
+            if rows.shape[0] == 0:
+                return
+            np.minimum(self.min, np.minimum.reduce(rows, axis=0),
+                       out=self.min)
+            np.maximum(self.max, np.maximum.reduce(rows, axis=0),
+                       out=self.max)
+            return
+        np.minimum(self.min, rows, out=self.min)
+        np.maximum(self.max, rows, out=self.max)
 
     def freeze(self) -> None:
         """Stop learning extrema (training phase over)."""
         self.frozen = True
 
-    def transform(self, row: np.ndarray) -> np.ndarray:
+    def transform(self, rows: np.ndarray) -> np.ndarray:
         """Scale into the learned range; constant dimensions map to 0.
 
-        With ``clip=True`` output is clamped to [0, 1]; with
-        ``clip=False`` out-of-range inputs extrapolate beyond it.
+        Accepts one ``(dim,)`` row or a ``(n, dim)`` batch; the batch
+        path is purely elementwise, so each output row is bit-identical
+        to transforming that row alone. With ``clip=True`` output is
+        clamped to [0, 1]; with ``clip=False`` out-of-range inputs
+        extrapolate beyond it.
         """
-        row = np.asarray(row, dtype=np.float64)
+        rows = self._checked(rows)
         span = self.max - self.min
         ok = np.isfinite(span) & (span > 0)
-        out = np.zeros_like(row)
-        out[ok] = (row[ok] - self.min[ok]) / span[ok]
+        out = np.zeros_like(rows)
+        if rows.ndim == 2:
+            out[:, ok] = (rows[:, ok] - self.min[ok]) / span[ok]
+        else:
+            out[ok] = (rows[ok] - self.min[ok]) / span[ok]
         if self.clip:
             return np.clip(out, 0.0, 1.0)
         return out
 
     def fit_transform(self, row: np.ndarray) -> np.ndarray:
-        """Partial-fit then transform — the online training-phase call."""
+        """Partial-fit then transform — the online training-phase call.
+
+        Single rows only: a whole-batch fit-then-transform would see
+        extrema from *future* rows, silently breaking the online
+        training semantics. Batch callers fit and transform explicitly.
+        """
+        row = self._checked(row)
+        if row.ndim != 1:
+            raise ValueError(
+                "fit_transform is the online per-row call; for batches "
+                "use partial_fit(batch) then transform(batch)"
+            )
         self.partial_fit(row)
         return self.transform(row)
 

@@ -18,7 +18,12 @@ from repro.ids.kitsune import Kitsune
 from repro.ids.helad import HELAD
 from repro.ids.dnn import DNNClassifierIDS
 from repro.ids.slips import SlipsIDS
-from repro.ids.registry import INVESTIGATED_IDS, IDSRecord, evaluated_ids_factories
+from repro.ids.registry import (
+    INVESTIGATED_IDS,
+    IDSRecord,
+    batch_capable_ids,
+    evaluated_ids_factories,
+)
 
 __all__ = [
     "IDSBase",
@@ -31,5 +36,6 @@ __all__ = [
     "SlipsIDS",
     "INVESTIGATED_IDS",
     "IDSRecord",
+    "batch_capable_ids",
     "evaluated_ids_factories",
 ]

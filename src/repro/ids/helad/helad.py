@@ -42,6 +42,7 @@ class HELAD(PacketIDS):
 
     name = "HELAD"
     supervised = False
+    supports_batch = True
 
     def __init__(
         self,
@@ -97,9 +98,16 @@ class HELAD(PacketIDS):
             "lstm_learning_rate": 0.03,
         }
 
-    def _squash(self, ae_rmse: float) -> float:
-        """Bounded anomaly amplitude: tanh of the scaled RMSE."""
-        return float(np.tanh(ae_rmse / self._ae_scale / 2.0))
+    def _squash(self, ae_rmse):
+        """Bounded anomaly amplitude: tanh of the scaled RMSE.
+
+        The single definition of the squash, shared by the per-packet
+        reference, the batched path and ``fit`` — scalar in, scalar
+        out; array in, elementwise array out (``np.tanh`` rounds a
+        value identically either way, which the batched==per-packet
+        parity contract relies on).
+        """
+        return np.tanh(ae_rmse / self._ae_scale / 2.0)
 
     def fit(self, packets: Sequence[Packet]) -> None:
         """Train both ensemble members on a presumed-benign stream."""
@@ -115,7 +123,7 @@ class HELAD(PacketIDS):
         # Train the LSTM to predict the squashed score series one step
         # ahead; only the second half of the series is used, after the
         # autoencoder's online training has mostly converged.
-        squashed = np.tanh(series / self._ae_scale / 2.0)
+        squashed = self._squash(series)
         start = max(self.window, squashed.size // 2)
         for i in range(start, squashed.size):
             self.lstm.train_window(squashed[i - self.window : i], squashed[i])
@@ -123,7 +131,7 @@ class HELAD(PacketIDS):
         self.trained = True
 
     def anomaly_scores(self, packets: Sequence[Packet]) -> np.ndarray:
-        """Blended anomaly score per packet (no further learning)."""
+        """Blended anomaly score per packet (reference loop)."""
         if not self.trained:
             raise RuntimeError("HELAD.anomaly_scores called before fit()")
         scores = np.empty(len(packets))
@@ -131,19 +139,44 @@ class HELAD(PacketIDS):
         for idx, packet in enumerate(packets):
             features = self.netstat.update(packet)
             scaled = self.scaler.transform(features)
-            ae_component = self._squash(self.autoencoder.score(scaled))
-            if len(history) >= self.window:
-                predicted = self.lstm.predict_window(
-                    np.asarray(history[-self.window :])
-                )
-                lstm_component = float(np.clip(predicted, 0.0, 1.0))
-            else:
-                lstm_component = 0.0
-            scores[idx] = (
-                self.blend * ae_component + (1.0 - self.blend) * lstm_component
-            )
-            history.append(ae_component)
-            if len(history) > 4 * self.window:
-                del history[: -2 * self.window]
+            ae_component = float(self._squash(self.autoencoder.score(scaled)))
+            scores[idx] = self._blend_step(history, ae_component)
         self._score_history = history[-self.window :]
         return scores
+
+    def score_batch(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Batched scoring: the autoencoder stage runs over the whole
+        micro-batch (one scaler transform, one 2-D forward, one
+        vectorized squash); the LSTM blend stays per-packet — its
+        prediction consumes the running score history. Bit-identical
+        to :meth:`anomaly_scores`.
+        """
+        if not self.trained:
+            raise RuntimeError("HELAD.score_batch called before fit()")
+        features = self.netstat.extract_all(packets)
+        scaled = self.scaler.transform(features)
+        ae_components = self._squash(self.autoencoder.score_batch(scaled))
+        scores = np.empty(len(packets))
+        history = list(self._score_history)
+        for idx in range(len(packets)):
+            scores[idx] = self._blend_step(history, float(ae_components[idx]))
+        self._score_history = history[-self.window :]
+        return scores
+
+    def _blend_step(self, history: list[float], ae_component: float) -> float:
+        """One packet's blend of the AE amplitude with the LSTM's
+        prediction from ``history``, which it appends to and trims."""
+        if len(history) >= self.window:
+            predicted = self.lstm.predict_window(
+                np.asarray(history[-self.window :])
+            )
+            lstm_component = float(np.clip(predicted, 0.0, 1.0))
+        else:
+            lstm_component = 0.0
+        score = (
+            self.blend * ae_component + (1.0 - self.blend) * lstm_component
+        )
+        history.append(ae_component)
+        if len(history) > 4 * self.window:
+            del history[: -2 * self.window]
+        return score

@@ -54,6 +54,8 @@ class KitNET:
         self.output_layer: Autoencoder | None = None
         self._output_scaler: OnlineMinMaxScaler | None = None
         self.samples_seen = 0
+        #: Lazily packed execute-phase scorer; any train step resets it.
+        self._batched_ensemble = None
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -106,10 +108,27 @@ class KitNET:
             return self._train_step(row)
         return self._execute(row)
 
-    def _group_rmses(self, scaled: np.ndarray, *, train: bool) -> np.ndarray:
+    def _group_arrays(self) -> list[np.ndarray]:
+        """The feature-group gather indices as ``np.intp`` arrays.
+
+        ``_build_ensemble`` materialises these, but a detector restored
+        by :func:`repro.ids.persistence.load_kitnet` — or unpickled
+        from a checkpoint predating the index arrays — arrives with
+        only ``mapper.groups`` plain lists. Materialise lazily so the
+        per-group gather is a fancy-index everywhere, never a
+        list-to-array conversion per call.
+        """
         groups = getattr(self, "_group_index", None)
         if groups is None:
-            groups = self.mapper.groups or []
+            groups = [
+                np.asarray(group, dtype=np.intp)
+                for group in (self.mapper.groups or [])
+            ]
+            self._group_index = groups
+        return groups
+
+    def _group_rmses(self, scaled: np.ndarray, *, train: bool) -> np.ndarray:
+        groups = self._group_arrays()
         rmses = np.empty(len(groups))
         for i, group in enumerate(groups):
             sub = scaled[group]
@@ -120,6 +139,9 @@ class KitNET:
         return rmses
 
     def _train_step(self, row: np.ndarray) -> float:
+        # Weights are about to move: drop any packed snapshot so the
+        # batched execute path rebuilds from the post-update ensemble.
+        self._batched_ensemble = None
         scaled = self.scaler.fit_transform(row)
         rmses = self._group_rmses(scaled, train=True)
         assert self._output_scaler is not None and self.output_layer is not None
@@ -136,7 +158,66 @@ class KitNET:
         rmses = self._group_rmses(scaled, train=False)
         return self.output_layer.score(self._output_scaler.transform(rmses))
 
-    def score_matrix(self, matrix: np.ndarray) -> np.ndarray:
-        """Process a matrix row-by-row (online semantics preserved)."""
+    # -- batched execution ------------------------------------------------
+    def _packed(self):
+        """The lazily built packed-ensemble scorer (execute phase only)."""
+        packed = getattr(self, "_batched_ensemble", None)
+        if packed is None:
+            from repro.ml.batched import BatchedEnsemble
+
+            assert self.output_layer is not None
+            packed = BatchedEnsemble(
+                self.ensemble, self._group_arrays(), self.output_layer
+            )
+            self._batched_ensemble = packed
+        return packed
+
+    def execute_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Score a batch of execute-phase rows in one shot.
+
+        Bit-identical to calling :meth:`process` on each row, but the
+        whole batch goes through the packed ensemble: one scaler
+        transform, a few stacked einsum contractions for all groups,
+        and the output-layer RMSE per row. Only legal once both grace
+        periods are over (training is inherently sequential).
+        """
         matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
-        return np.array([self.process(row) for row in matrix])
+        if self.in_feature_mapping or self.in_training:
+            raise RuntimeError(
+                "execute_batch during the grace periods; use process_batch"
+            )
+        if matrix.shape[0] == 0:
+            return np.empty(0)
+        if self.output_layer is None:  # fm_grace satisfied mid-stream
+            self._build_ensemble()
+        assert self._output_scaler is not None
+        packed = self._packed()
+        self.samples_seen += matrix.shape[0]
+        scaled = self.scaler.transform(matrix)
+        rmses = packed.group_rmses(scaled)
+        return packed.output_rmses(self._output_scaler.transform(rmses))
+
+    def process_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Feed a batch of instances; returns one score per row.
+
+        Equivalent to (and bit-identical with) looping :meth:`process`:
+        rows that fall inside the feature-mapping or training grace
+        periods are processed one at a time — online SGD is sequential,
+        and a train step landing mid-batch invalidates any packed
+        tensors — and the remaining execute-phase rows are scored
+        through :meth:`execute_batch`.
+        """
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        scores = np.empty(matrix.shape[0])
+        boundary = self.fm_grace + self.ad_grace
+        i = 0
+        while i < matrix.shape[0] and self.samples_seen < boundary:
+            scores[i] = self.process(matrix[i])
+            i += 1
+        if i < matrix.shape[0]:
+            scores[i:] = self.execute_batch(matrix[i:])
+        return scores
+
+    def score_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Process a matrix of instances (online semantics preserved)."""
+        return self.process_batch(matrix)

@@ -123,6 +123,13 @@ def load_kitnet(path: str | Path) -> KitNET:
             restore_ae(i, len(group)) for i, group in enumerate(groups)
         ]
         kitnet.output_layer = restore_ae(len(groups), len(groups))
+        # Checkpoints bypass _build_ensemble, so materialise the gather
+        # index arrays here — per-group gathers (and the packed batched
+        # scorer built from them) must be fancy-indexes everywhere.
+        kitnet._group_index = [
+            np.asarray(group, dtype=np.intp) for group in groups
+        ]
+        kitnet._batched_ensemble = None
         # Mark the grace periods as complete: the model executes only.
         kitnet.samples_seen = meta["fm_grace"] + meta["ad_grace"] + 1
     return kitnet

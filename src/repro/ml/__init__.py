@@ -4,7 +4,9 @@ Replaces Keras/TensorFlow for the three learned IDSs: dense layers with
 backprop, SGD/Adam optimizers, a denoising-free autoencoder with online
 single-instance training (KitNET-style), a small LSTM with truncated
 BPTT (HELAD's temporal model), and a feed-forward binary classifier
-(the DNN study's 3-hidden-layer network).
+(the DNN study's 3-hidden-layer network). :mod:`repro.ml.batched`
+packs an ensemble of autoencoders for batched execute-phase scoring,
+bit-identical to the per-row loops.
 """
 
 from repro.ml.activations import identity, relu, sigmoid, tanh
@@ -12,6 +14,7 @@ from repro.ml.dense import DenseLayer
 from repro.ml.optimizers import SGD, Adam
 from repro.ml.losses import binary_cross_entropy, mean_squared_error
 from repro.ml.autoencoder import Autoencoder
+from repro.ml.batched import BatchedEnsemble
 from repro.ml.lstm import LSTMRegressor
 from repro.ml.mlp import MLPClassifier
 
@@ -26,6 +29,7 @@ __all__ = [
     "binary_cross_entropy",
     "mean_squared_error",
     "Autoencoder",
+    "BatchedEnsemble",
     "LSTMRegressor",
     "MLPClassifier",
 ]

@@ -57,10 +57,32 @@ class Autoencoder:
     def reconstruct(self, x: np.ndarray) -> np.ndarray:
         return self.decoder.forward(self.encoder.forward(x))
 
+    def _score_forward(self, matrix: np.ndarray) -> np.ndarray:
+        """Execute-phase forward pass over a ``(n, dim)`` matrix.
+
+        Uses ``np.einsum`` rather than BLAS ``@``: einsum's accumulation
+        order over the contracted axis depends only on that axis'
+        length, so each row's reconstruction is bit-identical whether it
+        is scored alone or inside a batch — the property the batched
+        KitNET engine's parity contract rests on (see
+        :mod:`repro.ml.batched`). GEMM kernels round differently as the
+        batch dimension changes. Training keeps the BLAS path: its
+        forward cache feeds backprop and has no batching counterpart.
+        """
+        matrix = np.ascontiguousarray(matrix)
+        hidden = self.encoder.activation.f(
+            np.einsum("ni,ih->nh", matrix, self.encoder.weights)
+            + self.encoder.bias
+        )
+        return self.decoder.activation.f(
+            np.einsum("nh,ho->no", hidden, self.decoder.weights)
+            + self.decoder.bias
+        )
+
     def score(self, x: np.ndarray) -> float:
         """Reconstruction RMSE of a single instance."""
         x = _as_row(x)
-        reconstruction = self.reconstruct(x)
+        reconstruction = self._score_forward(x)
         return float(np.sqrt(np.mean((reconstruction - x) ** 2)))
 
     def train_score(self, x: np.ndarray) -> float:
@@ -81,7 +103,11 @@ class Autoencoder:
         return rmse
 
     def score_batch(self, matrix: np.ndarray) -> np.ndarray:
-        """Row-wise RMSE for a matrix of instances (no training)."""
+        """Row-wise RMSE for a matrix of instances (no training).
+
+        Bit-identical to calling :meth:`score` on each row — the
+        batched 2-D forward next to the 1-D fast path.
+        """
         matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
-        reconstruction = self.reconstruct(matrix)
+        reconstruction = self._score_forward(matrix)
         return np.sqrt(np.mean((reconstruction - matrix) ** 2, axis=1))

@@ -52,9 +52,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.experiment import ExperimentConfig, ExperimentResult
     from repro.datasets.base import SyntheticDataset
 
-#: Bump when the key derivation or pickle layout changes incompatibly.
+#: Bump when the key derivation or pickle layout changes incompatibly,
+#: or when scoring semantics shift (even in the last ulp) — cached
+#: cells must never mix with bit-different fresh computations.
 #: v2: ExperimentConfig gained experiment-kind dispatch fields.
-CACHE_FORMAT_VERSION = 2
+#: v3: execute-phase autoencoder forwards moved from BLAS to einsum
+#:     (the batched-engine parity contract), shifting Kitsune/HELAD
+#:     scores in the last ulp.
+CACHE_FORMAT_VERSION = 3
 
 
 def dataset_key(name: str, *, seed: int, scale: float) -> str:

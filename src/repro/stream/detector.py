@@ -64,6 +64,15 @@ class StreamingDetector(abc.ABC):
 
     #: What one emitted :class:`StreamScore` covers.
     unit: str  # "packet" | "flow"
+    #: Which engine the IDS *advertises* for micro-batch scoring:
+    #: ``"batched"`` (``supports_batch`` — the packed batch engine),
+    #: ``"per-packet"`` (the reference loop fallback) or
+    #: ``"flow-matrix"`` (flow IDSs score encoded matrices natively).
+    #: Exported in stream reports/benches so losing the batched
+    #: advertisement is visible; a throughput regression *behind* the
+    #: advertisement is caught by ``bench_stream_throughput.py``'s
+    #: batch>1-beats-batch-1 gate.
+    scoring_path: str = "per-packet"
 
     def __init__(self, *, batch_size: int = 256) -> None:
         self.batch_size = int(check_positive("batch_size", batch_size))
@@ -92,6 +101,10 @@ class PacketStreamDetector(StreamingDetector):
         if ids.input_kind is not InputKind.PACKET:
             raise TypeError(f"{ids.name} is not a packet-level IDS")
         self.ids = ids
+        self.scoring_path = (
+            "batched" if getattr(ids, "supports_batch", False)
+            else "per-packet"
+        )
         self._buffer: list[Packet] = []
 
     def warmup(self, packets: Sequence[Packet]) -> None:
@@ -110,7 +123,9 @@ class PacketStreamDetector(StreamingDetector):
         if not self._buffer:
             return []
         batch, self._buffer = self._buffer, []
-        scores = self.ids.anomaly_scores(batch)
+        # Bit-identical to anomaly_scores; batch-capable IDSs score the
+        # whole micro-batch through their packed execute engine.
+        scores = self.ids.score_batch(batch)
         emitted = [
             StreamScore(
                 index=self.items_scored + offset,
@@ -128,6 +143,9 @@ class PacketStreamDetector(StreamingDetector):
 class FlowStreamDetector(StreamingDetector):
     """Flow-level streaming: assemble incrementally, score on close.
 
+    Flow IDSs already consume encoded feature matrices, so every
+    micro-batch is scored in one call (``scoring_path = "flow-matrix"``).
+
     ``deferred=True`` (Slips) accumulates completed flows and scores
     them in one call at ``finish`` — Slips' evidence accumulation and
     recidivism are defined over the whole window set, so per-flow
@@ -140,6 +158,7 @@ class FlowStreamDetector(StreamingDetector):
     """
 
     unit = "flow"
+    scoring_path = "flow-matrix"
 
     def __init__(
         self,

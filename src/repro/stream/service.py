@@ -134,13 +134,15 @@ class StreamReport:
 
     def render_summary(self) -> str:
         """The CLI's end-of-stream text block."""
+        scoring = self.notes.get("scoring_path")
         lines = [
             f"stream: {self.ids_name} over {self.source}",
             f"  scored {self.n_scored} {self.unit}s "
             f"({self.packets_streamed} packets) in "
             f"{self.stream_seconds:.2f}s — "
             f"{self.packets_per_second:,.0f} pkt/s, warmup on "
-            f"{self.n_warmup} item(s) in {self.warmup_seconds:.2f}s",
+            f"{self.n_warmup} item(s) in {self.warmup_seconds:.2f}s"
+            + (f", {scoring} scoring" if scoring else ""),
             f"  threshold {self.threshold:.6f} ({self.threshold_source}); "
             f"alert rate {self.alert_rate:.1%} across "
             f"{len(self.windows)} windows, {len(self.alerts)} alert "
@@ -297,6 +299,7 @@ def stream_experiment(
     notes = dict(data.notes)
     notes["seed"] = config.seed
     notes["scale"] = config.scale
+    notes["scoring_path"] = detector.scoring_path
     return StreamReport(
         ids_name=config.ids_name,
         source=f"dataset:{config.dataset_name} "
@@ -427,7 +430,10 @@ def stream_capture(
         alerts=alerter.episodes,
         scores=scores,
         y_true=y_true,
-        notes={"non_ip_packets": getattr(
-            getattr(detector, "tracker", None), "non_ip_packets", 0
-        )},
+        notes={
+            "non_ip_packets": getattr(
+                getattr(detector, "tracker", None), "non_ip_packets", 0
+            ),
+            "scoring_path": detector.scoring_path,
+        },
     )

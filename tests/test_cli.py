@@ -89,17 +89,23 @@ class TestCommands:
         assert main(["profile", "--dataset", "mirai", "--scale", "0.03",
                      "--packets", "300", "--json", str(report)]) == 0
         out = capsys.readouterr().out
-        for stage in ("parse", "netstat", "kitnet", "total"):
+        for stage in ("parse", "netstat", "kitnet-train", "kitnet",
+                      "kitnet-batch", "total"):
             assert stage in out
         import json
 
         payload = json.loads(report.read_text())
         assert payload["packets"] == 300
         assert payload["engine"] == "vector"
-        assert len(payload["stages"]) == 3
+        assert [s["stage"] for s in payload["stages"]] == [
+            "parse", "netstat", "kitnet-train", "kitnet", "kitnet-batch"
+        ]
         assert all(s["seconds"] >= 0 for s in payload["stages"])
         # The default engine is compared against the scalar reference.
         assert payload["netstat_speedup"] is not None
+        # The batched execute stage is parity-checked while it is timed.
+        assert payload["kitnet_batch_parity"] is True
+        assert payload["kitnet_batch_speedup"] > 0
 
     def test_profile_scalar_engine_skips_comparison(self, capsys):
         assert main(["profile", "--dataset", "mirai", "--scale", "0.03",

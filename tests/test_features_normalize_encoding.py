@@ -46,6 +46,39 @@ class TestOnlineMinMax:
         scaler = OnlineMinMaxScaler(3)
         with pytest.raises(ValueError):
             scaler.partial_fit(np.zeros(2))
+        with pytest.raises(ValueError):
+            scaler.partial_fit(np.zeros((4, 2)))
+
+    def test_batch_partial_fit_matches_sequential(self):
+        rng = np.random.default_rng(5)
+        rows = rng.normal(size=(57, 4)) * rng.integers(1, 50, size=4)
+        sequential = OnlineMinMaxScaler(4)
+        for row in rows:
+            sequential.partial_fit(row)
+        batched = OnlineMinMaxScaler(4)
+        batched.partial_fit(rows[:20])
+        batched.partial_fit(rows[20:])
+        assert np.array_equal(batched.min, sequential.min)
+        assert np.array_equal(batched.max, sequential.max)
+        batched.partial_fit(rows[:0])  # empty batch is a no-op
+        assert np.array_equal(batched.min, sequential.min)
+
+    @pytest.mark.parametrize("clip", (True, False))
+    def test_batch_transform_matches_per_row(self, clip):
+        rng = np.random.default_rng(6)
+        scaler = OnlineMinMaxScaler(5, clip=clip)
+        scaler.partial_fit(rng.normal(size=(40, 5)))
+        rows = rng.normal(size=(23, 5)) * 3.0
+        batch = scaler.transform(rows)
+        for row, expected in zip(rows, batch):
+            assert np.array_equal(scaler.transform(row), expected)
+
+    def test_fit_transform_rejects_batches(self):
+        # Whole-batch fit-then-transform would leak future extrema into
+        # earlier rows; the online call is per-row by contract.
+        scaler = OnlineMinMaxScaler(3)
+        with pytest.raises(ValueError, match="online"):
+            scaler.fit_transform(np.zeros((2, 3)))
 
     def test_rejects_bad_dim(self):
         with pytest.raises(ValueError):

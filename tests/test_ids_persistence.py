@@ -48,6 +48,47 @@ class TestSaveLoad:
         loaded = load_kitnet(path)
         assert loaded.mapper.groups == trained_kitnet.mapper.groups
 
+    def test_loaded_model_has_group_index_arrays(self, trained_kitnet,
+                                                 tmp_path):
+        # Checkpoints bypass _build_ensemble; the gather indices must
+        # still be materialised intp arrays, not per-call list lookups.
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(trained_kitnet, path)
+        loaded = load_kitnet(path)
+        assert all(
+            isinstance(g, np.ndarray) and g.dtype == np.intp
+            for g in loaded._group_index
+        )
+        assert [g.tolist() for g in loaded._group_index] == (
+            trained_kitnet.mapper.groups
+        )
+
+    def test_legacy_state_materialises_group_index(self, trained_kitnet):
+        # A checkpoint from before the index arrays existed (e.g. an
+        # old pickle) must lazily rebuild them on first use.
+        state = dict(trained_kitnet.__dict__)
+        state.pop("_group_index", None)
+        state.pop("_batched_ensemble", None)
+        legacy = KitNET.__new__(KitNET)
+        legacy.__dict__.update(state)
+        rng = SeededRNG(6)
+        rows = rng.uniform(0.0, 1.5, size=(10, 12))
+        expected = np.array([trained_kitnet._execute(row) for row in rows])
+        assert np.array_equal(legacy.execute_batch(rows), expected)
+        assert all(g.dtype == np.intp for g in legacy._group_index)
+
+    def test_loaded_model_batched_execution_matches_per_row(
+        self, trained_kitnet, tmp_path
+    ):
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(trained_kitnet, path)
+        per_row = load_kitnet(path)
+        batched = load_kitnet(path)
+        rng = SeededRNG(5)
+        rows = rng.uniform(0.0, 1.5, size=(30, 12))
+        expected = np.array([per_row.process(row) for row in rows])
+        assert np.array_equal(batched.process_batch(rows), expected)
+
     def test_bad_format_version_rejected(self, trained_kitnet, tmp_path):
         import json
 
