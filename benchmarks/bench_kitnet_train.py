@@ -1,0 +1,203 @@
+"""KitNET training-phase throughput: sequential reference vs engines.
+
+The execute phase went batched in PR 5; profiling then showed the
+*training* grace period dominating every cold start (the ``repro-cli
+profile`` ``kitnet-train`` stage) — per-row Python dispatch through
+every group autoencoder for the whole ad-grace prefix. This bench
+replays the Mirai feature stream's training prefix three ways:
+
+* the sequential per-row reference (``KitNET.process`` — the bit-exact
+  trajectory),
+* the cross-group parallel online engine (``train_workers=...``),
+  which must match the reference **bit for bit** — scores and final
+  weights — or the bench fails (a fast-but-wrong engine must not pass),
+* the stacked mini-batch SGD engine (``train_mode="minibatch"``) at
+  several flush sizes — an intentionally different learning trajectory
+  (pinned by its own golden fixture in the test suite), so it is only
+  sanity-checked for finiteness here.
+
+The feature-mapping prefix (including the one-time correlation
+clustering in ``FeatureMapper.finalise``) is replayed untimed on every
+detector: it is identical work on every path and not what the training
+engines accelerate. Timings cover the ad-grace rows only.
+
+Run the acceptance configuration with::
+
+    PYTHONPATH=src pytest benchmarks/bench_kitnet_train.py -s --scale 1.0
+
+At full scale the best engine must be >= 3x the sequential reference.
+Results land in ``BENCH_kitnet_train.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.features.netstat import NetStat
+from repro.ids.kitsune.kitnet import KitNET
+from repro.utils.rng import SeededRNG
+
+from benchmarks.conftest import save_bench_json, save_result, scale_or
+
+DEFAULT_SCALE = 1.0
+SEED = 0
+DATASET = "Mirai"
+TRAIN_BATCHES = (64, 256, 1024)
+#: Acceptance gate for the best training engine at scale >= 1.0.
+FULL_SCALE_SPEEDUP = 3.0
+
+
+def _training_stream(scale: float):
+    """The Mirai replay's feature rows split at the grace boundaries.
+
+    Returns ``(dim, fm_grace, ad_grace, fm_rows, train_rows)`` where
+    ``train_rows`` are exactly the rows the online reference trains on
+    (post-increment count in ``[fm+1, fm+ad-1]``) plus the boundary row
+    it executes — i.e. everything up to the grace boundary.
+    """
+    from repro.core.profiling import kitnet_grace_split
+    from repro.datasets.registry import generate_dataset_uncached
+
+    packets = generate_dataset_uncached(
+        DATASET, seed=SEED, scale=scale
+    ).packets
+    extractor = NetStat(engine="vector")
+    features = extractor.extract_all(packets)
+    fm_grace, ad_grace, boundary = kitnet_grace_split(len(features))
+    return (
+        extractor.feature_count,
+        fm_grace,
+        ad_grace,
+        features[:fm_grace],
+        features[fm_grace:boundary],
+    )
+
+
+def _weights(detector: KitNET) -> list[np.ndarray]:
+    layers = []
+    for ae in [*detector.ensemble, detector.output_layer]:
+        layers += [
+            ae.encoder.weights, ae.encoder.bias,
+            ae.decoder.weights, ae.decoder.bias,
+        ]
+    return layers
+
+
+def test_kitnet_train_throughput(bench_scale):
+    scale = scale_or(bench_scale, DEFAULT_SCALE)
+    dim, fm_grace, ad_grace, fm_rows, train_rows = _training_stream(scale)
+    n_rows = len(train_rows)
+    assert n_rows > 0, f"no training rows at scale {scale}"
+
+    def fresh(**kwargs) -> KitNET:
+        detector = KitNET(
+            dim,
+            fm_grace=fm_grace,
+            ad_grace=ad_grace,
+            rng=SeededRNG(SEED, "bench-kitnet-train"),
+            **kwargs,
+        )
+        # Feature-mapping prefix (and the one-time clustering) untimed:
+        # identical on every path, and not what the engines accelerate.
+        detector.process_batch(fm_rows)
+        return detector
+
+    reference = fresh()
+    start = time.perf_counter()
+    reference_scores = np.array(
+        [reference.process(row) for row in train_rows]
+    )
+    reference_seconds = time.perf_counter() - start
+    reference_pps = n_rows / reference_seconds
+
+    # Cross-group parallel online engine: must be bit-identical.
+    workers = max(2, min(8, os.cpu_count() or 1))
+    parallel = fresh(train_workers=workers)
+    start = time.perf_counter()
+    parallel_scores = parallel.process_batch(train_rows)
+    parallel_seconds = time.perf_counter() - start
+    assert np.array_equal(parallel_scores, reference_scores), (
+        f"parallel-online (workers={workers}) diverged from the "
+        "sequential reference — parity contract broken"
+    )
+    assert all(
+        np.array_equal(a, b)
+        for a, b in zip(_weights(reference), _weights(parallel))
+    ), "parallel-online final weights diverged from the reference"
+
+    # Mini-batch SGD engine: different trajectory by design, so only
+    # sanity-checked (the golden fixture pins its scores in the tests).
+    minibatch_rows = {}
+    for train_batch in TRAIN_BATCHES:
+        detector = fresh(train_mode="minibatch", train_batch=train_batch)
+        start = time.perf_counter()
+        scores = detector.process_batch(train_rows)
+        elapsed = time.perf_counter() - start
+        assert np.all(np.isfinite(scores)), (
+            f"minibatch train_batch={train_batch} produced "
+            "non-finite scores"
+        )
+        minibatch_rows[train_batch] = {
+            "seconds": elapsed,
+            "pps": n_rows / elapsed,
+        }
+
+    best_batch = max(minibatch_rows, key=lambda b: minibatch_rows[b]["pps"])
+    minibatch_speedup = minibatch_rows[best_batch]["pps"] / reference_pps
+    parallel_speedup = reference_seconds / parallel_seconds
+    speedup = max(minibatch_speedup, parallel_speedup)
+
+    lines = [
+        f"kitnet training throughput @ scale={scale} dataset={DATASET} "
+        f"seed={SEED} ({n_rows} training rows, "
+        f"{len(reference.ensemble)} groups)",
+        f"  {'path':26s} {'rows/s':>12s} {'seconds':>9s}",
+        f"  {'sequential reference':26s} {reference_pps:12,.0f} "
+        f"{reference_seconds:9.3f}",
+        f"  {f'parallel-online (w={workers})':26s} "
+        f"{n_rows / parallel_seconds:12,.0f} {parallel_seconds:9.3f}",
+    ]
+    for train_batch, row in minibatch_rows.items():
+        lines.append(
+            f"  {f'minibatch (tb={train_batch})':26s} "
+            f"{row['pps']:12,.0f} {row['seconds']:9.3f}"
+        )
+    lines.append(
+        f"  parallel-online speedup: {parallel_speedup:.2f}x "
+        "(bit-for-bit parity verified, scores and weights)"
+    )
+    lines.append(
+        f"  minibatch speedup: {minibatch_speedup:.2f}x "
+        f"(best train_batch {best_batch}, different trajectory by design)"
+    )
+    save_result("kitnet_train", "\n".join(lines))
+    save_bench_json(
+        "kitnet_train",
+        metric="train_speedup",
+        value=round(speedup, 3),
+        scale=scale,
+        dataset=DATASET,
+        train_rows=n_rows,
+        groups=len(reference.ensemble),
+        parallel_workers=workers,
+        parallel_backend="thread",
+        parallel_parity=True,
+        parallel_speedup=round(parallel_speedup, 3),
+        minibatch_speedup=round(minibatch_speedup, 3),
+        best_train_batch=best_batch,
+        reference_rows_per_second=round(reference_pps),
+        minibatch_rows_per_second={
+            str(batch): round(row["pps"])
+            for batch, row in minibatch_rows.items()
+        },
+    )
+
+    # The best engine must clear the acceptance gate at full scale.
+    if scale >= 1.0:
+        assert speedup >= FULL_SCALE_SPEEDUP, (
+            f"best training speedup {speedup:.2f}x below the "
+            f"{FULL_SCALE_SPEEDUP}x acceptance gate at scale {scale}"
+        )

@@ -353,6 +353,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             max_packets=args.packets,
             compare_scalar=not args.no_compare,
             batch_size=args.batch,
+            train_batch=args.train_batch,
+            train_workers=args.train_workers,
         )
     except RuntimeError as error:
         # e.g. --engine vector-native on a box without a C compiler.
@@ -550,7 +552,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile = sub.add_parser(
         "profile",
         help="time the packet path stage by stage (parse, netstat, "
-             "kitnet-train, per-packet kitnet, batched kitnet)",
+             "kitnet-train, batched kitnet training, per-packet kitnet, "
+             "batched kitnet)",
     )
     p_profile.add_argument("--dataset", default="Mirai",
                            help="synthetic dataset to replay "
@@ -570,6 +573,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--batch", type=_positive_int, default=256,
                            help="micro-batch size for the kitnet-batch "
                                 "stage (default 256)")
+    p_profile.add_argument("--train-batch", type=_positive_int, default=32,
+                           help="mini-batch size for the "
+                                "kitnet-train-batched stage (default 32)")
+    p_profile.add_argument("--train-workers", type=_positive_int,
+                           help="profile the cross-group parallel online "
+                                "training engine with this many workers "
+                                "(bit-identical, parity-checked) instead "
+                                "of mini-batch SGD")
     p_profile.add_argument("--no-compare", action="store_true",
                            help="skip the scalar-reference NetStat "
                                 "timing comparison")

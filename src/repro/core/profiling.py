@@ -10,10 +10,13 @@ the budget goes. :func:`profile_packet_path` times each stage over a
 synthetic replay and reports per-packet microseconds, packets/second
 and each stage's share — the workflow behind ``repro-cli profile``
 (see ``docs/PERFORMANCE.md``). The KitNET stage is split into the
-sequential grace periods (``kitnet-train``), the per-packet execute
-reference (``kitnet``) and the packed batched engine re-scoring the
-same rows (``kitnet-batch``), whose scores are parity-checked bit for
-bit while they are timed.
+sequential grace periods (``kitnet-train``), the batched training
+engine replaying the same prefix (``kitnet-train-batched`` — mini-batch
+SGD by default, or the bit-identical cross-group parallel engine when
+``train_workers`` is set), the per-packet execute reference
+(``kitnet``) and the packed batched engine re-scoring the same rows
+(``kitnet-batch``), whose scores are parity-checked bit for bit while
+they are timed.
 
 The NetStat stage can be profiled under any feature engine; with
 ``compare_scalar=True`` (default) the scalar reference is timed too,
@@ -70,6 +73,15 @@ class PacketPathProfile:
     scalar_netstat_seconds: float | None = None
     batch_size: int = 256
     kitnet_batch_parity: bool | None = None
+    #: Training-engine stage configuration: ``train_mode`` is
+    #: ``"minibatch"`` (default; an intentionally different learning
+    #: trajectory, so no parity claim) or ``"parallel-online"`` (when
+    #: ``train_workers`` is set; bit-identical to ``kitnet-train``,
+    #: asserted by ``kitnet_train_parity``).
+    train_mode: str = "minibatch"
+    train_batch: int = 32
+    train_workers: int | None = None
+    kitnet_train_parity: bool | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -90,6 +102,19 @@ class PacketPathProfile:
         return None if seconds is None else self.scalar_netstat_seconds / seconds
 
     @property
+    def kitnet_train_speedup(self) -> float | None:
+        """Sequential grace-period / batched-training time ratio."""
+        by_name = {stage.stage: stage for stage in self.stages}
+        reference = by_name.get("kitnet-train")
+        batched = by_name.get("kitnet-train-batched")
+        if (
+            reference is None or batched is None
+            or batched.packets == 0 or batched.seconds <= 0
+        ):
+            return None
+        return reference.seconds / batched.seconds
+
+    @property
     def kitnet_batch_speedup(self) -> float | None:
         """Per-packet execute / batched execute time ratio."""
         by_name = {stage.stage: stage for stage in self.stages}
@@ -108,18 +133,18 @@ class PacketPathProfile:
             f"packet path profile: {self.dataset} seed={self.seed} "
             f"scale={self.scale} ({self.packets} packets, "
             f"engine={self.engine}/{self.kernel})",
-            f"  {'stage':13s} {'seconds':>9s} {'us/pkt':>9s} "
+            f"  {'stage':20s} {'seconds':>9s} {'us/pkt':>9s} "
             f"{'pkt/s':>12s} {'share':>7s}",
         ]
         for stage in self.stages:
             share = stage.seconds / total if total else 0.0
             lines.append(
-                f"  {stage.stage:13s} {stage.seconds:9.3f} "
+                f"  {stage.stage:20s} {stage.seconds:9.3f} "
                 f"{stage.per_packet_us:9.1f} "
                 f"{stage.packets_per_second:12,.0f} {share:6.1%}"
             )
         lines.append(
-            f"  {'total':13s} {total:9.3f} "
+            f"  {'total':20s} {total:9.3f} "
             f"{total / self.packets * 1e6 if self.packets else 0:9.1f} "
             f"{self.packets / total if total else 0:12,.0f} {1:6.1%}"
         )
@@ -128,6 +153,23 @@ class PacketPathProfile:
             lines.append(
                 f"  netstat engine speedup vs scalar reference: "
                 f"{speedup:.2f}x (scalar {self.scalar_netstat_seconds:.3f}s)"
+            )
+        train_speedup = self.kitnet_train_speedup
+        if train_speedup is not None:
+            if self.train_mode == "parallel-online":
+                contract = (
+                    "bit-identical" if self.kitnet_train_parity
+                    else "PARITY BROKEN"
+                )
+                detail = f"workers={self.train_workers}, {contract}"
+            else:
+                detail = (
+                    f"train_batch={self.train_batch}, "
+                    "mini-batch trajectory"
+                )
+            lines.append(
+                f"  kitnet batched training speedup vs sequential: "
+                f"{train_speedup:.2f}x ({self.train_mode}, {detail})"
             )
         batch_speedup = self.kitnet_batch_speedup
         if batch_speedup is not None:
@@ -155,6 +197,11 @@ class PacketPathProfile:
             "batch_size": self.batch_size,
             "kitnet_batch_speedup": self.kitnet_batch_speedup,
             "kitnet_batch_parity": self.kitnet_batch_parity,
+            "train_mode": self.train_mode,
+            "train_batch": self.train_batch,
+            "train_workers": self.train_workers,
+            "kitnet_train_speedup": self.kitnet_train_speedup,
+            "kitnet_train_parity": self.kitnet_train_parity,
             "stages": [
                 {
                     "stage": stage.stage,
@@ -191,10 +238,18 @@ def profile_packet_path(
     max_packets: int | None = None,
     compare_scalar: bool = True,
     batch_size: int = 256,
+    train_batch: int = 32,
+    train_workers: int | None = None,
     dataset_provider=None,
 ) -> PacketPathProfile:
-    """Time parse → netstat → kitnet-train → kitnet → kitnet-batch
-    over a synthetic dataset replay."""
+    """Time parse → netstat → kitnet-train → kitnet-train-batched →
+    kitnet → kitnet-batch over a synthetic dataset replay.
+
+    ``train_workers=None`` (default) profiles the mini-batch training
+    engine with ``train_batch``-row flush groups; setting it profiles
+    the cross-group parallel online engine instead and parity-checks
+    its scores bit for bit against the sequential grace periods.
+    """
     if dataset_provider is None:
         from repro.datasets import generate_dataset as dataset_provider
     data = dataset_provider(dataset, seed=seed, scale=scale)
@@ -247,10 +302,39 @@ def profile_packet_path(
         ad_grace=ad_grace,
         rng=SeededRNG(seed, "profile"),
     )
+    train_rows = features[:boundary]
     start = time.perf_counter()
-    for row in features[:boundary]:
-        detector.process(row)
+    train_reference_scores = np.array(
+        [detector.process(row) for row in train_rows]
+    )
     train_seconds = time.perf_counter() - start
+
+    # Same training prefix through the batched engine on a twin
+    # detector: mini-batch SGD by default (different trajectory, no
+    # parity claim), or the cross-group parallel online engine when
+    # workers are requested (bit-identical, parity-checked).
+    train_mode = "parallel-online" if train_workers else "minibatch"
+    twin_kwargs = (
+        {"train_workers": train_workers}
+        if train_workers
+        else {"train_mode": "minibatch", "train_batch": train_batch}
+    )
+    twin = KitNET(
+        extractor.feature_count,
+        fm_grace=fm_grace,
+        ad_grace=ad_grace,
+        rng=SeededRNG(seed, "profile"),
+        **twin_kwargs,
+    )
+    start = time.perf_counter()
+    train_batched_scores = twin.process_batch(train_rows)
+    train_batched_seconds = time.perf_counter() - start
+    train_parity = (
+        bool(np.array_equal(train_batched_scores, train_reference_scores))
+        if train_mode == "parallel-online"
+        else None
+    )
+    del twin
 
     execute_rows = features[boundary:]
     start = time.perf_counter()
@@ -275,6 +359,7 @@ def profile_packet_path(
         StageTiming("parse", parse_seconds, count),
         StageTiming("netstat", netstat_seconds, count),
         StageTiming("kitnet-train", train_seconds, boundary),
+        StageTiming("kitnet-train-batched", train_batched_seconds, boundary),
         StageTiming("kitnet", execute_seconds, len(execute_rows)),
         StageTiming("kitnet-batch", batch_seconds, len(execute_rows)),
     )
@@ -289,4 +374,8 @@ def profile_packet_path(
         scalar_netstat_seconds=scalar_seconds,
         batch_size=batch_size,
         kitnet_batch_parity=batch_parity,
+        train_mode=train_mode,
+        train_batch=train_batch,
+        train_workers=train_workers,
+        kitnet_train_parity=train_parity,
     )

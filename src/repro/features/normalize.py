@@ -92,7 +92,9 @@ class OnlineMinMaxScaler:
 
         Single rows only: a whole-batch fit-then-transform would see
         extrema from *future* rows, silently breaking the online
-        training semantics. Batch callers fit and transform explicitly.
+        training semantics. Batch callers fit and transform explicitly
+        (or use :meth:`fit_transform_running` for the exact sequential
+        trajectory over a batch).
         """
         row = self._checked(row)
         if row.ndim != 1:
@@ -102,6 +104,40 @@ class OnlineMinMaxScaler:
             )
         self.partial_fit(row)
         return self.transform(row)
+
+    def fit_transform_running(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized *online* fit-transform over a ``(n, dim)`` batch.
+
+        Bit-identical to calling :meth:`fit_transform` on each row in
+        order: row ``i`` is scaled against the extrema of rows
+        ``0..i`` (plus any previously learned state), never against
+        future rows. ``np.minimum.accumulate`` computes exactly the
+        running extrema the sequential loop would (min/max are exact,
+        order-insensitive IEEE operations) and the transform arithmetic
+        is elementwise, so this is the batched training engines' way of
+        keeping the online normalisation trajectory while dropping the
+        per-row Python dispatch.
+        """
+        rows = self._checked(rows)
+        if rows.ndim != 2:
+            rows = rows.reshape(1, -1)
+        if rows.shape[0] == 0:
+            return np.empty_like(rows)
+        if self.frozen:
+            return self.transform(rows)
+        run_min = np.minimum.accumulate(rows, axis=0)
+        np.minimum(run_min, self.min, out=run_min)
+        run_max = np.maximum.accumulate(rows, axis=0)
+        np.maximum(run_max, self.max, out=run_max)
+        self.min = run_min[-1].copy()
+        self.max = run_max[-1].copy()
+        span = run_max - run_min
+        ok = np.isfinite(span) & (span > 0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(ok, (rows - run_min) / span, 0.0)
+        if self.clip:
+            return np.clip(out, 0.0, 1.0)
+        return out
 
 
 class ZScoreScaler:

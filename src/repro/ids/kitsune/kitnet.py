@@ -27,6 +27,13 @@ class KitNET:
     ``hidden_ratio=0.75``, ``learning_rate=0.1``.
     """
 
+    # Class-level fallbacks so checkpoints pickled before the training
+    # engine existed still dispatch to the online reference path.
+    train_mode = "online"
+    train_batch = 32
+    train_workers: int | None = None
+    train_backend = "thread"
+
     def __init__(
         self,
         dim: int,
@@ -36,15 +43,43 @@ class KitNET:
         max_group: int = 10,
         hidden_ratio: float = 0.75,
         learning_rate: float = 0.1,
+        train_mode: str = "online",
+        train_batch: int = 32,
+        train_workers: int | None = None,
+        train_backend: str = "thread",
         rng: SeededRNG,
     ) -> None:
         if dim <= 0:
             raise ValueError("dim must be positive")
+        if train_mode not in ("online", "minibatch"):
+            raise ValueError(
+                f"train_mode must be 'online' or 'minibatch', "
+                f"got {train_mode!r}"
+            )
+        if train_backend not in ("thread", "process"):
+            raise ValueError(
+                f"train_backend must be 'thread' or 'process', "
+                f"got {train_backend!r}"
+            )
         self.dim = dim
         self.fm_grace = int(check_positive("fm_grace", fm_grace))
         self.ad_grace = int(check_positive("ad_grace", ad_grace))
         self.hidden_ratio = hidden_ratio
         self.learning_rate = learning_rate
+        #: ``"online"`` (the paper's per-packet SGD, the bit-exact
+        #: reference) or ``"minibatch"`` (stacked mini-batch SGD — an
+        #: intentionally different learning trajectory, see
+        #: :mod:`repro.ml.batched_train`).
+        self.train_mode = train_mode
+        self.train_batch = int(check_positive("train_batch", train_batch))
+        #: When set, batched training of an ``"online"``-mode detector
+        #: shards the per-group train loops across this many workers —
+        #: bit-identical to the sequential reference.
+        self.train_workers = (
+            None if train_workers is None
+            else int(check_positive("train_workers", train_workers))
+        )
+        self.train_backend = train_backend
         self._rng = rng
         self.mapper = FeatureMapper(dim, max_group=max_group)
         # AfterImage normalisation does not clip: post-training regime
@@ -56,6 +91,10 @@ class KitNET:
         self.samples_seen = 0
         #: Lazily packed execute-phase scorer; any train step resets it.
         self._batched_ensemble = None
+        #: Lazily built training engines (see repro.ml.batched_train);
+        #: torn down when the training grace period completes.
+        self._minibatch_engine = None
+        self._sharded_engine = None
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -105,6 +144,12 @@ class KitNET:
         if self.output_layer is None:  # fm_grace satisfied mid-stream
             self._build_ensemble()
         if self.in_training:
+            if self.train_mode == "minibatch":
+                # A lone row is its own (size-1) mini-batch.
+                score = float(self._train_rows_minibatch(row.reshape(1, -1))[0])
+                if self.samples_seen == self.fm_grace + self.ad_grace - 1:
+                    self._finish_training()
+                return score
             return self._train_step(row)
         return self._execute(row)
 
@@ -139,6 +184,11 @@ class KitNET:
         return rmses
 
     def _train_step(self, row: np.ndarray) -> float:
+        if getattr(self, "_minibatch_engine", None) is not None:
+            raise RuntimeError(
+                "mini-batch training is in progress; a per-row train "
+                "step would diverge from the packed weights"
+            )
         # Weights are about to move: drop any packed snapshot so the
         # batched execute path rebuilds from the post-update ensemble.
         self._batched_ensemble = None
@@ -147,10 +197,112 @@ class KitNET:
         assert self._output_scaler is not None and self.output_layer is not None
         scaled_rmses = self._output_scaler.fit_transform(rmses)
         score = self.output_layer.train_score(scaled_rmses)
-        if self.samples_seen == self.fm_grace + self.ad_grace:
-            self.scaler.freeze()
-            self._output_scaler.freeze()
+        if self.samples_seen == self.fm_grace + self.ad_grace - 1:
+            self._finish_training()
         return score
+
+    # -- batched / parallel training --------------------------------------
+    def _minibatch_trainer(self):
+        """The packed mini-batch engine (train_mode="minibatch" only).
+
+        Owns the canonical training weights from first use until
+        :meth:`_finish_training` syncs them back into the ensemble.
+        """
+        engine = getattr(self, "_minibatch_engine", None)
+        if engine is None:
+            from repro.ml.batched_train import MiniBatchTrainer
+
+            engine = MiniBatchTrainer(
+                self.ensemble,
+                self._group_arrays(),
+                learning_rate=self.learning_rate,
+            )
+            self._minibatch_engine = engine
+        return engine
+
+    def _sharded_trainer(self):
+        """The cross-group parallel online engine (train_workers set)."""
+        engine = getattr(self, "_sharded_engine", None)
+        if engine is None:
+            from repro.ml.batched_train import ShardedGroupTrainer
+
+            engine = ShardedGroupTrainer(
+                self.ensemble,
+                self._group_arrays(),
+                workers=self.train_workers or 1,
+                backend=self.train_backend,
+            )
+            self._sharded_engine = engine
+        return engine
+
+    def _train_rows_minibatch(self, matrix: np.ndarray) -> np.ndarray:
+        """Mini-batch SGD over training-phase rows (trajectory change).
+
+        Rows are consumed in ``train_batch``-sized flush groups: the
+        input scaler fits on the whole group before transforming it,
+        every group autoencoder takes one stacked averaged-gradient
+        step per group, and the output autoencoder trains on the
+        group's RMSE matrix the same way. Scores are the pre-update
+        RMSEs, as in online mode.
+        """
+        self._batched_ensemble = None
+        assert self._output_scaler is not None and self.output_layer is not None
+        trainer = self._minibatch_trainer()
+        scores = np.empty(matrix.shape[0])
+        for start in range(0, matrix.shape[0], self.train_batch):
+            chunk = matrix[start : start + self.train_batch]
+            self.scaler.partial_fit(chunk)
+            scaled = self.scaler.transform(chunk)
+            rmses = trainer.train_step(scaled)
+            self._output_scaler.partial_fit(rmses)
+            scaled_rmses = self._output_scaler.transform(rmses)
+            scores[start : start + len(chunk)] = self.output_layer.train_batch(
+                scaled_rmses
+            )
+        return scores
+
+    def _train_rows_parallel(self, matrix: np.ndarray) -> np.ndarray:
+        """Cross-group parallel online training — bit-identical.
+
+        The input scaler's per-row fit-transform trajectory is computed
+        vectorized (running extrema), the per-group train loops run
+        sharded across workers (each group's SGD sequence is untouched,
+        groups share no state), and the output layer — one small
+        autoencoder whose input couples all groups per row — replays
+        its sequential per-row loop. Every float operation matches the
+        reference loop, so scores and final weights are bit-identical.
+        """
+        self._batched_ensemble = None
+        assert self._output_scaler is not None and self.output_layer is not None
+        scaled = self.scaler.fit_transform_running(matrix)
+        rmses = self._sharded_trainer().train_rows(scaled)
+        scores = np.empty(matrix.shape[0])
+        output_scaler = self._output_scaler
+        output_layer = self.output_layer
+        for i in range(matrix.shape[0]):
+            scaled_rmses = output_scaler.fit_transform(rmses[i])
+            scores[i] = output_layer.train_score(scaled_rmses)
+        return scores
+
+    def _finish_training(self) -> None:
+        """Last training row done: sync and tear down the engines.
+
+        Fires at ``samples_seen == fm_grace + ad_grace - 1`` — the last
+        row the online reference actually trains on. The row that takes
+        ``samples_seen`` to the boundary itself goes through
+        :meth:`_execute` (``in_training`` is checked after the
+        increment), so engines must be synced before it scores. The
+        scalers are deliberately *not* frozen: the reference trajectory
+        never freezes them, and bit-parity extends to detector state.
+        """
+        engine = getattr(self, "_minibatch_engine", None)
+        if engine is not None:
+            engine.sync()
+            self._minibatch_engine = None
+        sharded = getattr(self, "_sharded_engine", None)
+        if sharded is not None:
+            sharded.close()
+            self._sharded_engine = None
 
     def _execute(self, row: np.ndarray) -> float:
         assert self._output_scaler is not None and self.output_layer is not None
@@ -172,6 +324,26 @@ class KitNET:
             self._batched_ensemble = packed
         return packed
 
+    def _as_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """``matrix`` as ``(n, dim)`` float64, where ``n`` may be 0.
+
+        Empty inputs (an empty list, a zero-row matrix) normalise to
+        ``(0, dim)`` instead of the ``(1, 0)`` shape ``np.atleast_2d``
+        would produce — which used to die in the scaler with a
+        confusing dimension-mismatch error. A non-empty matrix with the
+        wrong feature dimension is rejected *before* any state changes.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.size == 0:
+            return np.empty((0, self.dim))
+        matrix = np.atleast_2d(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] != self.dim:
+            raise ValueError(
+                f"expected rows of dimension {self.dim}, "
+                f"got shape {matrix.shape}"
+            )
+        return matrix
+
     def execute_batch(self, matrix: np.ndarray) -> np.ndarray:
         """Score a batch of execute-phase rows in one shot.
 
@@ -179,9 +351,9 @@ class KitNET:
         whole batch goes through the packed ensemble: one scaler
         transform, a few stacked einsum contractions for all groups,
         and the output-layer RMSE per row. Only legal once both grace
-        periods are over (training is inherently sequential).
+        periods are over (training advances state row by row).
         """
-        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+        matrix = self._as_matrix(matrix)
         if self.in_feature_mapping or self.in_training:
             raise RuntimeError(
                 "execute_batch during the grace periods; use process_batch"
@@ -192,29 +364,74 @@ class KitNET:
             self._build_ensemble()
         assert self._output_scaler is not None
         packed = self._packed()
-        self.samples_seen += matrix.shape[0]
         scaled = self.scaler.transform(matrix)
         rmses = packed.group_rmses(scaled)
-        return packed.output_rmses(self._output_scaler.transform(rmses))
+        scores = packed.output_rmses(self._output_scaler.transform(rmses))
+        # Advance the sample counter only after the whole batch scored:
+        # a failure above must not corrupt the detector's phase state.
+        self.samples_seen += matrix.shape[0]
+        return scores
 
     def process_batch(self, matrix: np.ndarray) -> np.ndarray:
         """Feed a batch of instances; returns one score per row.
 
-        Equivalent to (and bit-identical with) looping :meth:`process`:
-        rows that fall inside the feature-mapping or training grace
-        periods are processed one at a time — online SGD is sequential,
-        and a train step landing mid-batch invalidates any packed
-        tensors — and the remaining execute-phase rows are scored
-        through :meth:`execute_batch`.
+        In the default configuration this is equivalent to (and
+        bit-identical with) looping :meth:`process`: grace-period rows
+        are processed one at a time and the remaining execute-phase
+        rows are scored through :meth:`execute_batch`. With
+        ``train_workers`` set, training rows instead go through the
+        cross-group parallel engine — still bit-identical to the
+        sequential reference. With ``train_mode="minibatch"`` they take
+        the stacked mini-batch SGD path, an intentionally different
+        learning trajectory pinned by its own golden fixture.
         """
-        matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
-        scores = np.empty(matrix.shape[0])
+        matrix = self._as_matrix(matrix)
+        n = matrix.shape[0]
+        scores = np.empty(n)
+        if n == 0:
+            return scores
         boundary = self.fm_grace + self.ad_grace
         i = 0
-        while i < matrix.shape[0] and self.samples_seen < boundary:
+        # Feature-mapping rows stay per-row: the mapper accumulates
+        # correlation sums and finalises at an exact row index.
+        while i < n and self.samples_seen < self.fm_grace:
             scores[i] = self.process(matrix[i])
             i += 1
-        if i < matrix.shape[0]:
+        if i < n and self.samples_seen < boundary:
+            batched_train = (
+                self.train_mode == "minibatch"
+                or self.train_workers is not None
+            )
+            if batched_train:
+                if self.output_layer is None:
+                    self._build_ensemble()
+                # The reference trains rows whose post-increment count is
+                # in [fm+1, fm+ad-1]; the row reaching the boundary goes
+                # through per-row _execute without fitting the scalers.
+                take = min(n - i, boundary - 1 - self.samples_seen)
+                if take > 0:
+                    chunk = matrix[i : i + take]
+                    self.samples_seen += take
+                    if self.train_mode == "minibatch":
+                        scores[i : i + take] = self._train_rows_minibatch(
+                            chunk
+                        )
+                    else:
+                        scores[i : i + take] = self._train_rows_parallel(
+                            chunk
+                        )
+                    i += take
+                if self.samples_seen == boundary - 1:
+                    self._finish_training()
+                # The boundary-crossing row (per-row execute semantics).
+                while i < n and self.samples_seen < boundary:
+                    scores[i] = self.process(matrix[i])
+                    i += 1
+            else:
+                while i < n and self.samples_seen < boundary:
+                    scores[i] = self.process(matrix[i])
+                    i += 1
+        if i < n:
             scores[i:] = self.execute_batch(matrix[i:])
         return scores
 

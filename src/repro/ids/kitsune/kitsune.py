@@ -38,10 +38,17 @@ class Kitsune(PacketIDS):
         decays: tuple[float, ...] = (5.0, 3.0, 1.0, 0.1, 0.01),
         seed: int = 0,
         netstat_engine: str = "vector",
+        train_mode: str = "online",
+        train_batch: int = 32,
+        train_workers: int | None = None,
+        train_backend: str = "thread",
     ) -> None:
         # The vectorized AfterImage engine is bit-identical to the
         # scalar reference (tests/test_features_parity.py), so the
-        # engine choice is a pure throughput knob.
+        # engine choice is a pure throughput knob. Likewise
+        # ``train_workers`` (cross-group parallel online training is
+        # bit-identical); ``train_mode="minibatch"`` is an opt-in
+        # trajectory change (see repro.ml.batched_train).
         self.netstat = NetStat(decays, engine=netstat_engine)
         from repro.ids.kitsune.kitnet import KitNET
 
@@ -52,6 +59,10 @@ class Kitsune(PacketIDS):
             max_group=max_group,
             hidden_ratio=hidden_ratio,
             learning_rate=learning_rate,
+            train_mode=train_mode,
+            train_batch=train_batch,
+            train_workers=train_workers,
+            train_backend=train_backend,
             rng=SeededRNG(seed, "kitsune"),
         )
 
@@ -68,9 +79,14 @@ class Kitsune(PacketIDS):
         }
 
     def fit(self, packets: Sequence[Packet]) -> None:
-        """Consume the training stream (grace periods)."""
-        for packet in packets:
-            self.kitnet.process(self.netstat.update(packet))
+        """Consume the training stream (grace periods).
+
+        Features are extracted sequentially into one matrix and handed
+        to :meth:`KitNET.process_batch` — bit-identical to the per-row
+        loop in the default configuration, and the hook through which
+        the batched/parallel training engines see whole chunks.
+        """
+        self.kitnet.process_batch(self.netstat.extract_all(packets))
 
     def anomaly_scores(self, packets: Sequence[Packet]) -> np.ndarray:
         """Execute-mode RMSE scores, one per packet (reference loop)."""

@@ -23,7 +23,14 @@ from repro.ids.kitsune.kitnet import KitNET
 from repro.ml.autoencoder import Autoencoder
 from repro.utils.rng import SeededRNG
 
-_FORMAT_VERSION = 1
+# Version history:
+#   1 — initial format; the sample counter was stored under a misspelled
+#       meta key (``"decaysamples_seen"``) and ignored on load.
+#   2 — counter stored as ``"samples_seen"`` and restored faithfully;
+#       training-engine config (``train_mode``/``train_batch``) recorded
+#       so a restored detector keeps its training semantics.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _scaler_state(scaler: OnlineMinMaxScaler) -> dict[str, np.ndarray]:
@@ -55,11 +62,13 @@ def save_kitnet(kitnet: KitNET, path: str | Path) -> None:
     meta = {
         "format_version": _FORMAT_VERSION,
         "dim": kitnet.dim,
-        "decaysamples_seen": kitnet.samples_seen,
+        "samples_seen": kitnet.samples_seen,
         "fm_grace": kitnet.fm_grace,
         "ad_grace": kitnet.ad_grace,
         "hidden_ratio": kitnet.hidden_ratio,
         "learning_rate": kitnet.learning_rate,
+        "train_mode": kitnet.train_mode,
+        "train_batch": kitnet.train_batch,
         "groups": kitnet.mapper.groups,
         "ensemble_size": len(kitnet.ensemble),
     }
@@ -82,7 +91,7 @@ def load_kitnet(path: str | Path) -> KitNET:
     """Restore a KitNET saved by :func:`save_kitnet`, in execute mode."""
     with np.load(path) as data:
         meta = json.loads(bytes(data["meta"]).decode("utf-8"))
-        if meta.get("format_version") != _FORMAT_VERSION:
+        if meta.get("format_version") not in _SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported model format {meta.get('format_version')!r}"
             )
@@ -92,6 +101,8 @@ def load_kitnet(path: str | Path) -> KitNET:
             ad_grace=meta["ad_grace"],
             hidden_ratio=meta["hidden_ratio"],
             learning_rate=meta["learning_rate"],
+            train_mode=meta.get("train_mode", "online"),
+            train_batch=meta.get("train_batch", 32),
             rng=SeededRNG(0, "loaded-kitnet"),
         )
         kitnet.mapper.groups = [list(g) for g in meta["groups"]]
@@ -130,6 +141,18 @@ def load_kitnet(path: str | Path) -> KitNET:
             np.asarray(group, dtype=np.intp) for group in groups
         ]
         kitnet._batched_ensemble = None
-        # Mark the grace periods as complete: the model executes only.
-        kitnet.samples_seen = meta["fm_grace"] + meta["ad_grace"] + 1
+        # Restore the true sample counter. Version-1 checkpoints stored
+        # it under a misspelled key (and the old loader discarded it,
+        # hardcoding fm+ad+1 — wrong for any detector that had executed
+        # past the boundary before saving); fall back to that key, and
+        # only then to the just-past-the-boundary legacy value.
+        kitnet.samples_seen = int(
+            meta.get(
+                "samples_seen",
+                meta.get(
+                    "decaysamples_seen",
+                    meta["fm_grace"] + meta["ad_grace"] + 1,
+                ),
+            )
+        )
     return kitnet

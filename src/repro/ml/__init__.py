@@ -6,7 +6,10 @@ single-instance training (KitNET-style), a small LSTM with truncated
 BPTT (HELAD's temporal model), and a feed-forward binary classifier
 (the DNN study's 3-hidden-layer network). :mod:`repro.ml.batched`
 packs an ensemble of autoencoders for batched execute-phase scoring,
-bit-identical to the per-row loops.
+bit-identical to the per-row loops; :mod:`repro.ml.batched_train` is
+its training counterpart — stacked mini-batch SGD over the same shape
+buckets, plus cross-group parallel online training with the exact
+sequential trajectory.
 """
 
 from repro.ml.activations import identity, relu, sigmoid, tanh
@@ -15,6 +18,7 @@ from repro.ml.optimizers import SGD, Adam
 from repro.ml.losses import binary_cross_entropy, mean_squared_error
 from repro.ml.autoencoder import Autoencoder
 from repro.ml.batched import BatchedEnsemble
+from repro.ml.batched_train import MiniBatchTrainer, ShardedGroupTrainer
 from repro.ml.lstm import LSTMRegressor
 from repro.ml.mlp import MLPClassifier
 
@@ -30,6 +34,8 @@ __all__ = [
     "mean_squared_error",
     "Autoencoder",
     "BatchedEnsemble",
+    "MiniBatchTrainer",
+    "ShardedGroupTrainer",
     "LSTMRegressor",
     "MLPClassifier",
 ]

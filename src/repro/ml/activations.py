@@ -20,6 +20,12 @@ class Activation:
     f: Callable[[np.ndarray], np.ndarray]
     df: Callable[[np.ndarray], np.ndarray]  # derivative in terms of output
 
+    def __reduce__(self):
+        # The f/df lambdas are not picklable; serialise by name so
+        # models holding activations (e.g. autoencoders shipped to
+        # training worker processes) round-trip through pickle.
+        return (by_name, (self.name,))
+
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     # Clipping keeps exp() finite on saturated pre-activations.

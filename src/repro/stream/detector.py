@@ -23,6 +23,7 @@ where its batch semantics exist at all.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -308,16 +309,39 @@ def build_streaming_detector(
     kwargs.update(overrides)
     if name != "Slips":
         kwargs.setdefault("seed", seed)
-    if (
-        name == "Kitsune"
-        and warmup_packets is not None
-        and "fm_grace" not in overrides
-        and "ad_grace" not in overrides
-    ):
-        # Same arithmetic as build_packet_cell in repro.core.experiment.
-        fm = max(100, warmup_packets // 10)
-        kwargs["fm_grace"] = fm
-        kwargs["ad_grace"] = max(100, warmup_packets - fm)
+    if name == "Kitsune" and warmup_packets is not None:
+        fm_overridden = "fm_grace" in overrides
+        ad_overridden = "ad_grace" in overrides
+        if not fm_overridden and not ad_overridden:
+            # Same arithmetic as build_packet_cell in
+            # repro.core.experiment.
+            fm = max(100, warmup_packets // 10)
+            kwargs["fm_grace"] = fm
+            kwargs["ad_grace"] = max(100, warmup_packets - fm)
+        elif fm_overridden != ad_overridden:
+            # Overriding only one grace period used to leave the other
+            # at its default, silently blowing the combined grace past
+            # the warmup prefix; scale the non-overridden one to fill
+            # the remainder instead.
+            if fm_overridden:
+                kwargs["ad_grace"] = max(
+                    100, warmup_packets - kwargs["fm_grace"]
+                )
+            else:
+                kwargs["fm_grace"] = max(
+                    100, warmup_packets - kwargs["ad_grace"]
+                )
+        total_grace = kwargs["fm_grace"] + kwargs["ad_grace"]
+        if total_grace > warmup_packets:
+            warnings.warn(
+                f"Kitsune grace periods (fm_grace={kwargs['fm_grace']} + "
+                f"ad_grace={kwargs['ad_grace']} = {total_grace}) exceed "
+                f"the warmup prefix of {warmup_packets} packets; the "
+                "detector will still be training when scoring starts "
+                "and early 'scores' are training-step outputs",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     ids = factory(**kwargs)
     if ids.input_kind is InputKind.PACKET:
         return PacketStreamDetector(ids, batch_size=batch_size)

@@ -89,8 +89,9 @@ class TestCommands:
         assert main(["profile", "--dataset", "mirai", "--scale", "0.03",
                      "--packets", "300", "--json", str(report)]) == 0
         out = capsys.readouterr().out
-        for stage in ("parse", "netstat", "kitnet-train", "kitnet",
-                      "kitnet-batch", "total"):
+        for stage in ("parse", "netstat", "kitnet-train",
+                      "kitnet-train-batched", "kitnet", "kitnet-batch",
+                      "total"):
             assert stage in out
         import json
 
@@ -98,7 +99,8 @@ class TestCommands:
         assert payload["packets"] == 300
         assert payload["engine"] == "vector"
         assert [s["stage"] for s in payload["stages"]] == [
-            "parse", "netstat", "kitnet-train", "kitnet", "kitnet-batch"
+            "parse", "netstat", "kitnet-train", "kitnet-train-batched",
+            "kitnet", "kitnet-batch"
         ]
         assert all(s["seconds"] >= 0 for s in payload["stages"])
         # The default engine is compared against the scalar reference.
@@ -106,12 +108,31 @@ class TestCommands:
         # The batched execute stage is parity-checked while it is timed.
         assert payload["kitnet_batch_parity"] is True
         assert payload["kitnet_batch_speedup"] > 0
+        # The default training stage is mini-batch: timed, no parity
+        # claim (intentionally different trajectory).
+        assert payload["train_mode"] == "minibatch"
+        assert payload["kitnet_train_speedup"] > 0
+        assert payload["kitnet_train_parity"] is None
+
+    def test_profile_parallel_training_stage(self, capsys, tmp_path):
+        report = tmp_path / "profile.json"
+        assert main(["profile", "--dataset", "mirai", "--scale", "0.03",
+                     "--packets", "300", "--train-workers", "2",
+                     "--no-compare", "--json", str(report)]) == 0
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["train_mode"] == "parallel-online"
+        assert payload["train_workers"] == 2
+        # Parallel online training is parity-gated while it is timed.
+        assert payload["kitnet_train_parity"] is True
+        assert "bit-identical" in capsys.readouterr().out
 
     def test_profile_scalar_engine_skips_comparison(self, capsys):
         assert main(["profile", "--dataset", "mirai", "--scale", "0.03",
                      "--packets", "200", "--engine", "scalar"]) == 0
         out = capsys.readouterr().out
-        assert "speedup" not in out
+        assert "netstat engine speedup" not in out
 
     def test_profile_unknown_dataset_errors(self, capsys):
         assert main(["profile", "--dataset", "NoSuchSet"]) == 2

@@ -90,17 +90,111 @@ class TestSaveLoad:
         assert np.array_equal(batched.process_batch(rows), expected)
 
     def test_bad_format_version_rejected(self, trained_kitnet, tmp_path):
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(trained_kitnet, path)
+        _rewrite_meta(path, lambda meta: meta.update(format_version=99))
+        with pytest.raises(ValueError, match="format"):
+            load_kitnet(path)
+
+
+def _rewrite_meta(path, mutate) -> None:
+    """Round-trip a checkpoint's JSON meta through ``mutate``."""
+    import json
+
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    meta = json.loads(bytes(arrays["meta"]).decode())
+    mutate(meta)
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+class TestSamplesSeenRoundTrip:
+    def test_counter_restored_exactly(self, trained_kitnet, tmp_path):
+        """The true counter must survive the round trip — the old
+        loader hardcoded fm+ad+1, wrong for any detector that had
+        executed past the boundary before saving."""
+        rng = SeededRNG(7)
+        for _ in range(75):  # execute well past the grace boundary
+            trained_kitnet.process(rng.uniform(0.3, 0.7, size=12))
+        assert trained_kitnet.samples_seen == 325
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(trained_kitnet, path)
+        assert load_kitnet(path).samples_seen == 325
+
+    def test_v1_checkpoint_misspelled_key_still_read(
+        self, trained_kitnet, tmp_path
+    ):
+        """Pre-fix checkpoints stored the counter under a misspelled
+        meta key ('decaysamples_seen'); v1 loads must fall back to it
+        rather than fabricating fm+ad+1."""
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(trained_kitnet, path)
+
+        def downgrade(meta):
+            meta["format_version"] = 1
+            meta["decaysamples_seen"] = meta.pop("samples_seen")
+            meta.pop("train_mode")
+            meta.pop("train_batch")
+
+        _rewrite_meta(path, downgrade)
+        loaded = load_kitnet(path)
+        assert loaded.samples_seen == trained_kitnet.samples_seen
+        assert loaded.train_mode == "online"  # v1 default
+        rng = SeededRNG(8)
+        rows = rng.uniform(0.0, 1.5, size=(10, 12))
+        expected = np.array([trained_kitnet._execute(row) for row in rows])
+        assert np.array_equal(loaded.process_batch(rows), expected)
+
+    def test_v1_checkpoint_without_any_counter_key(
+        self, trained_kitnet, tmp_path
+    ):
+        """A v1 checkpoint missing both spellings still loads, with the
+        legacy just-past-the-boundary value."""
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(trained_kitnet, path)
+
+        def strip(meta):
+            meta["format_version"] = 1
+            meta.pop("samples_seen")
+            meta.pop("train_mode")
+            meta.pop("train_batch")
+
+        _rewrite_meta(path, strip)
+        loaded = load_kitnet(path)
+        assert loaded.samples_seen == (
+            trained_kitnet.fm_grace + trained_kitnet.ad_grace + 1
+        )
+        assert not loaded.in_training
+
+
+class TestTrainModeRoundTrip:
+    def test_format_version_is_2(self, trained_kitnet, tmp_path):
         import json
 
         path = tmp_path / "kitnet.npz"
         save_kitnet(trained_kitnet, path)
         with np.load(path) as data:
-            arrays = {k: data[k] for k in data.files}
-        meta = json.loads(bytes(arrays["meta"]).decode())
-        meta["format_version"] = 99
-        arrays["meta"] = np.frombuffer(
-            json.dumps(meta).encode(), dtype=np.uint8
+            meta = json.loads(bytes(data["meta"]).decode())
+        assert meta["format_version"] == 2
+        assert meta["samples_seen"] == trained_kitnet.samples_seen
+        assert "decaysamples_seen" not in meta
+
+    def test_minibatch_detector_roundtrip(self, tmp_path):
+        net = KitNET(
+            12, fm_grace=40, ad_grace=200, max_group=4, rng=SeededRNG(1),
+            train_mode="minibatch", train_batch=24,
         )
-        np.savez_compressed(path, **arrays)
-        with pytest.raises(ValueError, match="format"):
-            load_kitnet(path)
+        rng = SeededRNG(2)
+        net.process_batch(rng.uniform(0.3, 0.7, size=(250, 12)))
+        assert not net.in_training
+        path = tmp_path / "kitnet.npz"
+        save_kitnet(net, path)
+        loaded = load_kitnet(path)
+        assert loaded.train_mode == "minibatch"
+        assert loaded.train_batch == 24
+        rows = rng.uniform(0.0, 1.5, size=(20, 12))
+        expected = np.array([net._execute(row) for row in rows])
+        assert np.array_equal(loaded.process_batch(rows), expected)

@@ -103,6 +103,58 @@ class TestStreamCommand:
         assert pinned.ids.kitnet.fm_grace == 50
         assert pinned.ids.kitnet.ad_grace == 60
 
+    def test_partial_grace_override_scales_the_other(self):
+        """Overriding only one grace period used to leave the other at
+        its default (900/100), silently blowing the combined grace past
+        the warmup prefix; the non-overridden one must scale."""
+        import warnings
+
+        from repro.stream import build_streaming_detector
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # scaling must not warn
+            fm_only = build_streaming_detector(
+                "kitsune", warmup_packets=1000,
+                ids_overrides={"fm_grace": 300},
+            )
+            assert fm_only.ids.kitnet.fm_grace == 300
+            assert fm_only.ids.kitnet.ad_grace == 700
+
+            ad_only = build_streaming_detector(
+                "kitsune", warmup_packets=1000,
+                ids_overrides={"ad_grace": 650},
+            )
+            assert ad_only.ids.kitnet.fm_grace == 350
+            assert ad_only.ids.kitnet.ad_grace == 650
+
+    def test_grace_exceeding_warmup_warns(self):
+        import warnings
+
+        from repro.stream import build_streaming_detector
+
+        # Both pinned past the prefix: respected, but loudly.
+        with pytest.warns(RuntimeWarning, match="exceed"):
+            detector = build_streaming_detector(
+                "kitsune", warmup_packets=500,
+                ids_overrides={"fm_grace": 400, "ad_grace": 400},
+            )
+        assert detector.ids.kitnet.fm_grace == 400
+        assert detector.ids.kitnet.ad_grace == 400
+
+        # A single override so large the other floors at 100 and the
+        # total still spills past the prefix.
+        with pytest.warns(RuntimeWarning, match="exceed"):
+            floored = build_streaming_detector(
+                "kitsune", warmup_packets=300,
+                ids_overrides={"fm_grace": 280},
+            )
+        assert floored.ids.kitnet.ad_grace == 100
+
+        # The well-scaled default split must stay silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            build_streaming_detector("kitsune", warmup_packets=1000)
+
     def test_pcap_mode_supervised_ids_is_a_clean_error(self, tmp_path, capsys):
         from repro.datasets import generate_dataset
 
