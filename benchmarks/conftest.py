@@ -40,6 +40,11 @@ def pytest_addoption(parser):
         "--jobs", type=int, default=None,
         help="engine worker processes for all benches (default 1)",
     )
+    group.addoption(
+        "--workers", type=int, default=None,
+        help="max sharded-stream worker count for the scaling benches "
+             "(default: each bench's calibrated ladder)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -60,6 +65,21 @@ def bench_jobs(request) -> int | None:
         return option
     env = os.environ.get("REPRO_BENCH_JOBS")
     return int(env) if env else None
+
+
+@pytest.fixture(scope="session")
+def bench_workers(request) -> int | None:
+    """The common ``--workers`` override, or ``None`` for defaults."""
+    option = request.config.getoption("--workers")
+    if option is not None:
+        return option
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    return int(env) if env else None
+
+
+def workers_or(bench_workers: int | None, default: int) -> int:
+    """A bench's effective max sharded worker count."""
+    return default if bench_workers is None else bench_workers
 
 
 def scale_or(bench_scale: float | None, default: float) -> float:

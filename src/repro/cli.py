@@ -266,10 +266,12 @@ def _parse_scales(value: str) -> list[float]:
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.stream import (
+        DatasetSource,
         PcapReplaySource,
         build_streaming_detector,
         canonical_ids_name,
         stream_capture,
+        stream_capture_sharded,
         stream_experiment,
     )
 
@@ -283,27 +285,92 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(snapshot.describe())
 
+    sharded = args.workers is not None
+
+    def run_sharded(source, detector, threshold, warmup_packets):
+        return stream_capture_sharded(
+            source,
+            detector,
+            workers=args.workers,
+            warmup_packets=warmup_packets,
+            threshold=threshold,
+            window_seconds=args.window,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            pace=args.pace,
+            on_window=live_window,
+        )
+
     if args.pcap:
         if args.threshold is None:
             print("error: --pcap streams are unlabelled; pass an explicit "
                   "--threshold", file=sys.stderr)
             return 2
+        train_packets = (args.train_packets
+                         if args.train_packets is not None else 1000)
         detector = build_streaming_detector(
             ids_name, seed=args.seed, batch_size=args.batch,
             schema=args.schema, labelled=False,
-            warmup_packets=args.train_packets,
+            warmup_packets=train_packets,
         )
         try:
-            report = stream_capture(
-                PcapReplaySource(args.pcap),
-                detector,
-                warmup_packets=args.train_packets,
-                threshold=args.threshold,
-                window_seconds=args.window,
-                on_window=live_window,
-            )
+            if sharded:
+                report = run_sharded(PcapReplaySource(args.pcap), detector,
+                                     args.threshold, train_packets)
+            else:
+                report = stream_capture(
+                    PcapReplaySource(args.pcap),
+                    detector,
+                    warmup_packets=train_packets,
+                    threshold=args.threshold,
+                    window_seconds=args.window,
+                    on_window=live_window,
+                )
         except ValueError as error:
-            # e.g. a supervised IDS over an unlabelled capture.
+            # e.g. a supervised IDS over an unlabelled capture, or a
+            # flow IDS in sharded mode.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif sharded:
+        # Sharded mode streams the labelled synthetic replay through
+        # the live capture path (train-on-prefix), like pcap mode but
+        # with ground truth for metrics and post-hoc thresholds.
+        from repro.datasets.registry import canonical_dataset_name
+
+        try:
+            dataset_name = canonical_dataset_name(args.dataset)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        source = DatasetSource(dataset_name, seed=args.seed,
+                               scale=args.scale)
+        if args.train_packets is not None:
+            train_packets = args.train_packets
+        else:
+            # Mirror the batch split's arithmetic (train_fraction of
+            # the stream, capped like max_train_packets) so small
+            # scales still leave a test stream to score.
+            from repro.core.experiment import ExperimentConfig
+
+            defaults = ExperimentConfig(ids_name=ids_name,
+                                        dataset_name=dataset_name)
+            n_packets = len(source.dataset.packets)
+            train_packets = int(n_packets * defaults.train_fraction)
+            # Kitsune's minimum combined grace is 200 packets; give the
+            # warmup at least that when the stream affords it.
+            train_packets = max(train_packets, min(200, n_packets // 2))
+            if defaults.max_train_packets:
+                train_packets = min(train_packets,
+                                    defaults.max_train_packets)
+        detector = build_streaming_detector(
+            ids_name, seed=args.seed, batch_size=args.batch,
+            schema=args.schema, labelled=True,
+            warmup_packets=train_packets,
+        )
+        try:
+            report = run_sharded(source, detector, args.threshold,
+                                 train_packets)
+        except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
     else:
@@ -416,6 +483,13 @@ def _non_negative_float(value: str) -> float:
     parsed = float(value)
     if parsed < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
+
+
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if not parsed > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {parsed}")
     return parsed
 
 
@@ -537,12 +611,36 @@ def build_parser() -> argparse.ArgumentParser:
                                "the batch pipeline's standardized "
                                "threshold post hoc (dataset mode only)")
     p_stream.add_argument("--train-packets", type=_non_negative_int,
-                          default=1000,
-                          help="warmup prefix length in pcap mode "
-                               "(default 1000)")
+                          default=None,
+                          help="warmup prefix length for the live-capture "
+                               "paths (pcap, or dataset with --workers). "
+                               "Default: 1000 in pcap mode; in sharded "
+                               "dataset mode the batch split's fraction "
+                               "of the stream, so small scales still "
+                               "leave packets to score")
     p_stream.add_argument("--schema", choices=("netflow", "cicflow"),
                           default="netflow",
                           help="flow feature schema for flow-level IDSs")
+    p_stream.add_argument("--workers", type=_positive_int,
+                          help="shard the stream across N detector worker "
+                               "processes (flow-consistent channel "
+                               "sharding, merged order-stable sink; "
+                               "packet IDSs only). --workers 1 runs the "
+                               "sharded engine single-worker, "
+                               "bit-identical to the in-process path")
+    p_stream.add_argument("--checkpoint-every", type=_positive_int,
+                          default=5000,
+                          help="sharded mode: checkpoint each worker's "
+                               "live detector every N shard packets "
+                               "(crash-resume granularity; default 5000)")
+    p_stream.add_argument("--checkpoint-dir",
+                          help="sharded mode: keep checkpoints under this "
+                               "directory (default: scratch dir, removed "
+                               "after a clean run)")
+    p_stream.add_argument("--pace", type=_positive_float,
+                          help="sharded mode: replay at this multiple of "
+                               "capture time (1.0 = wall-clock pacing; "
+                               "default: as fast as possible)")
     p_stream.add_argument("--json", help="write the stream report to "
                                          "this path as JSON")
     p_stream.add_argument("--quiet", action="store_true",

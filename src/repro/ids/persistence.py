@@ -1,19 +1,38 @@
-"""Persistence for trained anomaly detectors.
+"""Persistence for trained anomaly detectors and live stream state.
 
 Deploying an IDS means training once and executing for weeks, so the
-trained state must survive a process restart. This module serialises a
-trained :class:`repro.ids.kitsune.kitnet.KitNET` — feature-mapper
-groups, frozen scalers, and every autoencoder's weights — to a single
-``.npz`` file and restores it into execute mode.
+trained state must survive a process restart. Two layers live here:
 
-The damped NetStat stream state is deliberately *not* persisted: it is
-traffic state, not model state, and rebuilds online within a few decay
-horizons (exactly how Kitsune deployments behave after a restart).
+* **Model persistence** (:func:`save_kitnet` / :func:`load_kitnet`) —
+  a trained :class:`repro.ids.kitsune.kitnet.KitNET`'s feature-mapper
+  groups, frozen scalers, and every autoencoder's weights go to a
+  single ``.npz`` file and restore into execute mode. The damped
+  NetStat stream state is deliberately *not* part of this format: it
+  is traffic state, not model state, and rebuilds online within a few
+  decay horizons (exactly how Kitsune deployments behave after a
+  restart).
+* **Stream checkpoints** (:func:`save_stream_checkpoint` /
+  :func:`load_stream_checkpoint`) — the sharded streaming engine's
+  crash-resume unit. A checkpoint captures one worker's *entire*
+  live detector (model weights **and** NetStat traffic state and any
+  buffered micro-batch) plus its stream cursor, so a worker killed
+  mid-run resumes bit-exactly: replaying its shard from the cursor
+  reproduces the uninterrupted run's scores. Checkpoint files are
+  written atomically (temp file + rename) and carry a content digest,
+  so a crash *during* a checkpoint write can never leave a truncated
+  file that a resume would trust — corrupt files are detected and the
+  supervisor falls back to the previous checkpoint.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import pickle
+import re
+import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -156,3 +175,181 @@ def load_kitnet(path: str | Path) -> KitNET:
             )
         )
     return kitnet
+
+
+# --------------------------------------------------------------------------
+# Stream checkpoints: the sharded engine's crash-resume unit.
+
+#: Stream-checkpoint format version (independent of the KitNET format).
+_STREAM_CKPT_VERSION = 1
+#: 8-byte magic prefixing every checkpoint file.
+_STREAM_CKPT_MAGIC = b"RPSCKPT1"
+#: ``worker<id>-<consumed>.ckpt``
+_CKPT_NAME_RE = re.compile(r"^worker(\d+)-(\d+)\.ckpt$")
+
+
+class CheckpointCorrupt(ValueError):
+    """A checkpoint file failed its integrity check (truncated write,
+    partial disk, bit rot). Resume falls back to an older checkpoint."""
+
+
+@dataclass
+class StreamCheckpoint:
+    """One worker's resumable stream state.
+
+    ``consumed`` is the worker's packet cursor: how many shard packets
+    the detector had fully processed when the checkpoint was taken.
+    Replaying the shard from exactly this offset resumes the stream
+    bit-identically — the detector blob carries *all* live state
+    (model weights, NetStat traffic state, buffered micro-batch,
+    ``items_scored``).
+    """
+
+    worker_id: int
+    consumed: int
+    emitted: int
+    detector_blob: bytes = field(repr=False)
+    meta: dict = field(default_factory=dict)
+
+    def restore_detector(self):
+        """Deserialise the captured detector, ready to keep streaming."""
+        return pickle.loads(self.detector_blob)
+
+
+def checkpoint_filename(worker_id: int, consumed: int) -> str:
+    """Canonical checkpoint file name (sorts by cursor per worker)."""
+    return f"worker{worker_id}-{consumed:012d}.ckpt"
+
+
+def save_stream_checkpoint(
+    directory: str | Path,
+    detector,
+    *,
+    worker_id: int,
+    consumed: int,
+    meta: dict | None = None,
+) -> Path:
+    """Atomically write a checkpoint for ``detector`` under ``directory``.
+
+    The payload is pickled once, digested, and written to a temp file
+    in the same directory before an atomic ``os.replace`` — a SIGKILL
+    at any instant leaves either the previous checkpoint set or the
+    complete new file, never a half-written one that passes
+    verification.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = pickle.dumps(
+        {
+            "format_version": _STREAM_CKPT_VERSION,
+            "worker_id": int(worker_id),
+            "consumed": int(consumed),
+            "emitted": int(getattr(detector, "items_scored", 0)),
+            "detector": pickle.dumps(
+                detector, protocol=pickle.HIGHEST_PROTOCOL
+            ),
+            "meta": dict(meta or {}),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    digest = hashlib.sha256(payload).digest()
+    path = directory / checkpoint_filename(worker_id, consumed)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(_STREAM_CKPT_MAGIC)
+            fh.write(digest)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_stream_checkpoint(path: str | Path) -> StreamCheckpoint:
+    """Read and verify one checkpoint file.
+
+    Raises :class:`CheckpointCorrupt` when the magic, digest, or format
+    version does not check out.
+    """
+    raw = Path(path).read_bytes()
+    header = len(_STREAM_CKPT_MAGIC) + 32
+    if len(raw) < header or not raw.startswith(_STREAM_CKPT_MAGIC):
+        raise CheckpointCorrupt(f"{path}: not a stream checkpoint")
+    digest, payload = raw[len(_STREAM_CKPT_MAGIC):header], raw[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointCorrupt(f"{path}: content digest mismatch")
+    state = pickle.loads(payload)
+    if state.get("format_version") != _STREAM_CKPT_VERSION:
+        raise CheckpointCorrupt(
+            f"{path}: unsupported checkpoint format "
+            f"{state.get('format_version')!r}"
+        )
+    return StreamCheckpoint(
+        worker_id=state["worker_id"],
+        consumed=state["consumed"],
+        emitted=state["emitted"],
+        detector_blob=state["detector"],
+        meta=state["meta"],
+    )
+
+
+def latest_stream_checkpoint(
+    directory: str | Path, worker_id: int
+) -> tuple[Path, StreamCheckpoint] | None:
+    """The newest *valid* checkpoint for ``worker_id``, or ``None``.
+
+    Corrupt files (e.g. from exotic filesystems defeating the atomic
+    rename) are skipped, falling back to the next-newest — so a resume
+    can always trust what this returns.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates: list[tuple[int, Path]] = []
+    for entry in directory.iterdir():
+        match = _CKPT_NAME_RE.match(entry.name)
+        if match and int(match.group(1)) == worker_id:
+            candidates.append((int(match.group(2)), entry))
+    for _, path in sorted(candidates, reverse=True):
+        try:
+            return path, load_stream_checkpoint(path)
+        except (CheckpointCorrupt, OSError, pickle.UnpicklingError):
+            continue
+    return None
+
+
+def prune_stream_checkpoints(
+    directory: str | Path, worker_id: int, *, keep: int = 2
+) -> int:
+    """Delete all but the ``keep`` newest checkpoints of one worker.
+
+    Keeping two means a corrupt newest file still leaves a valid
+    fallback. Returns the number of files removed.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    candidates: list[tuple[int, Path]] = []
+    for entry in directory.iterdir():
+        match = _CKPT_NAME_RE.match(entry.name)
+        if match and int(match.group(1)) == worker_id:
+            candidates.append((int(match.group(2)), entry))
+    removed = 0
+    for _, path in sorted(candidates, reverse=True)[keep:]:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed

@@ -14,6 +14,12 @@ stream as it runs.
 Contract with the batch path: for the same packets, the streaming
 scores are *bit-identical* to the batch pipeline's
 (``tests/test_stream_parity.py``). See ``docs/STREAMING.md``.
+
+:func:`~repro.stream.sharded.stream_capture_sharded` scales the live
+path across worker processes — flow-consistent sharding
+(:mod:`repro.stream.shard`), bounded-queue backpressure, and
+checkpointed crash-resume — with a coverage digest that is invariant
+across worker counts.
 """
 
 from repro.stream.alerts import AlertEpisode, HysteresisAlerter
@@ -39,6 +45,16 @@ from repro.stream.service import (
     stream_capture,
     stream_experiment,
 )
+from repro.stream.shard import (
+    shard_for_packet,
+    shard_key_for_packet,
+    shard_of_key,
+)
+from repro.stream.sharded import (
+    FaultInjection,
+    coverage_digest,
+    stream_capture_sharded,
+)
 
 __all__ = [
     "AlertEpisode",
@@ -60,4 +76,10 @@ __all__ = [
     "StreamReport",
     "stream_capture",
     "stream_experiment",
+    "shard_for_packet",
+    "shard_key_for_packet",
+    "shard_of_key",
+    "FaultInjection",
+    "coverage_digest",
+    "stream_capture_sharded",
 ]

@@ -1,0 +1,702 @@
+"""Sharded multi-process streaming: one source, N detector workers.
+
+:func:`stream_capture_sharded` scales :func:`repro.stream.service.stream_capture`
+across worker processes. The supervisor owns the
+:class:`~repro.stream.sources.PacketSource`, trains the detector on the
+warmup prefix exactly as the single-process path does, then fans the
+scored phase out by canonical channel key
+(:mod:`repro.stream.shard`) — every conversation lands wholly on one
+worker, so each worker's NetStat + detector state evolves exactly as a
+single process seeing only that traffic would. One merged, order-stable
+alert sink consumes all workers' scores.
+
+Operational surface:
+
+* **Backpressure** — every queue is bounded. A slow worker blocks the
+  supervisor's dispatch (which in turn stops consuming the source);
+  a slow supervisor blocks workers' score puts. End-to-end memory is
+  bounded by ``workers x (queue depth + checkpoint interval)`` packets;
+  nothing buffers unboundedly.
+* **Crash-resume** — workers periodically checkpoint their *entire*
+  live state (model + NetStat traffic state + buffered micro-batch)
+  through :mod:`repro.ids.persistence`. The supervisor retains each
+  worker's packets since its last acknowledged checkpoint; a worker
+  that dies (SIGKILL, OOM) is respawned from its newest valid on-disk
+  checkpoint and replayed the retained packets. Scoring is
+  deterministic, so the resumed run re-emits exactly the lost scores;
+  duplicates of scores that survived the crash are dropped by index.
+  The merged result is bit-identical to an uninterrupted run at the
+  same worker count (``tests/test_stream_faultinject.py``).
+* **Pacing** — ``pace=R`` replays the stream at R× capture time
+  (1.0 = wall-clock realistic replay) instead of as fast as possible.
+* **Telemetry** — per-worker packets, scores, busy seconds, checkpoint
+  cadence/age, restarts, retention peaks; exported in the stream JSON.
+
+A worker that *raises* (detector bug, malformed input) is fatal: the
+error is propagated to the caller with the worker traceback — a
+deterministic failure would simply recur under resume. Only process
+*death* triggers crash-resume.
+
+Fault injection (``fault=FaultInjection(...)``) is a first-class test
+seam: kill/stall/slow a chosen worker at a chosen packet count,
+deterministically. ``tests/faultinject.py`` builds the test harness on
+top of it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import queue as queue_mod
+import signal
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.thresholds import standard_threshold
+from repro.ids.persistence import (
+    latest_stream_checkpoint,
+    prune_stream_checkpoints,
+    save_stream_checkpoint,
+)
+from repro.net.packet import Packet
+from repro.stream.detector import StreamingDetector, StreamScore
+from repro.stream.service import StreamReport, WindowCallback, _evaluate_stream
+from repro.stream.shard import shard_for_packet
+from repro.stream.sources import PacketSource
+from repro.utils.validation import check_positive
+
+import hashlib
+
+__all__ = [
+    "FaultInjection",
+    "WirePacket",
+    "coverage_digest",
+    "stream_capture_sharded",
+]
+
+
+# --------------------------------------------------------------------------
+# Fault injection seam (driven by tests/faultinject.py).
+
+_FAULT_ACTIONS = ("kill", "stall", "slow")
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """Deterministically disturb one worker at one packet count.
+
+    ``at_packets`` counts the worker's *consumed* shard packets (1-based
+    absolute cursor); the fault fires just before that packet is scored:
+
+    * ``kill``  — SIGKILL the worker process (crash-resume path);
+    * ``stall`` — sleep ``seconds`` once (backpressure path);
+    * ``slow``  — sleep ``per_packet_delay`` before every packet from
+      the trigger on (sustained backpressure).
+
+    After a kill-triggered restart the supervisor drops the fault
+    unless ``repeat_after_restart`` — with it, the worker dies at the
+    same cursor every incarnation and the run exhausts
+    ``max_restarts`` (the crash-loop test).
+    """
+
+    worker: int
+    at_packets: int
+    action: str = "kill"
+    seconds: float = 0.0
+    per_packet_delay: float = 0.0
+    repeat_after_restart: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in _FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; "
+                f"known: {', '.join(_FAULT_ACTIONS)}"
+            )
+        if self.at_packets < 1:
+            raise ValueError("at_packets must be >= 1 (1-based cursor)")
+
+
+# --------------------------------------------------------------------------
+# Wire transport: the slim packet record crossing the process boundary.
+#
+# Pickling full Packet objects (five nested header dataclasses) costs
+# ~15 us per packet on each side — enough to make the IPC hop the
+# bottleneck. The packet-level detectors consume exactly seven fields
+# (NetStat: timestamp, size, src MAC, IPs, ports; StreamScore: label,
+# attack family), so only those cross the boundary, as primitive tuples
+# that pickle ~5x faster. WirePacket duck-types Packet for that field
+# set; bit parity with the in-process path is enforced by
+# tests/test_stream_sharded.py.
+
+
+class WirePacket:
+    """A decoded wire record, duck-typing ``Packet`` for NetStat."""
+
+    __slots__ = (
+        "timestamp", "src_mac", "src_ip", "dst_ip",
+        "src_port", "dst_port", "wire_len", "label", "attack_type",
+    )
+
+    def __init__(self, timestamp, src_mac, src_ip, dst_ip,
+                 src_port, dst_port, wire_len, label, attack_type) -> None:
+        self.timestamp = timestamp
+        self.src_mac = src_mac
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.wire_len = wire_len
+        self.label = label
+        self.attack_type = attack_type
+
+    @property
+    def ether(self):
+        # NetStat reads ``packet.ether.src_mac`` (guarding on None);
+        # exposing self keeps that path allocation-free.
+        return self if self.src_mac is not None else None
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+
+def _encode_packet(packet: Packet) -> tuple:
+    ether = packet.ether
+    return (
+        packet.timestamp,
+        ether.src_mac if ether is not None else None,
+        packet.src_ip,
+        packet.dst_ip,
+        packet.src_port,
+        packet.dst_port,
+        packet.wire_len,
+        packet.label,
+        packet.attack_type,
+    )
+
+
+def coverage_digest(emitted: Sequence[StreamScore]) -> str:
+    """Worker-count-invariant digest over *which* items were scored.
+
+    Hashes the sorted multiset of (timestamp, label, attack family) —
+    the fields that come from the packets, not from the model — so it
+    is identical across worker counts iff sharding lost or duplicated
+    nothing. Scores are deliberately excluded: the source-keyed NetStat
+    aggregations make scores shard-layout-dependent (the documented
+    tolerance), while coverage must never be.
+    """
+    rows = sorted(
+        (item.timestamp, -1 if item.label is None else item.label,
+         item.attack_type)
+        for item in emitted
+    )
+    digest = hashlib.sha256()
+    for timestamp, label, attack_type in rows:
+        digest.update(f"{timestamp!r}|{label}|{attack_type}\n".encode())
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------------------
+# Worker process.
+
+
+def _worker_main(worker_id, checkpoint_dir, inq, outq, fault,
+                 keep_checkpoints) -> None:
+    consumed = -1
+    try:
+        found = latest_stream_checkpoint(checkpoint_dir, worker_id)
+        if found is None:
+            raise RuntimeError(
+                f"worker {worker_id}: no valid checkpoint under "
+                f"{checkpoint_dir}"
+            )
+        _, checkpoint = found
+        detector = checkpoint.restore_detector()
+        consumed = checkpoint.consumed
+        slow_delay = 0.0
+        checkpoints_written = 0
+        busy_seconds = 0.0
+        while True:
+            message = inq.get()
+            kind = message[0]
+            if kind == "chunk":
+                emitted: list[StreamScore] = []
+                started = time.perf_counter()
+                for row in message[1]:
+                    consumed += 1
+                    if fault is not None and consumed == fault.at_packets:
+                        if fault.action == "kill":
+                            os.kill(os.getpid(), signal.SIGKILL)
+                        elif fault.action == "stall":
+                            time.sleep(fault.seconds)
+                        else:  # slow
+                            slow_delay = fault.per_packet_delay
+                    if slow_delay:
+                        time.sleep(slow_delay)
+                    emitted.extend(detector.process(WirePacket(*row)))
+                busy_seconds += time.perf_counter() - started
+                if emitted:
+                    outq.put(("scores", worker_id, emitted))
+            elif kind == "ckpt":
+                save_stream_checkpoint(
+                    checkpoint_dir, detector,
+                    worker_id=worker_id, consumed=consumed,
+                )
+                prune_stream_checkpoints(
+                    checkpoint_dir, worker_id, keep=keep_checkpoints
+                )
+                checkpoints_written += 1
+                outq.put(("ckpt_ok", worker_id, consumed))
+            elif kind == "eof":
+                started = time.perf_counter()
+                emitted = detector.finish()
+                busy_seconds += time.perf_counter() - started
+                if emitted:
+                    outq.put(("scores", worker_id, emitted))
+                outq.put(("done", worker_id, {
+                    "consumed": consumed,
+                    "items_scored": detector.items_scored,
+                    "checkpoints_written": checkpoints_written,
+                    "busy_seconds": busy_seconds,
+                }))
+                return
+            else:  # pragma: no cover - protocol bug guard
+                raise RuntimeError(f"unknown message kind {kind!r}")
+    except BaseException:
+        # Report, don't hang the merge queue: the supervisor treats a
+        # worker exception as fatal and re-raises with this traceback.
+        try:
+            outq.put(("error", worker_id, consumed, traceback.format_exc()))
+        finally:
+            raise
+
+
+# --------------------------------------------------------------------------
+# Supervisor.
+
+
+@dataclass
+class _WorkerState:
+    worker_id: int
+    process: multiprocessing.Process | None = None
+    inq: object = None
+    outq: object = None
+    sent: int = 0                 # absolute shard cursor dispatched
+    next_ckpt_at: int = 0         # send a ckpt marker when sent crosses
+    retained: list = field(default_factory=list)
+    retained_base: int = 0        # shard cursor of retained[0]
+    retained_peak: int = 0
+    pending: list = field(default_factory=list)
+    score_cursor: int = 0         # next expected StreamScore.index
+    accepted: int = 0
+    duplicates_dropped: int = 0
+    restarts: int = 0
+    fault: FaultInjection | None = None
+    eof_sent: bool = False
+    done: bool = False
+    telemetry: dict = field(default_factory=dict)
+    acked_consumed: int = 0
+
+
+class _WorkerFailed(RuntimeError):
+    """A worker raised (as opposed to died); carries its traceback."""
+
+
+def stream_capture_sharded(
+    source: PacketSource,
+    detector: StreamingDetector,
+    *,
+    workers: int,
+    warmup_packets: int,
+    threshold: float | None = None,
+    window_seconds: float = 10.0,
+    checkpoint_every: int = 5000,
+    checkpoint_dir: str | Path | None = None,
+    pace: float | None = None,
+    chunk_packets: int = 256,
+    queue_chunks: int = 8,
+    max_restarts: int = 3,
+    keep_checkpoints: int = 2,
+    on_window: WindowCallback | None = None,
+    fault: FaultInjection | None = None,
+) -> StreamReport:
+    """Stream ``source`` through ``workers`` sharded detector processes.
+
+    Semantics match :func:`~repro.stream.service.stream_capture`: train
+    on the first ``warmup_packets`` packets (in the supervisor — every
+    worker starts from one identical warmed snapshot), score the rest.
+    ``workers=1`` is bit-identical to the in-process path; at higher
+    counts coverage is exact and scores follow the sharding tolerance
+    documented in ``docs/STREAMING.md``.
+
+    The ``detector`` object itself is *not* advanced past warmup — the
+    workers own forked copies; the caller's instance stays at its
+    post-warmup state.
+    """
+    workers = int(check_positive("workers", workers))
+    checkpoint_every = int(check_positive("checkpoint_every", checkpoint_every))
+    chunk_packets = int(check_positive("chunk_packets", chunk_packets))
+    if warmup_packets < 0:
+        raise ValueError(f"warmup_packets must be >= 0, got {warmup_packets}")
+    if detector.unit != "packet":
+        raise ValueError(
+            "sharded streaming drives packet-level detectors; flow "
+            f"detectors ({detector.unit!r} unit) accumulate cross-flow "
+            "state that channel sharding does not preserve"
+        )
+    if threshold is None and not source.labelled:
+        raise ValueError(
+            "unlabelled sources need an explicit threshold "
+            "(no ground truth to standardise against)"
+        )
+    if pace is not None and pace <= 0:
+        raise ValueError(f"pace must be > 0, got {pace}")
+    if fault is not None and not 0 <= fault.worker < workers:
+        raise ValueError(
+            f"fault targets worker {fault.worker}, but there are only "
+            f"{workers} worker(s)"
+        )
+
+    created_dir = checkpoint_dir is None
+    if created_dir:
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-stream-ckpt-")
+    checkpoint_dir = Path(checkpoint_dir)
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context()
+
+    stream = iter(source)
+
+    # ---- Phase 1: warmup, exactly as the single-process path. --------
+    prefix: list[Packet] = []
+    while len(prefix) < warmup_packets:
+        try:
+            prefix.append(next(stream))
+        except StopIteration:
+            break
+    warmup_start = time.perf_counter()
+    detector.warmup(prefix)
+    warmup_seconds = time.perf_counter() - warmup_start
+
+    # ---- Phase 2: genesis checkpoints + spawn. -----------------------
+    states = [_WorkerState(worker_id=i) for i in range(workers)]
+    for state in states:
+        save_stream_checkpoint(
+            checkpoint_dir, detector,
+            worker_id=state.worker_id, consumed=0,
+            meta={"genesis": True},
+        )
+        state.next_ckpt_at = checkpoint_every
+        if fault is not None and state.worker_id == fault.worker:
+            state.fault = fault
+    merged: list[tuple[int, StreamScore]] = []
+    send_stalls = 0
+
+    def _handle(message) -> None:
+        nonlocal send_stalls
+        kind = message[0]
+        if kind == "scores":
+            _, worker_id, scores = message
+            state = states[worker_id]
+            for item in scores:
+                if item.index < state.score_cursor:
+                    state.duplicates_dropped += 1
+                    continue
+                state.score_cursor = item.index + 1
+                state.accepted += 1
+                merged.append((worker_id, item))
+        elif kind == "ckpt_ok":
+            _, worker_id, consumed = message
+            state = states[worker_id]
+            if consumed > state.retained_base:
+                del state.retained[: consumed - state.retained_base]
+                state.retained_base = consumed
+            state.acked_consumed = max(state.acked_consumed, consumed)
+        elif kind == "done":
+            _, worker_id, telemetry = message
+            states[worker_id].done = True
+            states[worker_id].telemetry = telemetry
+        elif kind == "error":
+            _, worker_id, consumed, trace = message
+            raise _WorkerFailed(
+                f"stream worker {worker_id} failed at shard packet "
+                f"{consumed}:\n{trace}"
+            )
+
+    def _pump() -> None:
+        # Each worker has its own result queue, so a killed worker can
+        # only ever corrupt its own channel, never a sibling's.
+        for state in states:
+            if state.outq is None or state.done:
+                continue
+            while True:
+                try:
+                    message = state.outq.get_nowait()
+                except queue_mod.Empty:
+                    break
+                _handle(message)
+
+    def _spawn(state: _WorkerState) -> None:
+        state.inq = ctx.Queue(maxsize=queue_chunks)
+        state.outq = ctx.Queue(maxsize=max(4, queue_chunks))
+        state.process = ctx.Process(
+            target=_worker_main,
+            args=(state.worker_id, checkpoint_dir, state.inq, state.outq,
+                  state.fault, keep_checkpoints),
+            daemon=True,
+        )
+        state.process.start()
+
+    def _on_death(state: _WorkerState) -> None:
+        exitcode = state.process.exitcode
+        state.process.join()
+        if exitcode is not None and exitcode >= 0:
+            # Graceful interpreter unwind: the queue feeder flushed
+            # completely, so the tail is safe to read — it carries the
+            # worker's error report (fatal) or its done message.
+            while True:
+                try:
+                    _handle(state.outq.get(timeout=0.2))
+                except queue_mod.Empty:
+                    break
+            if state.done:
+                return
+        # SIGKILLed (or died without a report). The dead incarnation
+        # may have been cut off mid-write, so its queue tail is not
+        # trustworthy: discard it unread. Replay re-emits any scores we
+        # never accepted, and the dedup cursor drops the rest.
+        state.outq.cancel_join_thread()
+        _restart(state)
+
+    def _restart(state: _WorkerState) -> None:
+        state.restarts += 1
+        if state.restarts > max_restarts:
+            raise RuntimeError(
+                f"stream worker {state.worker_id} died "
+                f"{state.restarts} times (max_restarts={max_restarts}); "
+                "giving up"
+            )
+        state.inq.cancel_join_thread()
+        found = latest_stream_checkpoint(checkpoint_dir, state.worker_id)
+        assert found is not None, "genesis checkpoint must exist"
+        _, checkpoint = found
+        resume_from = checkpoint.consumed
+        # The fault fires on an absolute cursor the replay will cross
+        # again; drop it unless the test asked for a crash loop.
+        if state.fault is not None and not state.fault.repeat_after_restart:
+            state.fault = None
+        _spawn(state)
+        # Replay retention from the checkpoint cursor. Retention covers
+        # [retained_base, sent) and the checkpoint can only be newer
+        # than the last *acked* one, so the slice is always in range.
+        replay = state.retained[resume_from - state.retained_base:]
+        was_eof = state.eof_sent
+        state.sent = resume_from
+        state.next_ckpt_at = (
+            resume_from // checkpoint_every + 1
+        ) * checkpoint_every
+        state.eof_sent = False
+        for start in range(0, len(replay), chunk_packets):
+            _dispatch(state, replay[start:start + chunk_packets],
+                      retain=False)
+        if was_eof:
+            _send(state, ("eof",))
+            state.eof_sent = True
+
+    def _send(state: _WorkerState, message) -> None:
+        nonlocal send_stalls
+        while True:
+            try:
+                state.inq.put(message, timeout=0.05)
+                return
+            except queue_mod.Full:
+                send_stalls += 1
+                _pump()
+                if state.process.exitcode is not None and not state.done:
+                    _on_death(state)
+
+    def _dispatch(state: _WorkerState, rows: list, *, retain: bool) -> None:
+        _send(state, ("chunk", rows))
+        if retain:
+            state.retained.extend(rows)
+            state.retained_peak = max(state.retained_peak,
+                                      len(state.retained))
+        state.sent += len(rows)
+        while state.sent >= state.next_ckpt_at:
+            _send(state, ("ckpt",))
+            state.next_ckpt_at += checkpoint_every
+
+    def _flush_pending(state: _WorkerState) -> None:
+        if state.pending:
+            rows, state.pending = state.pending, []
+            _dispatch(state, rows, retain=True)
+
+    def _check_liveness() -> None:
+        for state in states:
+            if (state.process is not None and not state.done
+                    and state.process.exitcode is not None):
+                _on_death(state)
+
+    packets_streamed = 0
+    stream_start: float | None = None
+    pace_origin: float | None = None
+
+    try:
+        for state in states:
+            _spawn(state)
+
+        # ---- Phase 3: dispatch. --------------------------------------
+        for packet in stream:
+            if stream_start is None:
+                stream_start = time.perf_counter()
+            if pace is not None:
+                if pace_origin is None:
+                    pace_origin = packet.timestamp
+                target = stream_start + (packet.timestamp - pace_origin) / pace
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            state = states[shard_for_packet(packet, workers)]
+            state.pending.append(_encode_packet(packet))
+            packets_streamed += 1
+            if len(state.pending) >= chunk_packets:
+                _flush_pending(state)
+                _pump()
+        if stream_start is None:
+            stream_start = time.perf_counter()
+
+        # ---- Phase 4: EOF + drain. -----------------------------------
+        for state in states:
+            _flush_pending(state)
+            _send(state, ("eof",))
+            state.eof_sent = True
+        while not all(state.done for state in states):
+            _pump()
+            _check_liveness()
+            if not all(state.done for state in states):
+                time.sleep(0.005)
+        stream_seconds = time.perf_counter() - stream_start
+        for state in states:
+            state.process.join()
+    except _WorkerFailed as error:
+        raise RuntimeError(str(error)) from None
+    finally:
+        for state in states:
+            process = state.process
+            if process is not None and process.exitcode is None:
+                process.terminate()
+                process.join(timeout=2.0)
+                if process.exitcode is None:  # pragma: no cover
+                    process.kill()
+                    process.join()
+        for state in states:
+            if state.inq is not None:
+                state.inq.cancel_join_thread()
+            if state.outq is not None:
+                state.outq.cancel_join_thread()
+
+    # ---- Phase 5: merge into one order-stable sink. ------------------
+    # Sort key (timestamp, shard, per-worker index) is deterministic
+    # across runs and across crash-resume: per-worker order is the
+    # worker's deterministic emission order, and cross-worker ties
+    # break by shard id.
+    merged.sort(key=lambda pair: (pair[1].timestamp, pair[0], pair[1].index))
+    emitted = [
+        dataclasses.replace(item, index=position)
+        for position, (_, item) in enumerate(merged)
+    ]
+
+    scores = np.array([item.score for item in emitted], dtype=np.float64)
+    labelled = source.labelled
+    y_true = (
+        np.array([item.label for item in emitted], dtype=int)
+        if labelled else None
+    )
+    if threshold is None:
+        assert y_true is not None
+        resolved = standard_threshold(y_true, scores, strategy="fpr-budget")
+        threshold_source = "posthoc:fpr-budget"
+    else:
+        resolved = float(threshold)
+        threshold_source = "fixed"
+
+    windows, alerter = _evaluate_stream(
+        emitted,
+        labelled=labelled,
+        threshold=resolved,
+        window_seconds=window_seconds,
+        on_window=on_window,
+    )
+
+    worker_rows = []
+    for state in states:
+        consumed = state.telemetry.get("consumed", 0)
+        busy = state.telemetry.get("busy_seconds", 0.0)
+        worker_rows.append({
+            "worker": state.worker_id,
+            "packets": consumed,
+            "items_scored": state.telemetry.get("items_scored", 0),
+            "pps": consumed / busy if busy > 0 else 0.0,
+            "busy_seconds": busy,
+            "checkpoints_written": state.telemetry.get(
+                "checkpoints_written", 0),
+            "checkpoint_age_packets": consumed - state.acked_consumed,
+            "restarts": state.restarts,
+            "duplicate_scores_dropped": state.duplicates_dropped,
+            "retained_peak": state.retained_peak,
+        })
+
+    if created_dir:
+        # Successful run: the scratch checkpoints have served their
+        # purpose. An explicit --checkpoint-dir is always kept.
+        for entry in checkpoint_dir.iterdir():
+            entry.unlink()
+        checkpoint_dir.rmdir()
+
+    return StreamReport(
+        ids_name=getattr(detector, "ids", detector).name,
+        source=source.describe(),
+        unit=detector.unit,
+        labelled=labelled,
+        batch_size=detector.batch_size,
+        window_seconds=window_seconds,
+        threshold=resolved,
+        threshold_source=threshold_source,
+        n_warmup=len(prefix),
+        n_scored=len(emitted),
+        packets_streamed=packets_streamed,
+        warmup_seconds=warmup_seconds,
+        stream_seconds=stream_seconds,
+        metrics=windows.overall(),
+        alert_rate=windows.alert_rate,
+        windows=windows.windows,
+        alerts=alerter.episodes,
+        scores=scores,
+        y_true=y_true,
+        notes={
+            "scoring_path": detector.scoring_path,
+            "sharded": True,
+            "workers_n": workers,
+            "shard_key": "canonical-channel",
+            "checkpoint_every": checkpoint_every,
+            "chunk_packets": chunk_packets,
+            "pace": pace,
+            "send_stalls": send_stalls,
+            "coverage_digest": coverage_digest(emitted),
+            "merged_score_digest": hashlib.sha256(
+                scores.tobytes()).hexdigest(),
+            "workers": worker_rows,
+        },
+    )

@@ -198,3 +198,98 @@ class TestTrainModeRoundTrip:
         rows = rng.uniform(0.0, 1.5, size=(20, 12))
         expected = np.array([net._execute(row) for row in rows])
         assert np.array_equal(loaded.process_batch(rows), expected)
+
+
+class TestStreamCheckpoints:
+    """The sharded engine's crash-resume substrate: atomic, integrity-
+    checked snapshots of a live streaming detector."""
+
+    @staticmethod
+    def _detector():
+        from tests.faultinject import ChannelMeanDetector
+        from tests.conftest import make_tcp_packet
+
+        detector = ChannelMeanDetector()
+        for i in range(25):
+            detector.process(make_tcp_packet(ts=float(i)))
+        return detector
+
+    def test_roundtrip_restores_identical_state(self, tmp_path):
+        from repro.ids.persistence import (load_stream_checkpoint,
+                                           save_stream_checkpoint)
+        from tests.conftest import make_tcp_packet
+
+        detector = self._detector()
+        path = save_stream_checkpoint(tmp_path, detector,
+                                      worker_id=3, consumed=25,
+                                      meta={"note": "unit"})
+        checkpoint = load_stream_checkpoint(path)
+        assert checkpoint.worker_id == 3
+        assert checkpoint.consumed == 25
+        assert checkpoint.emitted == detector.items_scored
+        assert checkpoint.meta == {"note": "unit"}
+        restored = checkpoint.restore_detector()
+        probe = make_tcp_packet(ts=99.0)
+        assert (restored.process(probe)[0].score
+                == detector.process(probe)[0].score)
+
+    def test_latest_prefers_the_newest_consumed_cursor(self, tmp_path):
+        from repro.ids.persistence import (latest_stream_checkpoint,
+                                           save_stream_checkpoint)
+
+        detector = self._detector()
+        for consumed in (10, 40, 25):
+            save_stream_checkpoint(tmp_path, detector, worker_id=0,
+                                   consumed=consumed)
+        save_stream_checkpoint(tmp_path, detector, worker_id=1,
+                               consumed=999)
+        path, checkpoint = latest_stream_checkpoint(tmp_path, 0)
+        assert checkpoint.consumed == 40
+        assert "worker0-" in path.name
+
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        from repro.ids.persistence import (CheckpointCorrupt,
+                                           latest_stream_checkpoint,
+                                           load_stream_checkpoint,
+                                           save_stream_checkpoint)
+
+        detector = self._detector()
+        save_stream_checkpoint(tmp_path, detector, worker_id=0,
+                               consumed=10)
+        newest = save_stream_checkpoint(tmp_path, detector, worker_id=0,
+                                        consumed=20)
+        blob = newest.read_bytes()
+        newest.write_bytes(blob[:-7] + b"garbage")
+        with pytest.raises(CheckpointCorrupt):
+            load_stream_checkpoint(newest)
+        found = latest_stream_checkpoint(tmp_path, 0)
+        assert found is not None
+        assert found[1].consumed == 10
+
+    def test_truncated_and_foreign_files_are_skipped(self, tmp_path):
+        from repro.ids.persistence import (latest_stream_checkpoint,
+                                           save_stream_checkpoint)
+
+        (tmp_path / "worker0-000000000099.ckpt").write_bytes(b"\x00" * 4)
+        (tmp_path / "not-a-checkpoint.txt").write_text("hello")
+        assert latest_stream_checkpoint(tmp_path, 0) is None
+        save_stream_checkpoint(tmp_path, self._detector(), worker_id=0,
+                               consumed=5)
+        assert latest_stream_checkpoint(tmp_path, 0)[1].consumed == 5
+
+    def test_prune_keeps_the_newest(self, tmp_path):
+        from repro.ids.persistence import (checkpoint_filename,
+                                           prune_stream_checkpoints,
+                                           save_stream_checkpoint)
+
+        detector = self._detector()
+        for consumed in (10, 20, 30, 40):
+            save_stream_checkpoint(tmp_path, detector, worker_id=0,
+                                   consumed=consumed)
+        removed = prune_stream_checkpoints(tmp_path, 0, keep=2)
+        assert removed == 2
+        kept = sorted(p.name for p in tmp_path.iterdir())
+        assert kept == [checkpoint_filename(0, 30),
+                        checkpoint_filename(0, 40)]
+        with pytest.raises(ValueError):
+            prune_stream_checkpoints(tmp_path, 0, keep=0)

@@ -204,3 +204,90 @@ class TestStreamCommand:
         payload = json.loads(out.read_text())
         assert payload["unit"] == "flow"
         assert payload["window_seconds"] == 600.0
+
+
+class TestShardedStreamCommand:
+    def test_dataset_mode_with_workers_reports_telemetry(
+            self, tmp_path, capsys):
+        out = tmp_path / "sharded.json"
+        code = main([
+            "stream", "--ids", "kitsune", "--dataset", "Mirai",
+            "--scale", "0.02", "--batch", "64", "--workers", "2",
+            "--checkpoint-every", "200", "--json", str(out), "--quiet",
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        # The default warmup must leave a test stream to score even at
+        # tiny scales (it is derived from the stream length, not the
+        # pcap-mode fixed 1000).
+        assert payload["n_scored"] > 0
+        assert payload["metrics"] is not None
+        notes = payload["notes"]
+        assert notes["sharded"] is True
+        assert notes["workers_n"] == 2
+        assert notes["shard_key"] == "canonical-channel"
+        assert notes["checkpoint_every"] == 200
+        assert notes["coverage_digest"]
+        rows = notes["workers"]
+        assert [row["worker"] for row in rows] == [0, 1]
+        for row in rows:
+            if row["packets"]:
+                assert row["pps"] > 0
+            assert row["restarts"] == 0
+        assert sum(row["packets"] for row in rows) == payload["n_scored"]
+
+    def test_sharded_json_matches_single_worker_parity(self, tmp_path):
+        # --workers 1 must go through the sharded engine yet reproduce
+        # the in-process run's coverage exactly; here we just pin that
+        # the gateable digest is present and stable across reruns.
+        outs = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            code = main([
+                "stream", "--ids", "kitsune", "--dataset", "Mirai",
+                "--scale", "0.02", "--batch", "64", "--workers", "1",
+                "--json", str(out), "--quiet",
+            ])
+            assert code == 0
+            outs.append(json.loads(out.read_text()))
+        assert (outs[0]["notes"]["coverage_digest"]
+                == outs[1]["notes"]["coverage_digest"])
+        assert (outs[0]["notes"]["merged_score_digest"]
+                == outs[1]["notes"]["merged_score_digest"])
+
+    def test_sharded_pcap_mode_requires_threshold(self, tmp_path, capsys):
+        from repro.datasets import generate_dataset
+
+        pcap = tmp_path / "tiny.pcap"
+        generate_dataset("Mirai", seed=0, scale=0.02).to_pcap(pcap)
+        code = main(["stream", "--ids", "Kitsune", "--pcap", str(pcap),
+                     "--workers", "2"])
+        assert code == 2
+        assert "--threshold" in capsys.readouterr().err
+
+    def test_sharded_flow_ids_is_a_clean_error(self, capsys):
+        code = main([
+            "stream", "--ids", "slips", "--dataset", "Mirai",
+            "--scale", "0.02", "--workers", "2", "--quiet",
+        ])
+        assert code == 2
+        assert "packet-level" in capsys.readouterr().err
+
+    def test_workers_flag_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stream", "--ids", "kitsune", "--dataset", "Mirai",
+                  "--workers", "0"])
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_explicit_checkpoint_dir_survives_the_run(self, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        ckpt_dir.mkdir()
+        code = main([
+            "stream", "--ids", "kitsune", "--dataset", "Mirai",
+            "--scale", "0.02", "--batch", "64", "--workers", "2",
+            "--checkpoint-every", "100",
+            "--checkpoint-dir", str(ckpt_dir), "--quiet",
+        ])
+        assert code == 0
+        kept = [p.name for p in ckpt_dir.iterdir()]
+        assert kept and all(name.endswith(".ckpt") for name in kept)

@@ -1,0 +1,194 @@
+"""Direct unit tests for the streaming service layer.
+
+``stream_capture``'s lifecycle contract — warmup on exactly the prefix,
+one ``process`` call per streamed packet, one ``finish`` at end of
+stream (the sink flush), typed errors instead of hangs — was previously
+only exercised through the CLI and parity suites; these tests pin it
+down at the unit level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.detector import StreamScore
+from repro.stream.service import stream_capture
+from repro.stream.sources import ListSource
+
+from tests.conftest import make_tcp_packet
+
+
+class RecordingDetector:
+    """Logs every lifecycle call; emits scores with a controllable lag.
+
+    ``hold_back`` scores stay buffered until ``finish`` — the stand-in
+    for a micro-batching detector whose tail only the end-of-stream
+    flush can drain.
+    """
+
+    name = "recorder"
+    unit = "packet"
+    scoring_path = "per-packet"
+
+    def __init__(self, hold_back: int = 0):
+        self.batch_size = 1
+        self.items_scored = 0
+        self.hold_back = hold_back
+        self.calls: list[str] = []
+        self.warmup_packets: list = []
+        self._buffer: list[StreamScore] = []
+        self.finished = 0
+
+    def warmup(self, packets) -> None:
+        self.calls.append("warmup")
+        self.warmup_packets = list(packets)
+
+    def process(self, packet):
+        self.calls.append("process")
+        score = StreamScore(
+            index=self.items_scored, timestamp=packet.timestamp,
+            score=float(packet.wire_len), label=packet.label,
+            attack_type=packet.attack_type,
+        )
+        self.items_scored += 1
+        self._buffer.append(score)
+        if len(self._buffer) > self.hold_back:
+            emitted, self._buffer = (self._buffer[:-self.hold_back
+                                                  or None],
+                                     self._buffer[-self.hold_back:]
+                                     if self.hold_back else [])
+            return emitted
+        return []
+
+    def finish(self):
+        self.calls.append("finish")
+        self.finished += 1
+        emitted, self._buffer = self._buffer, []
+        return emitted
+
+
+def _packets(n, *, label_from=None):
+    return [
+        make_tcp_packet(
+            ts=float(i), src="10.0.0.1", dst="10.0.0.2",
+            label=1 if label_from is not None and i >= label_from else 0,
+        )
+        for i in range(n)
+    ]
+
+
+class TestLifecycle:
+    def test_warmup_gets_exactly_the_prefix_then_one_process_per_packet(
+            self):
+        detector = RecordingDetector()
+        stream_capture(ListSource(_packets(10)), detector,
+                       warmup_packets=4, threshold=1.0)
+        assert detector.calls[0] == "warmup"
+        assert [p.timestamp for p in detector.warmup_packets] == [
+            0.0, 1.0, 2.0, 3.0]
+        assert detector.calls.count("process") == 6
+        assert detector.calls[-1] == "finish"
+        assert detector.finished == 1
+
+    def test_report_counts_reflect_the_split(self):
+        report = stream_capture(
+            ListSource(_packets(10)), RecordingDetector(),
+            warmup_packets=4, threshold=1.0,
+        )
+        assert report.n_warmup == 4
+        assert report.packets_streamed == 6
+        assert report.n_scored == 6
+
+    def test_finish_flushes_held_back_scores_into_the_sink(self):
+        # 3 scores ride the end-of-stream flush; the report must still
+        # see every streamed packet exactly once, in timestamp order.
+        detector = RecordingDetector(hold_back=3)
+        report = stream_capture(
+            ListSource(_packets(12)), detector,
+            warmup_packets=2, threshold=1e9, window_seconds=4.0,
+        )
+        assert report.n_scored == 10
+        assert sum(w.items for w in report.windows) == 10
+
+    def test_entirely_prefixed_capture_still_warms_up(self):
+        detector = RecordingDetector()
+        report = stream_capture(ListSource(_packets(3)), detector,
+                                warmup_packets=8, threshold=1.0)
+        assert detector.finished == 1
+        assert len(detector.warmup_packets) == 3
+        assert report.n_warmup == 3
+        assert report.n_scored == 0
+
+    def test_empty_source_yields_an_empty_report(self):
+        report = stream_capture(ListSource([]), RecordingDetector(),
+                                warmup_packets=0, threshold=1.0)
+        assert report.n_scored == 0
+        assert report.scores.size == 0
+        assert report.windows == []
+        assert report.alerts == []
+
+    def test_on_window_fires_per_closed_window(self):
+        seen = []
+        stream_capture(
+            ListSource(_packets(12)), RecordingDetector(),
+            warmup_packets=0, threshold=1e9, window_seconds=3.0,
+            on_window=seen.append,
+        )
+        assert len(seen) >= 2
+        assert [w.index for w in seen] == sorted(w.index for w in seen)
+
+
+class TestErrorPropagation:
+    def test_detector_failure_propagates(self):
+        class Exploding(RecordingDetector):
+            def process(self, packet):
+                raise RuntimeError("detector blew up")
+
+        with pytest.raises(RuntimeError, match="detector blew up"):
+            stream_capture(ListSource(_packets(5)), Exploding(),
+                           warmup_packets=1, threshold=1.0)
+
+    def test_source_failure_mid_iteration_propagates(self):
+        class PoisonedSource(ListSource):
+            def __iter__(self):
+                for i, packet in enumerate(super().__iter__()):
+                    if i == 3:
+                        raise OSError("capture truncated")
+                    yield packet
+
+        with pytest.raises(OSError, match="capture truncated"):
+            stream_capture(PoisonedSource(_packets(6)),
+                           RecordingDetector(),
+                           warmup_packets=1, threshold=1.0)
+
+    def test_unlabelled_source_requires_threshold(self):
+        source = ListSource(_packets(5), labelled=False)
+        with pytest.raises(ValueError, match="explicit threshold"):
+            stream_capture(source, RecordingDetector(),
+                           warmup_packets=1)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError, match="warmup_packets"):
+            stream_capture(ListSource(_packets(3)),
+                           RecordingDetector(), warmup_packets=-1,
+                           threshold=1.0)
+
+
+class TestThresholding:
+    def test_posthoc_threshold_separates_the_labelled_tail(self):
+        # Scores equal wire_len; labelled packets are the same size, so
+        # use a big-payload attack tail to split scores cleanly.
+        packets = [
+            make_tcp_packet(ts=float(i), src="10.0.0.1",
+                            dst="10.0.0.2",
+                            payload=b"x" * (500 if i >= 8 else 0),
+                            label=1 if i >= 8 else 0)
+            for i in range(12)
+        ]
+        report = stream_capture(ListSource(packets),
+                                RecordingDetector(),
+                                warmup_packets=0)
+        assert report.threshold_source == "posthoc:fpr-budget"
+        alerts = report.scores >= report.threshold
+        assert np.array_equal(alerts, report.y_true.astype(bool))

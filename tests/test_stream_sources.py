@@ -88,3 +88,60 @@ class TestMixedSource:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             MixedSource([])
+
+
+class TestEdgeCases:
+    """Degenerate inputs the live path must survive, not hang on."""
+
+    def test_zero_packet_pcap_replays_as_empty(self, tmp_path):
+        from repro.net.pcap import write_pcap
+
+        path = tmp_path / "empty.pcap"
+        assert write_pcap(path, []) == 0
+        source = PcapReplaySource(path)
+        assert list(source) == []
+        assert list(source) == []  # still restartable
+        assert not source.labelled
+        assert "empty.pcap" in source.describe()
+
+    def test_zero_packet_pcap_streams_to_an_empty_report(self, tmp_path):
+        from repro.net.pcap import write_pcap
+        from repro.stream.service import stream_capture
+        from tests.test_stream_service import RecordingDetector
+
+        path = tmp_path / "empty.pcap"
+        write_pcap(path, [])
+        report = stream_capture(PcapReplaySource(path),
+                                RecordingDetector(),
+                                warmup_packets=0, threshold=1.0)
+        assert report.n_scored == 0
+        assert report.packets_streamed == 0
+
+    def test_mixed_source_of_exhausted_parts_merges_to_empty(self):
+        mixed = MixedSource([ListSource([], name="a"),
+                             ListSource([], name="b")])
+        assert list(mixed) == []
+        assert list(mixed) == []  # the merge is restartable too
+
+    def test_mixed_source_with_one_empty_part_passes_the_other_through(
+            self):
+        full = ListSource(_packets([0.0, 1.0]), name="full")
+        mixed = MixedSource([ListSource([], name="empty"), full])
+        assert [p.timestamp for p in mixed] == [0.0, 1.0]
+
+    def test_mixed_source_propagates_a_mid_iteration_failure(self):
+        class PoisonedSource(ListSource):
+            def __iter__(self):
+                yield from super().__iter__()
+                raise OSError("capture interface vanished")
+
+        mixed = MixedSource([
+            PoisonedSource(_packets([0.0, 2.0]), name="bad"),
+            ListSource(_packets([1.0, 3.0]), name="good"),
+        ])
+        drained = []
+        with pytest.raises(OSError, match="interface vanished"):
+            for packet in mixed:
+                drained.append(packet.timestamp)
+        # Everything up to the failure point was still merged in order.
+        assert drained == sorted(drained)
