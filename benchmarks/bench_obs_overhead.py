@@ -1,0 +1,130 @@
+"""Gates the obs layer's hot-path cost: instrumented vs disabled.
+
+The observability contract (``docs/OBSERVABILITY.md``) is that
+disabled-by-default instrumentation costs the streaming hot path one
+branch. This bench measures it end to end: the same Kitsune capture
+session over the Mirai replay, three alternating rounds per arm
+(obs disabled / obs enabled), comparing min-of-rounds stream time.
+Scores must be bit-identical across arms — instrumentation may never
+perturb results — and at calibrated scale the enabled arm must stay
+within ``OVERHEAD_CEILING`` (3%) of the disabled arm::
+
+    PYTHONPATH=src pytest benchmarks/bench_obs_overhead.py -s --scale 0.05
+
+Tiny smoke scales run the parity gate but not the overhead ceiling:
+sub-second streams are timer-noise-bound, not instrumentation-bound.
+The measured ratio always lands in ``BENCH_obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+from repro import obs
+from repro.stream.detector import build_streaming_detector
+from repro.stream.service import stream_capture
+from repro.stream.sources import DatasetSource
+
+from benchmarks.conftest import save_bench_json, save_result, scale_or
+
+DEFAULT_SCALE = 1.0
+SEED = 0
+DATASET = "Mirai"
+BATCH = 256
+ROUNDS = 3
+OVERHEAD_CEILING = 0.03
+GATE_MIN_SCALE = 1.0
+
+
+@lru_cache(maxsize=2)
+def _packets(scale: float) -> int:
+    from repro.datasets.registry import generate_dataset_uncached
+
+    return len(generate_dataset_uncached(DATASET, seed=SEED,
+                                         scale=scale).packets)
+
+
+def _warmup(scale: float) -> int:
+    # Cap warmup so the measured execute phase dominates the session.
+    return max(200, min(2000, _packets(scale) // 2))
+
+
+def _one_round(scale: float, *, enabled: bool) -> tuple[float, str]:
+    """One full capture session; returns (stream_seconds, score digest)."""
+    obs.reset_registry()
+    if enabled:
+        obs.enable()
+    else:
+        obs.disable()
+    try:
+        report = stream_capture(
+            DatasetSource(DATASET, seed=SEED, scale=scale),
+            build_streaming_detector(
+                "Kitsune", seed=SEED, batch_size=BATCH,
+                warmup_packets=_warmup(scale),
+            ),
+            warmup_packets=_warmup(scale),
+            window_seconds=30.0,
+        )
+    finally:
+        obs.disable()
+    digest = hashlib.sha256(report.scores.tobytes()).hexdigest()
+    return report.stream_seconds, digest
+
+
+def test_obs_overhead(bench_scale):
+    scale = scale_or(bench_scale, DEFAULT_SCALE)
+    _one_round(scale, enabled=False)  # warm caches / first-touch JIT
+
+    off: list[float] = []
+    on: list[float] = []
+    digests: set[str] = set()
+    # Alternate arms so drift (thermal, page cache) hits both equally.
+    for _ in range(ROUNDS):
+        seconds, digest = _one_round(scale, enabled=False)
+        off.append(seconds)
+        digests.add(digest)
+        seconds, digest = _one_round(scale, enabled=True)
+        on.append(seconds)
+        digests.add(digest)
+
+    assert len(digests) == 1, (
+        "obs instrumentation changed the scores — the observability "
+        "layer must be side-effect-free on results"
+    )
+
+    best_off, best_on = min(off), min(on)
+    ratio = (best_on - best_off) / best_off
+    lines = [
+        f"obs overhead @ scale={scale} dataset={DATASET} "
+        f"batch={BATCH} rounds={ROUNDS}",
+        f"  disabled  min {best_off:8.3f}s  rounds "
+        + " ".join(f"{s:.3f}" for s in off),
+        f"  enabled   min {best_on:8.3f}s  rounds "
+        + " ".join(f"{s:.3f}" for s in on),
+        f"  overhead  {ratio * 100:+.2f}% (ceiling "
+        f"{OVERHEAD_CEILING * 100:.0f}% at scale>={GATE_MIN_SCALE})",
+    ]
+    save_result("obs_overhead", "\n".join(lines))
+    save_bench_json(
+        "obs_overhead", metric="overhead_ratio", value=round(ratio, 4),
+        scale=scale, dataset=DATASET, batch=BATCH, rounds=ROUNDS,
+        disabled_seconds=round(best_off, 4),
+        enabled_seconds=round(best_on, 4),
+        ceiling=OVERHEAD_CEILING,
+        gated=scale >= GATE_MIN_SCALE,
+        scores_identical=True,
+    )
+
+    if scale >= GATE_MIN_SCALE:
+        assert ratio <= OVERHEAD_CEILING, (
+            f"enabled obs costs {ratio * 100:.2f}% on the streaming hot "
+            f"path, above the {OVERHEAD_CEILING * 100:.0f}% ceiling"
+        )
+    else:
+        # Smoke scales: the arms must at least be the same order.
+        assert best_on < 2.0 * best_off, (
+            f"enabled obs doubled the smoke-scale stream time "
+            f"({best_on:.3f}s vs {best_off:.3f}s)"
+        )

@@ -126,12 +126,18 @@ def save_bench_json(
     CI uploads these files as artifacts and any regression tooling can
     diff them across revisions via the embedded git rev.
     """
+    from repro import obs
+
     payload = {
         "bench": name,
         "metric": metric,
         "value": value,
         "scale": scale,
         "git_rev": _git_rev(),
+        "run_id": obs.run_id(),
+        # The bench process's own obs snapshot (cache hit/miss counters,
+        # cpu count, ...) — context for interpreting the headline number.
+        "obs": obs.process_snapshot(),
         **extra,
     }
     path = REPO_ROOT / f"BENCH_{name}.json"

@@ -287,6 +287,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     sharded = args.workers is not None
 
+    exporter = None
+    if args.metrics_out:
+        from repro import obs
+
+        exporter = obs.SnapshotExporter(
+            args.metrics_out,
+            interval_seconds=args.metrics_interval,
+            source="stream-sharded" if sharded else "stream",
+        )
+
     def run_sharded(source, detector, threshold, warmup_packets):
         return stream_capture_sharded(
             source,
@@ -299,6 +309,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             pace=args.pace,
             on_window=live_window,
+            exporter=exporter,
         )
 
     if args.pcap:
@@ -325,6 +336,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                     threshold=args.threshold,
                     window_seconds=args.window,
                     on_window=live_window,
+                    exporter=exporter,
                 )
         except ValueError as error:
             # e.g. a supervised IDS over an unlabelled capture, or a
@@ -394,11 +406,44 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             window_seconds=args.window,
             threshold=args.threshold,
             on_window=live_window,
+            exporter=exporter,
         )
+    if exporter is not None:
+        exporter.close()
     print()
     print(report.render_summary())
+    if exporter is not None:
+        print(f"obs: metric snapshots written to {exporter.path}")
     if args.json:
         _write_json(args.json, report.to_dict())
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if len(args.files) > 2:
+        print("error: obs-report takes one file (render) or two (diff)",
+              file=sys.stderr)
+        return 2
+    try:
+        loaded = [obs.read_snapshots(path) for path in args.files]
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for path, snapshots in zip(args.files, loaded):
+        if not snapshots:
+            print(f"error: {path}: no snapshots", file=sys.stderr)
+            return 2
+    if len(loaded) == 2:
+        print(obs.diff_snapshots(loaded[0][-1], loaded[1][-1]))
+        return 0
+    snapshots = loaded[0] if args.all else [loaded[0][-1]]
+    render = obs.render_prometheus if args.prom else obs.render_snapshot
+    for i, snapshot in enumerate(snapshots):
+        if i:
+            print()
+        print(render(snapshot))
     return 0
 
 
@@ -641,6 +686,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="sharded mode: replay at this multiple of "
                                "capture time (1.0 = wall-clock pacing; "
                                "default: as fast as possible)")
+    p_stream.add_argument("--metrics-out",
+                          help="export periodic obs metric snapshots to "
+                               "this JSONL file (enables the obs layer "
+                               "for the run; inspect with repro-cli "
+                               "obs-report)")
+    p_stream.add_argument("--metrics-interval", type=_parse_duration,
+                          default=5.0,
+                          help="minimum time between metric snapshots "
+                               "(e.g. 2s, 1m; default 5s). A final "
+                               "snapshot is always written at end of "
+                               "run")
     p_stream.add_argument("--json", help="write the stream report to "
                                          "this path as JSON")
     p_stream.add_argument("--quiet", action="store_true",
@@ -685,6 +741,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--json", help="write the profile to this "
                                           "path as JSON")
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_obs = sub.add_parser(
+        "obs-report",
+        help="pretty-print or diff obs metric snapshot files "
+             "(the JSONL written by stream --metrics-out)",
+    )
+    p_obs.add_argument("files", nargs="+",
+                       help="one snapshot file to render (the last "
+                            "snapshot by default), or two files to "
+                            "diff (last snapshot of each)")
+    p_obs.add_argument("--all", action="store_true",
+                       help="render every snapshot in the file, not "
+                            "just the last one")
+    p_obs.add_argument("--prom", action="store_true",
+                       help="emit Prometheus text exposition instead "
+                            "of the human-readable report")
+    p_obs.set_defaults(func=_cmd_obs_report)
 
     p_cache = sub.add_parser("cache",
                              help="inspect or trim an on-disk cache")

@@ -13,6 +13,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.features.normalize import OnlineMinMaxScaler
 from repro.ids.kitsune.feature_mapper import FeatureMapper
 from repro.ml.autoencoder import Autoencoder
@@ -129,6 +130,8 @@ class KitNET:
             rng=self._rng.child("output"),
         )
         self._output_scaler = OnlineMinMaxScaler(len(groups))
+        if obs.is_enabled():
+            obs.gauge("ml.kitnet.ensemble_groups").set(len(groups))
 
     def process(self, row: np.ndarray) -> float:
         """Feed one instance; returns its anomaly score (0.0 while the
@@ -191,6 +194,7 @@ class KitNET:
             )
         # Weights are about to move: drop any packed snapshot so the
         # batched execute path rebuilds from the post-update ensemble.
+        self._record_training(1)
         self._batched_ensemble = None
         scaled = self.scaler.fit_transform(row)
         rmses = self._group_rmses(scaled, train=True)
@@ -200,6 +204,26 @@ class KitNET:
         if self.samples_seen == self.fm_grace + self.ad_grace - 1:
             self._finish_training()
         return score
+
+    def _record_training(self, rows: int) -> None:
+        """Obs bookkeeping for a training step (no-op when disabled).
+
+        ``ml.kitnet.batch_invalidations`` counts the packed execute
+        scorer being thrown away by a weight update — a rebuild-churn
+        signal when training and execution interleave.
+        """
+        if not obs.is_enabled():
+            return
+        registry = obs.get_registry()
+        registry.counter("ml.kitnet.rows_trained").inc(rows)
+        if self._batched_ensemble is not None:
+            registry.counter("ml.kitnet.batch_invalidations").inc()
+        if self.ad_grace:
+            trained = min(max(self.samples_seen - self.fm_grace, 0),
+                          self.ad_grace)
+            registry.gauge("ml.kitnet.grace_progress").set(
+                trained / self.ad_grace
+            )
 
     # -- batched / parallel training --------------------------------------
     def _minibatch_trainer(self):
@@ -245,6 +269,7 @@ class KitNET:
         group's RMSE matrix the same way. Scores are the pre-update
         RMSEs, as in online mode.
         """
+        self._record_training(matrix.shape[0])
         self._batched_ensemble = None
         assert self._output_scaler is not None and self.output_layer is not None
         trainer = self._minibatch_trainer()
@@ -272,6 +297,7 @@ class KitNET:
         its sequential per-row loop. Every float operation matches the
         reference loop, so scores and final weights are bit-identical.
         """
+        self._record_training(matrix.shape[0])
         self._batched_ensemble = None
         assert self._output_scaler is not None and self.output_layer is not None
         scaled = self.scaler.fit_transform_running(matrix)
@@ -322,6 +348,8 @@ class KitNET:
                 self.ensemble, self._group_arrays(), self.output_layer
             )
             self._batched_ensemble = packed
+            if obs.is_enabled():
+                obs.counter("ml.kitnet.batched_builds").inc()
         return packed
 
     def _as_matrix(self, matrix: np.ndarray) -> np.ndarray:

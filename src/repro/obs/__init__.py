@@ -1,0 +1,88 @@
+"""repro.obs — the unified observability layer.
+
+One vocabulary for every subsystem's telemetry: named **counters**,
+**gauges** and fixed-bucket **histograms** in a process-local
+:class:`~repro.obs.registry.MetricsRegistry`; nestable low-overhead
+**spans** (``with obs.span("stream.warmup"): ...``); a periodic JSONL
+:class:`~repro.obs.export.SnapshotExporter` (plus Prometheus text
+rendering); and deterministic cross-process aggregation
+(:func:`merge_snapshots`) used by the sharded streaming supervisor to
+fold worker registries into one tree keyed by worker id.
+
+Everything is **disabled by default**: instrumented hot paths pay one
+``obs.is_enabled()`` branch and nothing else (gated at ≤3% enabled
+overhead by ``benchmarks/bench_obs_overhead.py``). Cheap once-per-cell
+or once-per-chunk sites (runner cache stats, sharded worker totals)
+record unconditionally so snapshots are useful even without opting in.
+
+Metric naming convention (see ``docs/OBSERVABILITY.md``): dotted
+lowercase ``<subsystem>.<component>.<metric>`` — ``stream.*`` for the
+streaming service, ``stream.worker.*`` / ``stream.shard.*`` for the
+sharded engine's worker/supervisor sides, ``runner.*`` for the
+experiment engine, ``ml.kitnet.*`` for KitNET training internals.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    packets = obs.counter("stream.packets_streamed")
+    packets.inc()
+    with obs.span("stream.warmup"):
+        detector.warmup(prefix)
+    print(obs.process_snapshot()["counters"])
+"""
+
+from repro.obs.export import (
+    SnapshotExporter,
+    read_snapshots,
+    render_prometheus,
+)
+from repro.obs.registry import (
+    HISTOGRAM_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    disable,
+    enable,
+    gauge,
+    get_registry,
+    histogram,
+    is_enabled,
+    merge_snapshots,
+    process_snapshot,
+    reset_registry,
+    run_id,
+)
+from repro.obs.report import diff_snapshots, render_snapshot
+from repro.obs.spans import NULL_SPAN, Span, span, traced
+
+__all__ = [
+    "HISTOGRAM_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SnapshotExporter",
+    "Span",
+    "counter",
+    "diff_snapshots",
+    "disable",
+    "enable",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "is_enabled",
+    "merge_snapshots",
+    "process_snapshot",
+    "read_snapshots",
+    "render_prometheus",
+    "render_snapshot",
+    "reset_registry",
+    "run_id",
+    "span",
+    "traced",
+]

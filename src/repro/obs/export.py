@@ -1,0 +1,175 @@
+"""Snapshot export: periodic JSONL and Prometheus text rendering.
+
+:class:`SnapshotExporter` writes :func:`~repro.obs.registry.process_snapshot`
+dicts either to a JSONL file (one snapshot per line, keys sorted) or to
+a callback. ``maybe_export`` is the cheap periodic hook instrumented
+loops call at batch/chunk boundaries — it returns immediately unless
+``interval_seconds`` have elapsed since the last export — and a final
+unconditional ``export`` closes every run, so even sub-interval runs
+leave one snapshot. The snapshot schema is documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs import registry as _registry_mod
+
+__all__ = ["SnapshotExporter", "read_snapshots", "render_prometheus"]
+
+
+class SnapshotExporter:
+    """Periodic registry-snapshot exporter (JSONL file or callback).
+
+    Parameters
+    ----------
+    sink:
+        A path (JSONL file, truncated on first export) or a callable
+        invoked with each snapshot dict.
+    interval_seconds:
+        Minimum seconds between ``maybe_export`` emissions.
+    registry:
+        Registry to snapshot; defaults to the process default registry
+        (resolved at export time, so it tracks ``reset_registry``).
+    source:
+        Free-form origin tag stamped into each snapshot
+        (``"stream"``, ``"stream-sharded"``, ...).
+    """
+
+    def __init__(self, sink, *, interval_seconds: float = 5.0,
+                 registry=None, source: str = "process") -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be > 0, got {interval_seconds}"
+            )
+        self.interval_seconds = float(interval_seconds)
+        self.source = source
+        self.seq = 0
+        self._registry = registry
+        self._callback = sink if callable(sink) else None
+        self._path = None if callable(sink) else Path(sink)
+        self._fh = None
+        self._origin = time.monotonic()
+        self._last_export = self._origin
+
+    @property
+    def path(self) -> Path | None:
+        return self._path
+
+    def maybe_export(self, extra=None) -> bool:
+        """Export if the interval elapsed; the steady-state no-op path
+        is one clock read and one comparison. ``extra`` may be a dict
+        merged into the snapshot or a zero-argument callable producing
+        one (only invoked when an export actually happens)."""
+        if time.monotonic() - self._last_export < self.interval_seconds:
+            return False
+        self.export(extra)
+        return True
+
+    def export(self, extra=None) -> dict:
+        """Unconditionally snapshot and write; returns the snapshot."""
+        now = time.monotonic()
+        snapshot = _registry_mod.process_snapshot(self._registry)
+        snapshot["seq"] = self.seq
+        snapshot["elapsed_seconds"] = now - self._origin
+        snapshot["source"] = self.source
+        if extra is not None:
+            if callable(extra):
+                extra = extra()
+            snapshot.update(extra)
+        self.seq += 1
+        self._last_export = now
+        if self._callback is not None:
+            self._callback(snapshot)
+        else:
+            if self._fh is None:
+                self._fh = open(self._path, "w", encoding="utf-8")
+            self._fh.write(json.dumps(snapshot, sort_keys=True) + "\n")
+            self._fh.flush()
+        return snapshot
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SnapshotExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_snapshots(path) -> list[dict]:
+    """Parse a JSONL snapshot file back into dicts (blank lines ok)."""
+    snapshots = []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                snapshots.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_no}: not a JSON snapshot line: {error}"
+                ) from None
+    return snapshots
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    sanitized = name.replace(".", "_").replace("-", "_").replace("/", "_")
+    return f"{prefix}_{sanitized}"
+
+
+def render_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
+    """Render one snapshot as Prometheus text-exposition lines.
+
+    Histograms render cumulatively with their fixed ``le`` bounds;
+    span aggregates render as ``<prefix>_span_seconds_total`` /
+    ``<prefix>_span_count`` with a ``span`` label. A sharded
+    supervisor snapshot's ``merged`` worker tree is folded in (metrics
+    summed/maxed by :func:`~repro.obs.registry.merge_snapshots`), so
+    one exposition covers the whole process tree.
+    """
+    if "merged" in snapshot:
+        snapshot = _registry_mod.merge_snapshots(
+            [snapshot, snapshot["merged"]]
+        )
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value:g}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value:g}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for label, count in hist["buckets"].items():
+            if label == "+Inf":
+                continue
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{label}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {hist['sum']:g}")
+        lines.append(f"{metric}_count {hist['count']}")
+    spans = snapshot.get("spans", {})
+    if spans:
+        seconds_metric = f"{prefix}_span_seconds_total"
+        count_metric = f"{prefix}_span_count"
+        lines.append(f"# TYPE {seconds_metric} counter")
+        lines.append(f"# TYPE {count_metric} counter")
+        for path, entry in spans.items():
+            lines.append(
+                f'{seconds_metric}{{span="{path}"}} {entry["seconds"]:g}'
+            )
+            lines.append(f'{count_metric}{{span="{path}"}} {entry["count"]}')
+    return "\n".join(lines)

@@ -1,0 +1,376 @@
+"""The process-local metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` per process holds every named metric.
+Histograms use *fixed* base-2 log-scale buckets (``2**-30 .. 2**30``),
+so two registries that observed the same values always produce the
+same bucket labels — which is what makes :func:`merge_snapshots`
+deterministic across processes and runs.
+
+Merge semantics (enforced by ``tests/test_obs.py``):
+
+* counters, histogram buckets/sums/counts and span totals **add**;
+* gauges take the **max** (a gauge is a level, not a flow — the merged
+  tree reports the worst/furthest level any process reached);
+* metric names sort lexicographically in every snapshot, so merged
+  output is byte-stable regardless of arrival order.
+
+The module also owns the process-wide observability state: the default
+registry, the enabled flag (one branch on the hot path when off), and
+the ``run_id`` — a short random hex stamped into every snapshot,
+:class:`~repro.stream.service.StreamReport` and
+:class:`~repro.runner.telemetry.RunTelemetry` so artifacts from one
+invocation can be joined after the fact. The id comes from
+``os.urandom``, deliberately *exempt* from :mod:`repro.utils.rng`
+seeding: it identifies an invocation and never influences results.
+Forked workers inherit it (same invocation), but must call
+:func:`reset_registry` so inherited metric values are not double
+counted when the supervisor merges their snapshots.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from typing import Iterable
+
+__all__ = [
+    "HISTOGRAM_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "disable",
+    "enable",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "is_enabled",
+    "merge_snapshots",
+    "process_snapshot",
+    "reset_registry",
+    "run_id",
+]
+
+#: Fixed histogram bucket upper bounds: powers of two spanning ~1 ns to
+#: ~1 Gi-unit. Fixed boundaries (rather than adaptive ones) are what
+#: make cross-process histogram merges exact: equal values always land
+#: in equally-labelled buckets.
+HISTOGRAM_BOUNDS: tuple[float, ...] = tuple(2.0 ** e for e in range(-30, 31))
+
+_BUCKET_LABELS: tuple[str, ...] = tuple(
+    f"{bound:.9g}" for bound in HISTOGRAM_BOUNDS
+) + ("+Inf",)
+
+#: Label -> position, for ordering sparse bucket dicts numerically.
+_LABEL_ORDER: dict[str, int] = {
+    label: index for index, label in enumerate(_BUCKET_LABELS)
+}
+
+
+class Counter:
+    """A monotonically increasing count (float-capable, e.g. seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level; merge takes the max across processes."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution over fixed base-2 log-scale buckets.
+
+    ``observe(v)`` lands ``v`` in the first bucket whose upper bound is
+    ``>= v`` (Prometheus ``le`` semantics); values beyond the largest
+    bound go to ``+Inf``. The snapshot keeps only non-empty buckets.
+    """
+
+    __slots__ = ("name", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counts = [0] * (len(HISTOGRAM_BOUNDS) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(HISTOGRAM_BOUNDS, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot_value(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                label: count
+                for label, count in zip(_BUCKET_LABELS, self.counts)
+                if count
+            },
+        }
+
+
+class MetricsRegistry:
+    """All named metrics of one process, plus recorded span totals.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the live metric object — hot paths cache the handle and call
+    ``inc``/``observe`` directly. One name maps to exactly one metric
+    type; re-registering under a different type raises.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_spans")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        # span path -> [count, total_seconds]
+        self._spans: dict[str, list] = {}
+
+    def _check_unclaimed(self, name: str, kind: str) -> None:
+        for table, other in (
+            (self._counters, "counter"),
+            (self._gauges, "gauge"),
+            (self._histograms, "histogram"),
+        ):
+            if name in table:
+                raise ValueError(
+                    f"metric {name!r} is already a {other}; "
+                    f"cannot re-register as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_unclaimed(name, "counter")
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_unclaimed(name, "gauge")
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_unclaimed(name, "histogram")
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def record_span(self, path: str, seconds: float) -> None:
+        entry = self._spans.get(path)
+        if entry is None:
+            self._spans[path] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable registry state, keys sorted for stability."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+                if self._gauges[name].value is not None
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot_value()
+                for name in sorted(self._histograms)
+            },
+            "spans": {
+                path: {"count": entry[0], "seconds": entry[1]}
+                for path, entry in sorted(self._spans.items())
+            },
+        }
+
+    def clear(self) -> None:
+        """Drop every metric (cached handles go stale — re-fetch)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._spans.clear()
+
+
+# --------------------------------------------------------------------------
+# Process-wide state.
+
+_enabled = False
+_registry = MetricsRegistry()
+_run_id: str | None = None
+
+
+def is_enabled() -> bool:
+    """Whether instrumented hot paths should record (one branch off)."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def get_registry() -> MetricsRegistry:
+    return _registry
+
+
+def reset_registry() -> MetricsRegistry:
+    """Swap in a fresh default registry and return it.
+
+    Forked workers call this at startup so metrics inherited from the
+    parent (supervisor warmup, earlier work) are not double counted in
+    merged trees. The enabled flag and ``run_id`` are kept — they
+    describe the invocation, not the process's metric state.
+    """
+    global _registry
+    _registry = MetricsRegistry()
+    return _registry
+
+
+def counter(name: str) -> Counter:
+    """``Counter`` on the default registry (create on first use)."""
+    return _registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """``Gauge`` on the default registry (create on first use)."""
+    return _registry.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """``Histogram`` on the default registry (create on first use)."""
+    return _registry.histogram(name)
+
+
+def run_id() -> str:
+    """This process's 8-hex-char invocation id (seeded-RNG-exempt)."""
+    global _run_id
+    if _run_id is None:
+        _run_id = os.urandom(4).hex()
+    return _run_id
+
+
+def process_snapshot(registry: MetricsRegistry | None = None) -> dict:
+    """A registry snapshot plus process context (run id, pid, cpus)."""
+    target = registry if registry is not None else _registry
+    snapshot = {
+        "run_id": run_id(),
+        "pid": os.getpid(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    snapshot.update(target.snapshot())
+    return snapshot
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Deterministically merge registry snapshots into one tree.
+
+    Counters, histograms and spans sum element-wise; gauges take the
+    max. Non-metric context keys (``run_id``, ``pid``...) are ignored,
+    so both bare ``MetricsRegistry.snapshot()`` dicts and full
+    :func:`process_snapshot` dicts merge. Output keys are sorted:
+    merging is order-independent byte for byte.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    spans: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is None:
+                continue
+            gauges[name] = (
+                value if name not in gauges else max(gauges[name], value)
+            )
+        for name, incoming in snapshot.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "count": incoming["count"],
+                    "sum": incoming["sum"],
+                    "min": incoming["min"],
+                    "max": incoming["max"],
+                    "buckets": dict(incoming["buckets"]),
+                }
+                continue
+            merged["count"] += incoming["count"]
+            merged["sum"] += incoming["sum"]
+            for bound, pick in (("min", min), ("max", max)):
+                if incoming[bound] is not None:
+                    merged[bound] = (
+                        incoming[bound] if merged[bound] is None
+                        else pick(merged[bound], incoming[bound])
+                    )
+            buckets = merged["buckets"]
+            for label, count in incoming["buckets"].items():
+                buckets[label] = buckets.get(label, 0) + count
+        for path, entry in snapshot.get("spans", {}).items():
+            merged_span = spans.get(path)
+            if merged_span is None:
+                spans[path] = {
+                    "count": entry["count"], "seconds": entry["seconds"]
+                }
+            else:
+                merged_span["count"] += entry["count"]
+                merged_span["seconds"] += entry["seconds"]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: {
+                **histograms[name],
+                "buckets": dict(sorted(
+                    histograms[name]["buckets"].items(),
+                    key=lambda item: _LABEL_ORDER.get(
+                        item[0], len(_LABEL_ORDER)
+                    ),
+                )),
+            }
+            for name in sorted(histograms)
+        },
+        "spans": dict(sorted(spans.items())),
+    }

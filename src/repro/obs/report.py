@@ -1,0 +1,143 @@
+"""Human rendering and diffing of obs snapshots (``repro-cli obs-report``)."""
+
+from __future__ import annotations
+
+__all__ = ["diff_snapshots", "render_snapshot"]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _render_sections(snapshot: dict, indent: str) -> list[str]:
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append(f"{indent}counters:")
+        for name, value in counters.items():
+            lines.append(f"{indent}  {name:44s} {_fmt(value)}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append(f"{indent}gauges:")
+        for name, value in gauges.items():
+            lines.append(f"{indent}  {name:44s} {_fmt(value)}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append(f"{indent}histograms:")
+        for name, hist in histograms.items():
+            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            lines.append(
+                f"{indent}  {name:44s} count={hist['count']} "
+                f"mean={_fmt(mean)} min={_fmt(hist['min'])} "
+                f"max={_fmt(hist['max'])}"
+            )
+    spans = snapshot.get("spans", {})
+    if spans:
+        lines.append(f"{indent}spans:")
+        for path, entry in spans.items():
+            lines.append(
+                f"{indent}  {path:44s} count={entry['count']} "
+                f"total={entry['seconds']:.4f}s"
+            )
+    if not lines:
+        lines.append(f"{indent}(no metrics recorded)")
+    return lines
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Pretty-print one snapshot, including any per-worker tree."""
+    header = (
+        f"obs snapshot — run {snapshot.get('run_id', '?')}"
+        f", seq {snapshot.get('seq', '?')}"
+        f", source {snapshot.get('source', '?')}"
+        f", pid {snapshot.get('pid', '?')}"
+    )
+    elapsed = snapshot.get("elapsed_seconds")
+    if elapsed is not None:
+        header += f", elapsed {elapsed:.2f}s"
+    lines = [header]
+    lines.extend(_render_sections(snapshot, "  "))
+    workers = snapshot.get("workers")
+    if workers:
+        lines.append("  workers:")
+        for worker_id in sorted(workers, key=lambda key: (len(key), key)):
+            worker = workers[worker_id]
+            lines.append(
+                f"    worker {worker_id} (pid {worker.get('pid', '?')}):"
+            )
+            lines.extend(_render_sections(worker, "      "))
+        merged = snapshot.get("merged")
+        if merged:
+            lines.append("  merged across workers:")
+            lines.extend(_render_sections(merged, "    "))
+    return "\n".join(lines)
+
+
+def diff_snapshots(before: dict, after: dict) -> str:
+    """Value deltas between two snapshots (new/changed metrics only)."""
+    lines = [
+        f"obs diff — {before.get('run_id', '?')} seq "
+        f"{before.get('seq', '?')} -> {after.get('run_id', '?')} seq "
+        f"{after.get('seq', '?')}"
+    ]
+    for section in ("counters", "gauges"):
+        old = before.get(section, {})
+        new = after.get(section, {})
+        changed = [
+            name for name in sorted(set(old) | set(new))
+            if old.get(name) != new.get(name)
+        ]
+        if changed:
+            lines.append(f"  {section}:")
+            for name in changed:
+                old_value, new_value = old.get(name), new.get(name)
+                delta = ""
+                if isinstance(old_value, (int, float)) and isinstance(
+                    new_value, (int, float)
+                ):
+                    delta = f" ({new_value - old_value:+g})"
+                lines.append(
+                    f"    {name:42s} {_fmt(old_value)} -> "
+                    f"{_fmt(new_value)}{delta}"
+                )
+    old_hists = before.get("histograms", {})
+    new_hists = after.get("histograms", {})
+    changed = [
+        name for name in sorted(set(old_hists) | set(new_hists))
+        if old_hists.get(name, {}).get("count")
+        != new_hists.get(name, {}).get("count")
+    ]
+    if changed:
+        lines.append("  histograms:")
+        for name in changed:
+            old_count = old_hists.get(name, {}).get("count", 0)
+            new_count = new_hists.get(name, {}).get("count", 0)
+            lines.append(
+                f"    {name:42s} count {old_count} -> {new_count} "
+                f"({new_count - old_count:+d})"
+            )
+    old_spans = before.get("spans", {})
+    new_spans = after.get("spans", {})
+    changed = [
+        path for path in sorted(set(old_spans) | set(new_spans))
+        if old_spans.get(path) != new_spans.get(path)
+    ]
+    if changed:
+        lines.append("  spans:")
+        for path in changed:
+            old_entry = old_spans.get(path, {"count": 0, "seconds": 0.0})
+            new_entry = new_spans.get(path, {"count": 0, "seconds": 0.0})
+            lines.append(
+                f"    {path:42s} count {old_entry['count']} -> "
+                f"{new_entry['count']}, seconds "
+                f"{old_entry['seconds']:.4f} -> {new_entry['seconds']:.4f}"
+            )
+    if len(lines) == 1:
+        lines.append("  (no metric differences)")
+    return "\n".join(lines)

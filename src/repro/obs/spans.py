@@ -1,0 +1,105 @@
+"""Low-overhead span timing: ``with obs.span("netstat"): ...``.
+
+Spans nest: entering a span pushes its name on a thread-local stack and
+the recorded path is the ``"/"``-joined stack (``"stream.warmup"``
+inside nothing records ``stream.warmup``; a ``"fit"`` span opened
+inside it records ``stream.warmup/fit``). Totals land in the registry
+as per-path ``{count, seconds}`` aggregates — no per-event storage, so
+a span on a hot path costs two ``perf_counter`` calls and a dict
+update.
+
+Disabled (the default), :func:`span` returns a shared no-op singleton:
+the hot path pays exactly one branch and no allocation. The overhead
+contract is gated by ``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+
+from repro.obs import registry as _registry_mod
+
+__all__ = ["NULL_SPAN", "Span", "span", "traced"]
+
+_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+class _NullSpan:
+    """The disabled-mode span: enter/exit do nothing, one shared copy."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A timed, nestable region recorded into a registry on exit."""
+
+    __slots__ = ("name", "_registry", "_path", "_start")
+
+    def __init__(self, name: str, registry=None) -> None:
+        self.name = name
+        self._registry = registry
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        stack.append(self.name)
+        self._path = "/".join(stack)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._start
+        _stack().pop()
+        registry = (
+            self._registry if self._registry is not None
+            else _registry_mod.get_registry()
+        )
+        registry.record_span(self._path, elapsed)
+        return False
+
+
+def span(name: str, registry=None):
+    """A context manager timing ``name`` — no-op when obs is disabled."""
+    if not _registry_mod.is_enabled():
+        return NULL_SPAN
+    return Span(name, registry)
+
+
+def traced(name: str | None = None):
+    """Decorator form: time every call as a span named after the
+    function (or ``name``), still one branch when disabled::
+
+        @obs.traced("runner.warm")
+        def warm(...): ...
+    """
+
+    def decorate(fn):
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _registry_mod.is_enabled():
+                return fn(*args, **kwargs)
+            with Span(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

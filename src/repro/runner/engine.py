@@ -31,6 +31,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.core.experiment import (
     ExperimentConfig,
     ExperimentResult,
@@ -96,7 +97,8 @@ def _execute_cell(config: ExperimentConfig, cache: DatasetCache) -> _CellOutcome
     start = time.perf_counter()
     previous = install_dataset_cache(provider)
     try:
-        result = run_experiment(config, dataset_provider=provider)
+        with obs.span("runner.cell"):
+            result = run_experiment(config, dataset_provider=provider)
     finally:
         install_dataset_cache(previous)
     return _CellOutcome(
@@ -316,6 +318,8 @@ class ExperimentEngine:
                 self.dataset_cache.get_or_generate(name, seed=seed, scale=scale)
         telemetry.datasets_warmed = len(missing)
         telemetry.dataset_warm_seconds = time.perf_counter() - warm_start
+        if missing:
+            obs.counter("runner.datasets_warmed").inc(len(missing))
 
     def _run_parallel(self, pending, outcomes, telemetry) -> None:
         # Warm every dataset the plan needs once (in parallel when
@@ -402,6 +406,21 @@ class ExperimentEngine:
         self, telemetry, spec, *, status, attempts, wall, fit_score,
         dataset_hit, result_hit, error="",
     ) -> None:
+        # Once-per-cell bookkeeping: recorded unconditionally so cache
+        # behaviour shows up in obs snapshots (e.g. the ones embedded
+        # in bench JSON) without anyone having to opt in.
+        registry = obs.get_registry()
+        registry.counter("runner.cells_total").inc()
+        if result_hit:
+            registry.counter("runner.result_cache_hits").inc()
+        if dataset_hit:
+            registry.counter("runner.dataset_cache_hits").inc()
+        if status == "failed":
+            registry.counter("runner.cells_failed").inc()
+        if attempts > 1:
+            registry.counter("runner.retries").inc(attempts - 1)
+        registry.histogram("runner.cell_wall_seconds").observe(wall)
+        registry.histogram("runner.cell_fit_score_seconds").observe(fit_score)
         cell = CellTelemetry(
             ids_name=spec.config.ids_name,
             dataset_name=spec.config.dataset_name,

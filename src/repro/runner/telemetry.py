@@ -14,6 +14,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, TextIO
 
+from repro import obs
+
 
 @dataclass
 class CellTelemetry:
@@ -63,6 +65,9 @@ class RunTelemetry:
     #: misses through the process pool (see ``ExperimentEngine``).
     datasets_warmed: int = 0
     dataset_warm_seconds: float = 0.0
+    #: Invocation id shared with obs snapshots and StreamReport notes
+    #: (random hex, deliberately exempt from seeded-RNG determinism).
+    run_id: str = field(default_factory=obs.run_id)
     _started: float = field(default=0.0, repr=False)
 
     def start(self) -> None:

@@ -23,12 +23,14 @@ where its batch semantics exist at all.
 from __future__ import annotations
 
 import abc
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.features.encoding import FlowVectorEncoder
 from repro.flows.record import FlowRecord
 from repro.ids.base import FlowIDS, InputKind, PacketIDS
@@ -126,7 +128,18 @@ class PacketStreamDetector(StreamingDetector):
         batch, self._buffer = self._buffer, []
         # Bit-identical to anomaly_scores; batch-capable IDSs score the
         # whole micro-batch through their packed execute engine.
-        scores = self.ids.score_batch(batch)
+        if obs.is_enabled():
+            started = time.perf_counter()
+            scores = self.ids.score_batch(batch)
+            registry = obs.get_registry()
+            registry.histogram("stream.detector.score_seconds").observe(
+                time.perf_counter() - started
+            )
+            registry.histogram("stream.detector.batch_size").observe(
+                len(batch)
+            )
+        else:
+            scores = self.ids.score_batch(batch)
         emitted = [
             StreamScore(
                 index=self.items_scored + offset,
@@ -267,7 +280,18 @@ class FlowStreamDetector(StreamingDetector):
         return self._emit(batch)
 
     def _emit(self, flows: list[FlowRecord]) -> list[StreamScore]:
-        scores = self.ids.anomaly_scores(flows, self._encode(flows))
+        if obs.is_enabled():
+            started = time.perf_counter()
+            scores = self.ids.anomaly_scores(flows, self._encode(flows))
+            registry = obs.get_registry()
+            registry.histogram("stream.detector.score_seconds").observe(
+                time.perf_counter() - started
+            )
+            registry.histogram("stream.detector.flow_batch_size").observe(
+                len(flows)
+            )
+        else:
+            scores = self.ids.anomaly_scores(flows, self._encode(flows))
         emitted = [
             StreamScore(
                 index=self.items_scored + offset,

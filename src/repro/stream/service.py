@@ -28,6 +28,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.experiment import (
     ExperimentConfig,
     build_flow_cell,
@@ -224,6 +225,7 @@ def stream_experiment(
     threshold: float | None = None,
     dataset_provider=None,
     on_window: WindowCallback | None = None,
+    exporter: "obs.SnapshotExporter | None" = None,
 ) -> StreamReport:
     """Run one Table IV cell as an online streaming session.
 
@@ -231,7 +233,13 @@ def stream_experiment(
     test stream is then scored through micro-batched online processing.
     With ``threshold=None`` the standardized batch threshold is applied
     post hoc, so the final metrics coincide with the batch cell's.
+
+    ``exporter`` (a :class:`repro.obs.SnapshotExporter`) enables the
+    metrics registry and emits periodic snapshots at micro-batch
+    boundaries plus one final snapshot.
     """
+    if exporter is not None and not obs.is_enabled():
+        obs.enable()
     from repro.datasets import generate_dataset
 
     provider = dataset_provider or generate_dataset
@@ -265,18 +273,23 @@ def stream_experiment(
         feed = flow_detector.process_flow
 
     warmup_start = time.perf_counter()
-    if kind is InputKind.PACKET:
-        detector.warmup(train_items)
-    else:
-        flow_detector.warmup_flows(
-            data.train_flows, data.train_features, data.train_labels
-        )
+    with obs.span("stream.warmup"):
+        if kind is InputKind.PACKET:
+            detector.warmup(train_items)
+        else:
+            flow_detector.warmup_flows(
+                data.train_flows, data.train_features, data.train_labels
+            )
     warmup_seconds = time.perf_counter() - warmup_start
 
     emitted: list[StreamScore] = []
     stream_start = time.perf_counter()
     for item in stream_items:
-        emitted.extend(feed(item))
+        released = feed(item)
+        if released:
+            emitted.extend(released)
+            if exporter is not None:
+                exporter.maybe_export()
     emitted.extend(detector.finish())
     stream_seconds = time.perf_counter() - stream_start
 
@@ -296,10 +309,22 @@ def stream_experiment(
         window_seconds=window_seconds,
         on_window=on_window,
     )
+    packets_streamed = (
+        len(stream_items) if kind is InputKind.PACKET
+        else sum(flow.total_packets for flow in stream_items)
+    )
+    if obs.is_enabled():
+        registry = obs.get_registry()
+        registry.counter("stream.packets_streamed").inc(packets_streamed)
+        registry.counter("stream.items_scored").inc(len(emitted))
+        registry.gauge("stream.warmup_items").set(len(train_items))
     notes = dict(data.notes)
     notes["seed"] = config.seed
     notes["scale"] = config.scale
     notes["scoring_path"] = detector.scoring_path
+    notes["run_id"] = obs.run_id()
+    if exporter is not None:
+        exporter.export()
     return StreamReport(
         ids_name=config.ids_name,
         source=f"dataset:{config.dataset_name} "
@@ -312,10 +337,7 @@ def stream_experiment(
         threshold_source=threshold_source,
         n_warmup=len(train_items),
         n_scored=len(emitted),
-        packets_streamed=(
-            len(stream_items) if kind is InputKind.PACKET
-            else sum(flow.total_packets for flow in stream_items)
-        ),
+        packets_streamed=packets_streamed,
         warmup_seconds=warmup_seconds,
         stream_seconds=stream_seconds,
         metrics=windows.overall(),
@@ -336,6 +358,7 @@ def stream_capture(
     threshold: float | None = None,
     window_seconds: float = 10.0,
     on_window: WindowCallback | None = None,
+    exporter: "obs.SnapshotExporter | None" = None,
 ) -> StreamReport:
     """Stream a raw packet source: train on the first ``warmup_packets``
     packets, score everything after them.
@@ -343,6 +366,10 @@ def stream_capture(
     Unlabelled sources (pcap replay) must pass an explicit
     ``threshold`` — there is no ground truth to standardise against —
     and report alert rates instead of precision/recall.
+
+    ``exporter`` (a :class:`repro.obs.SnapshotExporter`) enables the
+    metrics registry and emits periodic snapshots at micro-batch
+    boundaries plus one final snapshot.
     """
     if warmup_packets < 0:
         raise ValueError(f"warmup_packets must be >= 0, got {warmup_packets}")
@@ -351,6 +378,12 @@ def stream_capture(
             "unlabelled sources need an explicit threshold "
             "(no ground truth to standardise against)"
         )
+    if exporter is not None and not obs.is_enabled():
+        obs.enable()
+    obs_on = obs.is_enabled()
+    packet_counter = (
+        obs.counter("stream.packets_streamed") if obs_on else None
+    )
 
     prefix: list[Packet] = []
     emitted: list[StreamScore] = []
@@ -365,7 +398,8 @@ def stream_capture(
         # clear error up front instead of failing mid-stream.
         nonlocal warmup_seconds, warmed
         warmup_start = time.perf_counter()
-        detector.warmup(prefix)
+        with obs.span("stream.warmup"):
+            detector.warmup(prefix)
         warmup_seconds = time.perf_counter() - warmup_start
         warmed = True
 
@@ -380,7 +414,13 @@ def stream_capture(
         if stream_start is None:
             stream_start = time.perf_counter()
         packets_streamed += 1
-        emitted.extend(detector.process(packet))
+        if packet_counter is not None:
+            packet_counter.inc()
+        released = detector.process(packet)
+        if released:
+            emitted.extend(released)
+            if exporter is not None:
+                exporter.maybe_export()
     if not warmed:
         # Short (or empty) capture: everything fell into the prefix.
         warm_now()
@@ -388,6 +428,10 @@ def stream_capture(
         stream_start = time.perf_counter()
     emitted.extend(detector.finish())
     stream_seconds = time.perf_counter() - stream_start
+    if obs_on:
+        registry = obs.get_registry()
+        registry.counter("stream.items_scored").inc(len(emitted))
+        registry.gauge("stream.warmup_items").set(len(prefix))
 
     scores = np.array([item.score for item in emitted], dtype=np.float64)
     labelled = source.labelled
@@ -410,6 +454,8 @@ def stream_capture(
         window_seconds=window_seconds,
         on_window=on_window,
     )
+    if exporter is not None:
+        exporter.export()
     return StreamReport(
         ids_name=getattr(detector, "ids", detector).name,
         source=source.describe(),
@@ -435,5 +481,6 @@ def stream_capture(
                 getattr(detector, "tracker", None), "non_ip_packets", 0
             ),
             "scoring_path": detector.scoring_path,
+            "run_id": obs.run_id(),
         },
     )

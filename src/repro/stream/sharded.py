@@ -59,6 +59,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.thresholds import standard_threshold
 from repro.ids.persistence import (
     latest_stream_checkpoint,
@@ -212,6 +213,12 @@ def coverage_digest(emitted: Sequence[StreamScore]) -> str:
 
 def _worker_main(worker_id, checkpoint_dir, inq, outq, fault,
                  keep_checkpoints) -> None:
+    # Forked workers inherit the supervisor's registry contents (its
+    # warmup-time training metrics); start from a clean slate so the
+    # merged per-worker tree counts every event exactly once. run_id
+    # and the enabled flag survive the reset — they describe the
+    # invocation, not this process's metric state.
+    registry = obs.reset_registry()
     consumed = -1
     try:
         found = latest_stream_checkpoint(checkpoint_dir, worker_id)
@@ -224,8 +231,24 @@ def _worker_main(worker_id, checkpoint_dir, inq, outq, fault,
         detector = checkpoint.restore_detector()
         consumed = checkpoint.consumed
         slow_delay = 0.0
-        checkpoints_written = 0
-        busy_seconds = 0.0
+        m_packets = registry.counter("stream.worker.packets")
+        m_items = registry.counter("stream.worker.items_scored")
+        m_busy = registry.counter("stream.worker.busy_seconds")
+        m_ckpts = registry.counter("stream.worker.checkpoints_written")
+        # Crash-resume baselining: the counters describe the *logical*
+        # worker, so a restarted incarnation resumes from the
+        # checkpoint cursor instead of zero — merged per-worker packet
+        # totals stay exactly equal to the packets the shard consumed,
+        # replay or not.
+        if consumed:
+            m_packets.inc(consumed)
+        if detector.items_scored:
+            m_items.inc(detector.items_scored)
+        obs_on = obs.is_enabled()
+        chunk_hist = (
+            registry.histogram("stream.worker.chunk_seconds")
+            if obs_on else None
+        )
         while True:
             message = inq.get()
             kind = message[0]
@@ -244,8 +267,13 @@ def _worker_main(worker_id, checkpoint_dir, inq, outq, fault,
                     if slow_delay:
                         time.sleep(slow_delay)
                     emitted.extend(detector.process(WirePacket(*row)))
-                busy_seconds += time.perf_counter() - started
+                elapsed = time.perf_counter() - started
+                m_busy.inc(elapsed)
+                m_packets.inc(len(message[1]))
+                if chunk_hist is not None:
+                    chunk_hist.observe(elapsed)
                 if emitted:
+                    m_items.inc(len(emitted))
                     outq.put(("scores", worker_id, emitted))
             elif kind == "ckpt":
                 save_stream_checkpoint(
@@ -255,20 +283,25 @@ def _worker_main(worker_id, checkpoint_dir, inq, outq, fault,
                 prune_stream_checkpoints(
                     checkpoint_dir, worker_id, keep=keep_checkpoints
                 )
-                checkpoints_written += 1
-                outq.put(("ckpt_ok", worker_id, consumed))
+                m_ckpts.inc()
+                # Piggyback a registry snapshot on the ack so the
+                # supervisor's periodic exports carry fresh per-worker
+                # trees (None when obs is off: no steady-state cost).
+                outq.put(("ckpt_ok", worker_id, consumed,
+                          obs.process_snapshot() if obs_on else None))
             elif kind == "eof":
                 started = time.perf_counter()
                 emitted = detector.finish()
-                busy_seconds += time.perf_counter() - started
+                m_busy.inc(time.perf_counter() - started)
                 if emitted:
+                    m_items.inc(len(emitted))
                     outq.put(("scores", worker_id, emitted))
                 outq.put(("done", worker_id, {
                     "consumed": consumed,
                     "items_scored": detector.items_scored,
-                    "checkpoints_written": checkpoints_written,
-                    "busy_seconds": busy_seconds,
-                }))
+                    "checkpoints_written": int(m_ckpts.value),
+                    "busy_seconds": m_busy.value,
+                }, obs.process_snapshot()))
                 return
             else:  # pragma: no cover - protocol bug guard
                 raise RuntimeError(f"unknown message kind {kind!r}")
@@ -306,6 +339,7 @@ class _WorkerState:
     done: bool = False
     telemetry: dict = field(default_factory=dict)
     acked_consumed: int = 0
+    obs_snapshot: dict | None = None  # latest registry snapshot shipped
 
 
 class _WorkerFailed(RuntimeError):
@@ -329,8 +363,14 @@ def stream_capture_sharded(
     keep_checkpoints: int = 2,
     on_window: WindowCallback | None = None,
     fault: FaultInjection | None = None,
+    exporter: "obs.SnapshotExporter | None" = None,
 ) -> StreamReport:
     """Stream ``source`` through ``workers`` sharded detector processes.
+
+    When ``exporter`` is given, obs is enabled for the run and periodic
+    JSONL snapshots carry a per-worker metric tree (each worker ships
+    its registry over the result queue; the supervisor folds them with
+    :func:`repro.obs.merge_snapshots` under ``workers``/``merged``).
 
     Semantics match :func:`~repro.stream.service.stream_capture`: train
     on the first ``warmup_packets`` packets (in the supervisor — every
@@ -367,6 +407,9 @@ def stream_capture_sharded(
             f"{workers} worker(s)"
         )
 
+    if exporter is not None and not obs.is_enabled():
+        obs.enable()
+
     created_dir = checkpoint_dir is None
     if created_dir:
         checkpoint_dir = tempfile.mkdtemp(prefix="repro-stream-ckpt-")
@@ -387,7 +430,8 @@ def stream_capture_sharded(
         except StopIteration:
             break
     warmup_start = time.perf_counter()
-    detector.warmup(prefix)
+    with obs.span("stream.warmup"):
+        detector.warmup(prefix)
     warmup_seconds = time.perf_counter() - warmup_start
 
     # ---- Phase 2: genesis checkpoints + spawn. -----------------------
@@ -402,10 +446,30 @@ def stream_capture_sharded(
         if fault is not None and state.worker_id == fault.worker:
             state.fault = fault
     merged: list[tuple[int, StreamScore]] = []
-    send_stalls = 0
+    # Supervisor-side telemetry lives in the obs registry (always on —
+    # these are chunk-, ack- and restart-frequency events, far off the
+    # per-packet hot path). ``send_stalls`` in the report notes is read
+    # back from the counter, bit-compatible with the old nonlocal int.
+    registry = obs.get_registry()
+    m_stalls = registry.counter("stream.shard.send_stalls")
+    m_dispatched = registry.counter("stream.shard.packets_dispatched")
+    m_replayed = registry.counter("stream.shard.packets_replayed")
+    m_restarts = registry.counter("stream.shard.worker_restarts")
+    m_ckpt_acks = registry.counter("stream.shard.checkpoints_acked")
+    m_dups = registry.counter("stream.shard.duplicate_scores_dropped")
+    registry.gauge("stream.shard.workers_n").set(workers)
+
+    def _obs_tree() -> dict:
+        worker_snaps = {
+            str(state.worker_id): state.obs_snapshot
+            for state in states if state.obs_snapshot is not None
+        }
+        tree: dict = {"workers": worker_snaps}
+        if worker_snaps:
+            tree["merged"] = obs.merge_snapshots(list(worker_snaps.values()))
+        return tree
 
     def _handle(message) -> None:
-        nonlocal send_stalls
         kind = message[0]
         if kind == "scores":
             _, worker_id, scores = message
@@ -413,21 +477,26 @@ def stream_capture_sharded(
             for item in scores:
                 if item.index < state.score_cursor:
                     state.duplicates_dropped += 1
+                    m_dups.inc()
                     continue
                 state.score_cursor = item.index + 1
                 state.accepted += 1
                 merged.append((worker_id, item))
         elif kind == "ckpt_ok":
-            _, worker_id, consumed = message
+            _, worker_id, consumed, snapshot = message
             state = states[worker_id]
             if consumed > state.retained_base:
                 del state.retained[: consumed - state.retained_base]
                 state.retained_base = consumed
             state.acked_consumed = max(state.acked_consumed, consumed)
+            m_ckpt_acks.inc()
+            if snapshot is not None:
+                state.obs_snapshot = snapshot
         elif kind == "done":
-            _, worker_id, telemetry = message
+            _, worker_id, telemetry, snapshot = message
             states[worker_id].done = True
             states[worker_id].telemetry = telemetry
+            states[worker_id].obs_snapshot = snapshot
         elif kind == "error":
             _, worker_id, consumed, trace = message
             raise _WorkerFailed(
@@ -482,6 +551,7 @@ def stream_capture_sharded(
 
     def _restart(state: _WorkerState) -> None:
         state.restarts += 1
+        m_restarts.inc()
         if state.restarts > max_restarts:
             raise RuntimeError(
                 f"stream worker {state.worker_id} died "
@@ -502,6 +572,7 @@ def stream_capture_sharded(
         # [retained_base, sent) and the checkpoint can only be newer
         # than the last *acked* one, so the slice is always in range.
         replay = state.retained[resume_from - state.retained_base:]
+        m_replayed.inc(len(replay))
         was_eof = state.eof_sent
         state.sent = resume_from
         state.next_ckpt_at = (
@@ -516,13 +587,12 @@ def stream_capture_sharded(
             state.eof_sent = True
 
     def _send(state: _WorkerState, message) -> None:
-        nonlocal send_stalls
         while True:
             try:
                 state.inq.put(message, timeout=0.05)
                 return
             except queue_mod.Full:
-                send_stalls += 1
+                m_stalls.inc()
                 _pump()
                 if state.process.exitcode is not None and not state.done:
                     _on_death(state)
@@ -530,6 +600,7 @@ def stream_capture_sharded(
     def _dispatch(state: _WorkerState, rows: list, *, retain: bool) -> None:
         _send(state, ("chunk", rows))
         if retain:
+            m_dispatched.inc(len(rows))
             state.retained.extend(rows)
             state.retained_peak = max(state.retained_peak,
                                       len(state.retained))
@@ -574,6 +645,8 @@ def stream_capture_sharded(
             if len(state.pending) >= chunk_packets:
                 _flush_pending(state)
                 _pump()
+                if exporter is not None:
+                    exporter.maybe_export(_obs_tree)
         if stream_start is None:
             stream_start = time.perf_counter()
 
@@ -585,6 +658,8 @@ def stream_capture_sharded(
         while not all(state.done for state in states):
             _pump()
             _check_liveness()
+            if exporter is not None:
+                exporter.maybe_export(_obs_tree)
             if not all(state.done for state in states):
                 time.sleep(0.005)
         stream_seconds = time.perf_counter() - stream_start
@@ -648,7 +723,9 @@ def stream_capture_sharded(
             "worker": state.worker_id,
             "packets": consumed,
             "items_scored": state.telemetry.get("items_scored", 0),
-            "pps": consumed / busy if busy > 0 else 0.0,
+            # A shard that saw no packets has no meaningful rate; None
+            # (JSON null) instead of a misleading 0.0 pps.
+            "pps": consumed / busy if consumed and busy > 0 else None,
             "busy_seconds": busy,
             "checkpoints_written": state.telemetry.get(
                 "checkpoints_written", 0),
@@ -657,6 +734,12 @@ def stream_capture_sharded(
             "duplicate_scores_dropped": state.duplicates_dropped,
             "retained_peak": state.retained_peak,
         })
+    registry.gauge("stream.shard.retained_peak").set(
+        max((state.retained_peak for state in states), default=0)
+    )
+
+    if exporter is not None:
+        exporter.export(_obs_tree())
 
     if created_dir:
         # Successful run: the scratch checkpoints have served their
@@ -693,7 +776,8 @@ def stream_capture_sharded(
             "checkpoint_every": checkpoint_every,
             "chunk_packets": chunk_packets,
             "pace": pace,
-            "send_stalls": send_stalls,
+            "send_stalls": int(m_stalls.value),
+            "run_id": obs.run_id(),
             "coverage_digest": coverage_digest(emitted),
             "merged_score_digest": hashlib.sha256(
                 scores.tobytes()).hexdigest(),

@@ -13,6 +13,22 @@ from repro.net.udp import UDPHeader
 from repro.utils.rng import SeededRNG
 
 
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Every test starts with a fresh, disabled obs registry.
+
+    Engine/stream code records some metrics unconditionally, so without
+    this a test's counters would leak into the next test's snapshots.
+    """
+    from repro import obs
+
+    obs.disable()
+    obs.reset_registry()
+    yield
+    obs.disable()
+    obs.reset_registry()
+
+
 @pytest.fixture
 def rng() -> SeededRNG:
     return SeededRNG(12345, "test")

@@ -1,0 +1,306 @@
+"""Unit tests for the repro.obs layer.
+
+Registry semantics (types, fixed buckets, merge determinism), span
+nesting, the snapshot exporter, Prometheus rendering, the report/diff
+renderers, and the run-id contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+# -- registry ---------------------------------------------------------------
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = obs.MetricsRegistry()
+        metric = registry.counter("a.b")
+        metric.inc()
+        metric.inc(2.5)
+        assert registry.counter("a.b") is metric
+        assert registry.snapshot()["counters"]["a.b"] == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            obs.MetricsRegistry().counter("a").inc(-1)
+
+    def test_gauge_none_until_set_and_omitted(self):
+        registry = obs.MetricsRegistry()
+        registry.gauge("level")
+        assert registry.snapshot()["gauges"] == {}
+        registry.gauge("level").set(7)
+        assert registry.snapshot()["gauges"] == {"level": 7.0}
+
+    def test_type_clash_raises(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already a counter"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already a counter"):
+            registry.histogram("x")
+
+    def test_histogram_fixed_bucket_labels(self):
+        registry = obs.MetricsRegistry()
+        hist = registry.histogram("h")
+        hist.observe(0.5)   # lands in the 0.5 bucket (le semantics)
+        hist.observe(0.75)  # lands in the 1 bucket
+        hist.observe(3.0)   # lands in the 4 bucket
+        snap = registry.snapshot()["histograms"]["h"]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(4.25)
+        assert snap["min"] == 0.5 and snap["max"] == 3.0
+        assert snap["buckets"] == {"0.5": 1, "1": 1, "4": 1}
+
+    def test_histogram_overflow_goes_to_inf(self):
+        registry = obs.MetricsRegistry()
+        registry.histogram("h").observe(2.0 ** 40)
+        snap = registry.snapshot()["histograms"]["h"]
+        assert snap["buckets"] == {"+Inf": 1}
+
+    def test_snapshot_keys_sorted(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("z")
+        registry.counter("a")
+        assert list(registry.snapshot()["counters"]) == ["a", "z"]
+
+    def test_clear(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("a").inc()
+        registry.clear()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestMerge:
+    def _snap(self, **counters):
+        registry = obs.MetricsRegistry()
+        for name, value in counters.items():
+            registry.counter(name).inc(value)
+        return registry.snapshot()
+
+    def test_counters_add_gauges_max(self):
+        a = obs.MetricsRegistry()
+        a.counter("n").inc(3)
+        a.gauge("depth").set(2)
+        b = obs.MetricsRegistry()
+        b.counter("n").inc(4)
+        b.gauge("depth").set(5)
+        merged = obs.merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["n"] == 7
+        assert merged["gauges"]["depth"] == 5.0
+
+    def test_histograms_merge_exactly(self):
+        a = obs.MetricsRegistry()
+        b = obs.MetricsRegistry()
+        for value in (0.1, 0.9, 17.0):
+            a.histogram("h").observe(value)
+            b.histogram("h").observe(value)
+        both = obs.MetricsRegistry()
+        for value in (0.1, 0.9, 17.0) * 2:
+            both.histogram("h").observe(value)
+        merged = obs.merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["histograms"]["h"] == (
+            both.snapshot()["histograms"]["h"]
+        )
+
+    def test_merge_order_independent_bytewise(self):
+        a = self._snap(x=1, y=2)
+        b = self._snap(y=5, z=1)
+        ab = json.dumps(obs.merge_snapshots([a, b]), sort_keys=True)
+        ba = json.dumps(obs.merge_snapshots([b, a]), sort_keys=True)
+        assert ab == ba
+
+    def test_merge_ignores_context_keys(self):
+        merged = obs.merge_snapshots([
+            {"run_id": "aa", "pid": 1, "counters": {"n": 1}},
+            {"run_id": "aa", "pid": 2, "counters": {"n": 1}},
+        ])
+        assert merged["counters"] == {"n": 2}
+        assert "pid" not in merged
+
+    def test_spans_add(self):
+        a = obs.MetricsRegistry()
+        a.record_span("outer/inner", 0.5)
+        b = obs.MetricsRegistry()
+        b.record_span("outer/inner", 0.25)
+        merged = obs.merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["spans"]["outer/inner"]["count"] == 2
+        assert merged["spans"]["outer/inner"]["seconds"] == 0.75
+
+
+# -- spans ------------------------------------------------------------------
+
+class TestSpans:
+    def test_disabled_span_is_null_singleton(self):
+        assert not obs.is_enabled()
+        assert obs.span("anything") is obs.NULL_SPAN
+
+    def test_enabled_span_records_nested_paths(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        spans = obs.get_registry().snapshot()["spans"]
+        assert spans["outer"]["count"] == 1
+        assert spans["outer/inner"]["count"] == 1
+        assert spans["outer"]["seconds"] >= spans["outer/inner"]["seconds"]
+
+    def test_span_pops_on_exception(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.span("broken"):
+                raise RuntimeError("boom")
+        with obs.span("after"):
+            pass
+        spans = obs.get_registry().snapshot()["spans"]
+        assert "after" in spans  # not "broken/after": stack unwound
+
+    def test_traced_decorator(self):
+        obs.enable()
+
+        @obs.traced("worker")
+        def job():
+            return 42
+
+        assert job() == 42
+        assert obs.get_registry().snapshot()["spans"]["worker"]["count"] == 1
+
+
+# -- process state ----------------------------------------------------------
+
+class TestProcessState:
+    def test_run_id_stable_8_hex(self):
+        rid = obs.run_id()
+        assert len(rid) == 8
+        int(rid, 16)
+        assert obs.run_id() == rid
+
+    def test_reset_registry_swaps_and_keeps_run_id(self):
+        rid = obs.run_id()
+        obs.counter("stale").inc()
+        fresh = obs.reset_registry()
+        assert obs.get_registry() is fresh
+        assert obs.get_registry().snapshot()["counters"] == {}
+        assert obs.run_id() == rid
+
+    def test_process_snapshot_context(self):
+        obs.counter("n").inc(2)
+        snap = obs.process_snapshot()
+        assert snap["run_id"] == obs.run_id()
+        assert snap["pid"] > 0
+        assert snap["cpu_count"] >= 1
+        assert snap["counters"] == {"n": 2}
+
+
+# -- exporter ---------------------------------------------------------------
+
+class TestExporter:
+    def test_jsonl_roundtrip_with_final_export(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with obs.SnapshotExporter(path, interval_seconds=3600,
+                                  source="test") as exporter:
+            obs.counter("n").inc()
+            assert exporter.maybe_export() is False  # interval not up
+            exporter.export({"extra_key": 1})
+        snapshots = obs.read_snapshots(path)
+        assert len(snapshots) == 1
+        assert snapshots[0]["counters"]["n"] == 1
+        assert snapshots[0]["seq"] == 0
+        assert snapshots[0]["source"] == "test"
+        assert snapshots[0]["extra_key"] == 1
+        assert snapshots[0]["run_id"] == obs.run_id()
+
+    def test_callable_extra_only_invoked_on_export(self, tmp_path):
+        calls = []
+
+        def extra():
+            calls.append(1)
+            return {"tree": True}
+
+        with obs.SnapshotExporter(tmp_path / "m.jsonl",
+                                  interval_seconds=3600) as exporter:
+            exporter.maybe_export(extra)
+            assert calls == []  # suppressed export never built the tree
+            snapshot = exporter.export(extra)
+        assert calls == [1]
+        assert snapshot["tree"] is True
+
+    def test_callback_sink(self):
+        seen = []
+        exporter = obs.SnapshotExporter(seen.append, interval_seconds=3600)
+        exporter.export()
+        exporter.export()
+        assert [snap["seq"] for snap in seen] == [0, 1]
+        assert exporter.path is None
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval_seconds"):
+            obs.SnapshotExporter("x.jsonl", interval_seconds=0)
+
+    def test_read_snapshots_reports_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            obs.read_snapshots(path)
+
+
+# -- rendering --------------------------------------------------------------
+
+class TestRendering:
+    def _sample_snapshot(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("stream.packets_streamed").inc(10)
+        registry.gauge("stream.warmup_items").set(4)
+        registry.histogram("stream.detector.score_seconds").observe(0.25)
+        registry.record_span("stream.warmup", 1.5)
+        snap = obs.process_snapshot(registry)
+        snap["seq"] = 0
+        snap["source"] = "test"
+        return snap
+
+    def test_prometheus_text(self):
+        text = obs.render_prometheus(self._sample_snapshot())
+        assert "# TYPE repro_stream_packets_streamed counter" in text
+        assert "repro_stream_packets_streamed 10" in text
+        assert "repro_stream_warmup_items 4" in text
+        assert ('repro_stream_detector_score_seconds_bucket{le="0.25"} 1'
+                in text)
+        assert ('repro_stream_detector_score_seconds_bucket{le="+Inf"} 1'
+                in text)
+        assert 'repro_span_seconds_total{span="stream.warmup"} 1.5' in text
+
+    def test_render_snapshot_sections(self):
+        text = obs.render_snapshot(self._sample_snapshot())
+        assert "stream.packets_streamed" in text
+        assert "stream.warmup_items" in text
+        assert "count=1" in text
+        assert "stream.warmup" in text
+
+    def test_render_snapshot_worker_tree(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("stream.worker.packets").inc(5)
+        worker = obs.process_snapshot(registry)
+        snap = self._sample_snapshot()
+        snap["workers"] = {"0": worker, "1": worker}
+        snap["merged"] = obs.merge_snapshots([worker, worker])
+        text = obs.render_snapshot(snap)
+        assert "worker 0" in text and "worker 1" in text
+        assert "merged across workers" in text
+
+    def test_diff_snapshots(self):
+        before = self._sample_snapshot()
+        registry = obs.MetricsRegistry()
+        registry.counter("stream.packets_streamed").inc(25)
+        after = obs.process_snapshot(registry)
+        after["seq"] = 1
+        text = obs.diff_snapshots(before, after)
+        assert "stream.packets_streamed" in text
+        assert "(+15)" in text
+
+    def test_diff_no_changes(self):
+        snap = self._sample_snapshot()
+        assert "(no metric differences)" in obs.diff_snapshots(snap, snap)
