@@ -1,41 +1,60 @@
-"""AfterImage feature-path throughput: scalar reference vs vectorized.
+"""AfterImage feature-path throughput across every registered backend.
 
 The NetStat hot loop sits under every Kitsune/HELAD cell of the Table
 IV matrix *and* under ``repro.stream``'s live packet path, so its
 features/sec bound both batch reproduction time and online pps. This
-bench extracts the full Mirai replay through each engine, cross-checks
-bit-for-bit parity while it measures (a fast-but-wrong engine must not
-pass), and records the speedup in ``BENCH_netstat_throughput.json``.
+bench extracts the full Mirai replay through each backend registered
+in ``repro.backends`` (scalar reference, NumPy kernel, native C
+kernel, multithreaded native kernel), cross-checks bit-for-bit parity
+while it measures (a fast-but-wrong engine must not pass), times the
+batched ``update_batch`` path against per-packet dispatch, and records
+one row per backend in ``BENCH_netstat_throughput.json``.
 
 Run the acceptance configuration with::
 
     PYTHONPATH=src pytest benchmarks/bench_netstat_throughput.py -s --scale 1.0
 
-The default vector engine must beat the scalar reference wherever a
+The default vector backend must beat the scalar reference wherever a
 C compiler is available (the native kernel); at full scale it must be
->= 3x. Without a compiler the NumPy fallback kernel is roughly
-scalar-speed per packet and the speedup gates are skipped.
+>= 3x, and ``update_batch`` must beat per-packet dispatch. The
+multithreaded kernel carries a >= 1.5x gate over the single-threaded
+native kernel on 2+ core hosts; on single-core CI a ``probe_sleep``
+concurrency probe proves the worker pool genuinely overlaps instead
+(the same laddering idiom as the sharded stream bench). Without a
+compiler the NumPy fallback kernel is roughly scalar-speed per packet
+and the speedup gates are skipped.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from functools import lru_cache
 
 import numpy as np
 
+from repro import backends
+from repro.features import _native
 from repro.features.netstat import NetStat
+from repro.features.vector import _mt_pool, mt_thread_count
 
 from benchmarks.conftest import save_bench_json, save_result, scale_or
 
 DEFAULT_SCALE = 1.0
 SEED = 0
 DATASET = "Mirai"
-#: Engines measured; "vector" resolves to the native kernel when a C
-#: compiler is available and the NumPy kernel otherwise.
-ENGINES = ("scalar", "vector", "vector-numpy")
-#: Acceptance gate for the default vector engine at scale >= 1.0.
+#: Acceptance gate for the default vector backend at scale >= 1.0.
 FULL_SCALE_SPEEDUP = 3.0
+#: ``update_batch`` must beat per-packet dispatch by this at scale >= 1.0.
+BATCH_SPEEDUP_FLOOR = 1.1
+#: The multithreaded kernel's gate over single-threaded native, applied
+#: only on hosts with 2+ cores (a 1-core runner cannot honour it).
+MT_SPEEDUP_FLOOR = 1.5
+#: The pool-concurrency probe gate: 4 sleeps through the worker pool
+#: must take well under 4x one sleep, proving the GIL is released and
+#: the pool genuinely overlaps — checkable even on single-core CI.
+PROBE_SPEEDUP_FLOOR = 1.5
+_PROBE_SLEEP = 0.05
 
 
 @lru_cache(maxsize=2)
@@ -45,13 +64,50 @@ def _packets(scale: float):
     return generate_dataset_uncached(DATASET, seed=SEED, scale=scale).packets
 
 
-def _measure(engine: str, packets) -> tuple[float, np.ndarray, str]:
-    extractor = NetStat(engine=engine)
-    kernel = "objects" if engine == "scalar" else extractor._db.kernel_name
+def _measure_batch(backend: str, packets) -> dict:
+    """One ``extract_all`` pass through ``backend``; returns its row."""
+    extractor = NetStat(engine=backend)
+    kernel = "objects" if backend == "scalar" else extractor._db.kernel_name
     start = time.perf_counter()
     matrix = extractor.extract_all(packets)
     elapsed = time.perf_counter() - start
-    return elapsed, matrix, kernel
+    return {"kernel": kernel, "seconds": elapsed, "matrix": matrix}
+
+
+def _measure_per_packet(backend: str, packets) -> float:
+    """Per-packet dispatch seconds for ``backend`` (the pre-batch path)."""
+    extractor = NetStat(engine=backend)
+    start = time.perf_counter()
+    for packet in packets:
+        extractor.update(packet)
+    return time.perf_counter() - start
+
+
+def _probe_pool_speedup() -> float:
+    """Wall-clock speedup of ``mt_thread_count()`` concurrent C sleeps
+    over the same sleeps run serially.
+
+    ``probe_sleep`` releases the GIL exactly like the feature kernel,
+    so pooled sleeps overlap on any host — including the 1-core CI
+    runners where a compute-bound MT gate would be meaningless."""
+    library = _native.load_kernel()
+    assert library is not None
+    threads = mt_thread_count()
+
+    start = time.perf_counter()
+    for _ in range(threads):
+        library.probe_sleep(_PROBE_SLEEP)
+    serial = time.perf_counter() - start
+
+    pool = _mt_pool()
+    start = time.perf_counter()
+    futures = [
+        pool.submit(library.probe_sleep, _PROBE_SLEEP) for _ in range(threads)
+    ]
+    for future in futures:
+        future.result()
+    pooled = time.perf_counter() - start
+    return serial / pooled
 
 
 def test_netstat_throughput(bench_scale):
@@ -60,42 +116,72 @@ def test_netstat_throughput(bench_scale):
     n_packets = len(packets)
     feature_count = NetStat().feature_count
 
+    available = [
+        spec.name
+        for spec in backends.available_backends(backends.FEATURE_ENGINE)
+    ]
+    assert available[0] == "scalar"
+
     rows = {}
     reference = None
-    for engine in ENGINES:
-        elapsed, matrix, kernel = _measure(engine, packets)
-        rows[engine] = {
-            "kernel": kernel,
-            "seconds": elapsed,
-            "pps": n_packets / elapsed,
-            "features_per_second": n_packets * feature_count / elapsed,
-        }
+    for backend in available:
+        row = _measure_batch(backend, packets)
+        matrix = row.pop("matrix")
+        row["pps"] = n_packets / row["seconds"]
+        row["features_per_second"] = n_packets * feature_count / row["seconds"]
+        rows[backend] = row
         # Parity gate: speed must not come from changed semantics.
         if reference is None:
             reference = matrix
         else:
             assert np.array_equal(reference, matrix), (
-                f"{engine} diverged from the scalar reference — "
+                f"{backend} diverged from the scalar reference — "
                 "parity contract broken"
             )
 
-    speedup = rows["vector"]["pps"] / rows["scalar"]["pps"]
-    native_active = rows["vector"]["kernel"] == "native"
+    default_backend = backends.default_feature_backend()
+    native_active = rows[default_backend]["kernel"].startswith("native")
+    speedup = rows[default_backend]["pps"] / rows["scalar"]["pps"]
+
+    # Batched dispatch vs the per-packet loop, on the default backend:
+    # the win the batch path must deliver over Python-level dispatch.
+    per_packet_seconds = _measure_per_packet(default_backend, packets)
+    per_packet_pps = n_packets / per_packet_seconds
+    batch_speedup = rows[default_backend]["pps"] / per_packet_pps
+
+    mt_speedup = None
+    probe_speedup = None
+    if "vector-native-mt" in rows:
+        mt_speedup = rows["vector-native-mt"]["pps"] / rows["vector-native"]["pps"]
+        probe_speedup = _probe_pool_speedup()
 
     lines = [
         f"netstat throughput @ scale={scale} dataset={DATASET} seed={SEED} "
         f"({n_packets} packets, {feature_count} features)",
-        f"  {'engine':14s} {'kernel':8s} {'pkt/s':>12s} "
+        f"  {'backend':18s} {'kernel':10s} {'pkt/s':>12s} "
         f"{'features/s':>14s} {'seconds':>9s}",
     ]
-    for engine, row in rows.items():
+    for backend, row in rows.items():
         lines.append(
-            f"  {engine:14s} {row['kernel']:8s} {row['pps']:12,.0f} "
+            f"  {backend:18s} {row['kernel']:10s} {row['pps']:12,.0f} "
             f"{row['features_per_second']:14,.0f} {row['seconds']:9.3f}"
         )
-    lines.append(f"  vector speedup over scalar: {speedup:.2f}x "
-                 f"(native kernel: {native_active})")
+    lines.append(
+        f"  default backend {default_backend}: {speedup:.2f}x over scalar "
+        f"(native kernel: {native_active})"
+    )
+    lines.append(
+        f"  update_batch over per-packet dispatch: {batch_speedup:.2f}x "
+        f"({per_packet_pps:,.0f} -> {rows[default_backend]['pps']:,.0f} pkt/s)"
+    )
+    if mt_speedup is not None:
+        lines.append(
+            f"  native-mt over native: {mt_speedup:.2f}x on "
+            f"{os.cpu_count()} core(s); pool concurrency probe "
+            f"{probe_speedup:.2f}x over serial"
+        )
     save_result("netstat_throughput", "\n".join(lines))
+
     save_bench_json(
         "netstat_throughput",
         metric="vector_speedup",
@@ -104,12 +190,27 @@ def test_netstat_throughput(bench_scale):
         dataset=DATASET,
         packets=n_packets,
         native_kernel=native_active,
+        backend=default_backend,
+        backends={
+            name: {
+                "kernel": row["kernel"],
+                "pps": round(row["pps"]),
+                "features_per_second": round(row["features_per_second"]),
+            }
+            for name, row in rows.items()
+        },
         scalar_pps=round(rows["scalar"]["pps"]),
-        vector_pps=round(rows["vector"]["pps"]),
+        vector_pps=round(rows[default_backend]["pps"]),
         vector_features_per_second=round(
-            rows["vector"]["features_per_second"]
+            rows[default_backend]["features_per_second"]
         ),
         numpy_kernel_pps=round(rows["vector-numpy"]["pps"]),
+        per_packet_pps=round(per_packet_pps),
+        batch_speedup=round(batch_speedup, 3),
+        mt_speedup=None if mt_speedup is None else round(mt_speedup, 3),
+        pool_probe_speedup=(
+            None if probe_speedup is None else round(probe_speedup, 3)
+        ),
     )
 
     assert rows["scalar"]["pps"] > 0
@@ -121,3 +222,19 @@ def test_netstat_throughput(bench_scale):
                 f"vector speedup {speedup:.2f}x below the "
                 f"{FULL_SCALE_SPEEDUP}x acceptance gate at scale {scale}"
             )
+            assert batch_speedup >= BATCH_SPEEDUP_FLOOR, (
+                f"update_batch speedup {batch_speedup:.2f}x below the "
+                f"{BATCH_SPEEDUP_FLOOR}x gate over per-packet dispatch"
+            )
+    if probe_speedup is not None:
+        # The pool must genuinely overlap GIL-releasing kernel calls;
+        # this holds on any host, unlike the compute-bound MT gate.
+        assert probe_speedup >= PROBE_SPEEDUP_FLOOR, (
+            f"worker pool concurrency probe {probe_speedup:.2f}x below "
+            f"{PROBE_SPEEDUP_FLOOR}x — kernel calls are serialising"
+        )
+    if mt_speedup is not None and scale >= 1.0 and (os.cpu_count() or 1) >= 2:
+        assert mt_speedup >= MT_SPEEDUP_FLOOR, (
+            f"native-mt speedup {mt_speedup:.2f}x over native below the "
+            f"{MT_SPEEDUP_FLOOR}x gate on a {os.cpu_count()}-core host"
+        )

@@ -1,0 +1,176 @@
+"""Diff fresh ``BENCH_*.json`` results against a committed baseline.
+
+Every bench writes one headline metric to ``BENCH_<name>.json`` at the
+repo root; those files are committed, so the performance trajectory is
+part of history. This tool compares a freshly-generated set against
+the committed baseline and fails (exit 1) when any headline metric
+regressed by more than the threshold (default 20%) — CI runs it after
+the perf-smoke benches so a regression breaks the build instead of
+silently landing.
+
+Comparison rules:
+
+* Benches are matched by their embedded ``bench`` name; files present
+  on only one side are reported but never fail the run (new benches
+  must be able to land, retired ones to leave).
+* Values are compared only when both sides ran at the same ``scale``
+  — a 0.05 smoke value against a committed scale-1.0 number would be
+  noise, so mismatched scales are skipped, not judged.
+* Direction matters: ``overhead_ratio`` regresses upward, every other
+  metric (speedups, throughputs, match counts) regresses downward.
+
+Usage::
+
+    python benchmarks/compare_bench.py <baseline-dir-or-file> <fresh-dir-or-file>
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Metrics where a *smaller* value is the better one.
+LOWER_IS_BETTER = frozenset({"overhead_ratio"})
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The verdict for one bench present in both result sets."""
+
+    bench: str
+    metric: str
+    baseline: float
+    fresh: float
+    ratio: float | None  # fresh relative change, signed (+ = improved)
+    skipped: str | None  # reason the value comparison was skipped
+    regressed: bool
+
+
+def load_payloads(path: Path) -> dict[str, dict]:
+    """Load ``BENCH_*.json`` payloads from a file or directory, keyed
+    by embedded bench name."""
+    files = [path] if path.is_file() else sorted(path.glob("BENCH_*.json"))
+    payloads = {}
+    for file in files:
+        payload = json.loads(file.read_text())
+        payloads[payload["bench"]] = payload
+    return payloads
+
+
+def _relative_change(metric: str, baseline: float, fresh: float) -> float:
+    """Signed relative change where positive always means *improved*."""
+    if baseline == 0:
+        return 0.0
+    change = (fresh - baseline) / abs(baseline)
+    return -change if metric in LOWER_IS_BETTER else change
+
+
+def compare(
+    baseline: dict[str, dict],
+    fresh: dict[str, dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[Comparison]:
+    """Compare two payload sets; one :class:`Comparison` per common bench."""
+    results = []
+    for name in sorted(set(baseline) & set(fresh)):
+        base, new = baseline[name], fresh[name]
+        metric = new.get("metric", base.get("metric", "value"))
+        base_value = float(base["value"])
+        new_value = float(new["value"])
+        if base.get("scale") != new.get("scale"):
+            results.append(Comparison(
+                bench=name, metric=metric,
+                baseline=base_value, fresh=new_value,
+                ratio=None,
+                skipped=(
+                    f"scale mismatch (baseline {base.get('scale')} "
+                    f"vs fresh {new.get('scale')})"
+                ),
+                regressed=False,
+            ))
+            continue
+        change = _relative_change(metric, base_value, new_value)
+        results.append(Comparison(
+            bench=name, metric=metric,
+            baseline=base_value, fresh=new_value,
+            ratio=change, skipped=None,
+            regressed=change < -threshold,
+        ))
+    return results
+
+
+def render(
+    results: list[Comparison],
+    only_baseline: set[str],
+    only_fresh: set[str],
+    threshold: float,
+) -> str:
+    lines = [
+        f"bench comparison (regression threshold {threshold:.0%})",
+        f"  {'bench':32s} {'metric':18s} {'baseline':>10s} "
+        f"{'fresh':>10s} {'change':>8s}  verdict",
+    ]
+    for result in results:
+        if result.skipped:
+            verdict = f"skipped: {result.skipped}"
+            change = "-"
+        elif result.regressed:
+            verdict = "REGRESSED"
+            change = f"{result.ratio:+.1%}"
+        else:
+            verdict = "ok"
+            change = f"{result.ratio:+.1%}"
+        lines.append(
+            f"  {result.bench:32s} {result.metric:18s} "
+            f"{result.baseline:10.3f} {result.fresh:10.3f} "
+            f"{change:>8s}  {verdict}"
+        )
+    for name in sorted(only_baseline):
+        lines.append(f"  {name:32s} (baseline only — not judged)")
+    for name in sorted(only_fresh):
+        lines.append(f"  {name:32s} (fresh only — not judged)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when fresh bench results regress vs a baseline",
+    )
+    parser.add_argument(
+        "baseline", type=Path,
+        help="directory of committed BENCH_*.json files (or one file)",
+    )
+    parser.add_argument(
+        "fresh", type=Path,
+        help="directory of freshly-generated BENCH_*.json files (or one file)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative regression that fails the run (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_payloads(args.baseline)
+    fresh = load_payloads(args.fresh)
+    results = compare(baseline, fresh, threshold=args.threshold)
+    print(render(
+        results,
+        only_baseline=set(baseline) - set(fresh),
+        only_fresh=set(fresh) - set(baseline),
+        threshold=args.threshold,
+    ))
+    regressed = [result for result in results if result.regressed]
+    if regressed:
+        names = ", ".join(result.bench for result in regressed)
+        print(f"FAIL: {len(regressed)} bench(es) regressed: {names}")
+        return 1
+    print(f"OK: {len(results)} bench(es) compared, no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

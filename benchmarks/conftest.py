@@ -126,7 +126,8 @@ def save_bench_json(
     CI uploads these files as artifacts and any regression tooling can
     diff them across revisions via the embedded git rev.
     """
-    from repro import obs
+    from repro import backends, obs
+    from repro.features.vector import mt_thread_count
 
     payload = {
         "bench": name,
@@ -135,6 +136,11 @@ def save_bench_json(
         "scale": scale,
         "git_rev": _git_rev(),
         "run_id": obs.run_id(),
+        # Host + backend context: a headline number is only comparable
+        # across runs with the same core count and compute backend.
+        "cpu_count": os.cpu_count(),
+        "feature_backend": backends.default_feature_backend(),
+        "native_threads": mt_thread_count(),
         # The bench process's own obs snapshot (cache hit/miss counters,
         # cpu count, ...) — context for interpreting the headline number.
         "obs": obs.process_snapshot(),

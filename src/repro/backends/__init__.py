@@ -1,0 +1,37 @@
+"""Pluggable compute backends with capability discovery.
+
+See :mod:`repro.backends.registry` for the model: components declare
+their implementations as named backends with parity contracts and
+capability probes; callers resolve a name (or ``"auto"``) to the best
+backend the host can run.
+"""
+
+from repro.backends.registry import (
+    ENSEMBLE,
+    FEATURE_ENGINE,
+    BackendSpec,
+    available_backends,
+    backend_names,
+    backend_notes,
+    capabilities,
+    components,
+    default_feature_backend,
+    get_backend,
+    register,
+    resolve,
+)
+
+__all__ = [
+    "BackendSpec",
+    "FEATURE_ENGINE",
+    "ENSEMBLE",
+    "register",
+    "components",
+    "backend_names",
+    "get_backend",
+    "available_backends",
+    "resolve",
+    "capabilities",
+    "default_feature_backend",
+    "backend_notes",
+]

@@ -281,6 +281,25 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    feature_backend = args.feature_backend
+    if feature_backend is not None:
+        from repro import backends
+
+        if ids_name not in ("Kitsune", "HELAD"):
+            print(f"error: {ids_name} is a flow-level IDS; "
+                  "--feature-backend only applies to packet-level IDSs "
+                  "(Kitsune, HELAD)", file=sys.stderr)
+            return 2
+        try:
+            # Resolve "auto" (and validate explicit names) up front so
+            # an unavailable backend fails with the registry's message.
+            feature_backend = backends.resolve(
+                backends.FEATURE_ENGINE, feature_backend
+            ).name
+        except (KeyError, RuntimeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
     def live_window(snapshot) -> None:
         if not args.quiet:
             print(snapshot.describe())
@@ -323,6 +342,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             ids_name, seed=args.seed, batch_size=args.batch,
             schema=args.schema, labelled=False,
             warmup_packets=train_packets,
+            feature_backend=feature_backend,
         )
         try:
             if sharded:
@@ -378,6 +398,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             ids_name, seed=args.seed, batch_size=args.batch,
             schema=args.schema, labelled=True,
             warmup_packets=train_packets,
+            feature_backend=feature_backend,
         )
         try:
             report = run_sharded(source, detector, args.threshold,
@@ -400,6 +421,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             base = ExperimentConfig(ids_name=ids_name, dataset_name=dataset_name)
         config = replace(base, seed=args.seed, scale=args.scale,
                          schema=args.schema)
+        if feature_backend is not None:
+            config = replace(config, ids_overrides={
+                **config.ids_overrides, "netstat_engine": feature_backend,
+            })
         report = stream_experiment(
             config,
             batch_size=args.batch,
@@ -475,6 +500,34 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(profile.render())
     if args.json:
         _write_json(args.json, profile.to_dict())
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro import backends
+
+    caps = backends.capabilities()
+    native = "available" if caps["native_kernel"] else "unavailable"
+    if caps["native_kernel_reason"]:
+        native += f" ({caps['native_kernel_reason']})"
+    print(f"host: {caps['cpu_count']} cpu(s); native kernel {native}; "
+          f"mt threads {caps['mt_threads']}")
+    for component in backends.components():
+        try:
+            chosen = backends.resolve(component).name
+        except RuntimeError:
+            chosen = "none"
+        print(f"\n{component} (auto -> {chosen}):")
+        for name in backends.backend_names(component):
+            spec = backends.get_backend(component, name)
+            reason = spec.availability()
+            status = "available" if reason is None else f"unavailable: {reason}"
+            print(f"  {name:17s} {status}")
+            print(f"  {'':17s} {spec.description}")
+            print(f"  {'':17s} parity: {spec.parity}; "
+                  f"expected: {spec.expected_speedup}")
+    if args.json:
+        _write_json(args.json, caps)
     return 0
 
 
@@ -666,6 +719,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--schema", choices=("netflow", "cicflow"),
                           default="netflow",
                           help="flow feature schema for flow-level IDSs")
+    p_stream.add_argument("--feature-backend",
+                          choices=("auto", "scalar", "vector-numpy",
+                                   "vector-native", "vector-native-mt"),
+                          default=None,
+                          help="pin the AfterImage compute backend for "
+                               "packet-level IDSs (see repro-cli "
+                               "backends); every backend is "
+                               "bit-identical to the scalar reference, "
+                               "so this is a pure throughput knob. "
+                               "'auto' picks the best backend the host "
+                               "can run; the report's feature_backend "
+                               "note records the resolved choice")
     p_stream.add_argument("--workers", type=_positive_int,
                           help="shard the stream across N detector worker "
                                "processes (flow-consistent channel "
@@ -719,11 +784,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="cap the replay at this many packets")
     p_profile.add_argument("--engine",
                            choices=("vector", "vector-numpy",
-                                    "vector-native", "scalar"),
+                                    "vector-native", "vector-native-mt",
+                                    "scalar"),
                            default="vector",
                            help="NetStat feature engine to profile "
                                 "(default vector: native kernel when "
-                                "available)")
+                                "available; the profile's "
+                                "feature_backend field records the "
+                                "resolved backend)")
     p_profile.add_argument("--batch", type=_positive_int, default=256,
                            help="micro-batch size for the kitnet-batch "
                                 "stage (default 256)")
@@ -741,6 +809,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--json", help="write the profile to this "
                                           "path as JSON")
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_backends = sub.add_parser(
+        "backends",
+        help="list registered compute backends (feature engine, "
+             "ensemble) with host capability discovery",
+    )
+    p_backends.add_argument("--json",
+                            help="write the capability report to this "
+                                 "path as JSON")
+    p_backends.set_defaults(func=_cmd_backends)
 
     p_obs = sub.add_parser(
         "obs-report",

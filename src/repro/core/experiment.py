@@ -285,7 +285,10 @@ def run_experiment(
         scores = ids.score_batch(data.test_packets)
         fit_score_seconds = time.perf_counter() - fit_score_start
         y_true = data.y_true
-        notes = data.notes
+        from repro.backends import backend_notes
+
+        notes = dict(data.notes)
+        notes.update(backend_notes(ids))
         attack_types = tuple(p.attack_type for p in data.test_packets)
     else:
         train_dataset = None

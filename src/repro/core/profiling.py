@@ -70,6 +70,11 @@ class PacketPathProfile:
     engine: str
     kernel: str
     stages: tuple[StageTiming, ...]
+    #: Registered backend names actually driving the profiled stages
+    #: (``repro.backends``): the resolved feature-engine backend behind
+    #: ``engine`` and the ensemble backend behind ``kitnet-batch``.
+    feature_backend: str = "vector-native"
+    ensemble_backend: str = "batched-einsum"
     scalar_netstat_seconds: float | None = None
     batch_size: int = 256
     kitnet_batch_parity: bool | None = None
@@ -132,7 +137,8 @@ class PacketPathProfile:
         lines = [
             f"packet path profile: {self.dataset} seed={self.seed} "
             f"scale={self.scale} ({self.packets} packets, "
-            f"engine={self.engine}/{self.kernel})",
+            f"engine={self.engine}/{self.kernel}, "
+            f"backend={self.feature_backend})",
             f"  {'stage':20s} {'seconds':>9s} {'us/pkt':>9s} "
             f"{'pkt/s':>12s} {'share':>7s}",
         ]
@@ -191,6 +197,8 @@ class PacketPathProfile:
             "packets": self.packets,
             "engine": self.engine,
             "kernel": self.kernel,
+            "feature_backend": self.feature_backend,
+            "ensemble_backend": self.ensemble_backend,
             "total_seconds": self.total_seconds,
             "netstat_speedup": self.netstat_speedup,
             "scalar_netstat_seconds": self.scalar_netstat_seconds,
@@ -371,6 +379,8 @@ def profile_packet_path(
         engine=engine,
         kernel=kernel,
         stages=stages,
+        feature_backend=extractor.backend,
+        ensemble_backend=detector.resolved_ensemble_backend,
         scalar_netstat_seconds=scalar_seconds,
         batch_size=batch_size,
         kitnet_batch_parity=batch_parity,

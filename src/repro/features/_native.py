@@ -28,14 +28,21 @@ import os
 import subprocess
 import sys
 import tempfile
+import warnings
 from pathlib import Path
 
 #: Largest decay-vector length the kernel's stack buffers support.
 MAX_DECAYS = 16
 
+#: Independent aggregation groups one packet touches (SrcMAC-IP, SrcIP,
+#: channel, socket). The batched kernel can process each group on its
+#: own thread because their row sets are pairwise disjoint.
+MT_GROUPS = 4
+
 _KERNEL_SOURCE = r"""
 #include <math.h>
 #include <stdint.h>
+#include <time.h>
 
 #define MAXD 16
 
@@ -192,6 +199,98 @@ void afterimage_update_packet(double *state, double *last,
         }
     }
 }
+
+/* Batched update: fold n packets into the tables in one call.
+ *
+ * rows is n x 8 (one interned working set per packet), out is n x 20*d
+ * and aux n x 8*d, both contiguous. group selects which aggregation
+ * family to process: 0 = SrcMAC-IP, 1 = SrcIP, 2 = channel,
+ * 3 = socket, -1 = all four (single-thread batched path).
+ *
+ * Each group touches a row set disjoint from every other group's (the
+ * interning keys carry distinct prefixes and covariance rows live in a
+ * separate table), and writes disjoint out/aux column slices — so four
+ * concurrent calls with group 0..3 are bit-identical to one group=-1
+ * call, which is itself bit-identical to n single-packet calls. The
+ * per-group packet walk stays strictly in sequence order, preserving
+ * the decay/accumulate operation order of the scalar reference. */
+void afterimage_update_batch(double *state, double *last,
+                             const int64_t *rows, const double *ts,
+                             const double *v, int64_t n,
+                             const double *decays, int64_t d,
+                             int64_t group, double *out, double *aux)
+{
+    double w[MAXD], mean[MAXD], var[MAXD], stdv[MAXD];
+    double mb[MAXD], vb[MAXD], sb[MAXD];
+    double cov[MAXD], corr[MAXD];
+    double *block;
+    int64_t p, i, g;
+
+    for (p = 0; p < n; p++) {
+        const int64_t *r = rows + p * 8;
+        double *o = out + p * 20 * d;
+        double *a = aux + p * 8 * d;
+        double tsp = ts[p];
+        double vp = v[p];
+        if (group < 0 || group == 0) {
+            insert_row(state, last, r[0], tsp, vp, decays, d,
+                       w, mean, var, stdv);
+            for (i = 0; i < d; i++) {
+                o[3 * i] = w[i];
+                o[3 * i + 1] = mean[i];
+                o[3 * i + 2] = stdv[i];
+            }
+        }
+        if (group < 0 || group == 1) {
+            insert_row(state, last, r[1], tsp, vp, decays, d,
+                       w, mean, var, stdv);
+            block = o + 3 * d;
+            for (i = 0; i < d; i++) {
+                block[3 * i] = w[i];
+                block[3 * i + 1] = mean[i];
+                block[3 * i + 2] = stdv[i];
+            }
+        }
+        for (g = 0; g < 2; g++) {
+            if (group >= 0 && group != 2 + g)
+                continue;
+            insert_row(state, last, r[2 + g], tsp, vp, decays, d,
+                       w, mean, var, stdv);
+            read_row(state, r[6 + g], d, mb, vb, sb);
+            update_cov_row(state, last, r[4 + g], tsp, vp, decays, d,
+                           mean, stdv, sb, cov, corr);
+            block = o + 6 * d + g * 7 * d;
+            for (i = 0; i < d; i++) {
+                block[7 * i] = w[i];
+                block[7 * i + 1] = mean[i];
+                block[7 * i + 2] = stdv[i];
+                block[7 * i + 5] = cov[i];
+                block[7 * i + 6] = corr[i];
+            }
+            for (i = 0; i < d; i++) {
+                a[g * d + i] = mean[i];
+                a[2 * d + g * d + i] = var[i];
+                a[4 * d + g * d + i] = mb[i];
+                a[6 * d + g * d + i] = vb[i];
+            }
+        }
+    }
+}
+
+/* Concurrency probe: sleep without holding any lock. ctypes releases
+ * the GIL around the call, so k pooled invocations overlapping in
+ * ~seconds wall time (instead of k * seconds) proves the worker-pool
+ * dispatch really runs kernel calls concurrently — independent of core
+ * count, which is what lets 1-core CI gate the multithreaded backend
+ * the same way the sharded ladder gates its scaling with a throttled
+ * probe detector. */
+void probe_sleep(double seconds)
+{
+    struct timespec req;
+    req.tv_sec = (time_t)seconds;
+    req.tv_nsec = (long)((seconds - (double)req.tv_sec) * 1e9);
+    nanosleep(&req, 0);
+}
 """
 
 #: IEEE-preserving flags: no FMA contraction, no unsafe reassociation —
@@ -232,22 +331,49 @@ def _compile(target: Path) -> bool:
 
 _cached_kernel: ctypes.CDLL | None = None
 _load_attempted = False
+_unavailable_reason: str | None = None
+
+
+def unavailable_reason() -> str | None:
+    """Why the native kernel is off, or ``None`` when it loaded."""
+    load_kernel()
+    return _unavailable_reason
 
 
 def load_kernel() -> ctypes.CDLL | None:
-    """The compiled kernel, or ``None`` when native support is off."""
-    global _cached_kernel, _load_attempted
+    """The compiled kernel, or ``None`` when native support is off.
+
+    A missing/broken compiler degrades to the NumPy kernel with a
+    single :class:`RuntimeWarning` (per process), never an exception;
+    ``REPRO_DISABLE_NATIVE`` is a deliberate opt-out and stays silent.
+    """
+    global _cached_kernel, _load_attempted, _unavailable_reason
     if _load_attempted:
         return _cached_kernel
     _load_attempted = True
     if os.environ.get("REPRO_DISABLE_NATIVE"):
+        _unavailable_reason = "REPRO_DISABLE_NATIVE is set"
         return None
     path = _cache_path()
     if not path.exists() and not _compile(path):
+        _unavailable_reason = "C kernel compilation failed (no C compiler?)"
+        warnings.warn(
+            "native AfterImage kernel unavailable: compilation failed "
+            "(is a C compiler on PATH?); falling back to the NumPy kernel",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
     try:
         library = ctypes.CDLL(str(path))
     except OSError:
+        _unavailable_reason = "compiled kernel failed to load"
+        warnings.warn(
+            "native AfterImage kernel unavailable: the compiled artifact "
+            "failed to load; falling back to the NumPy kernel",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
     fn = library.afterimage_update_packet
     fn.restype = None
@@ -262,5 +388,23 @@ def load_kernel() -> ctypes.CDLL | None:
         ctypes.c_void_p,   # out
         ctypes.c_void_p,   # aux
     ]
+    batch = library.afterimage_update_batch
+    batch.restype = None
+    batch.argtypes = [
+        ctypes.c_void_p,   # state
+        ctypes.c_void_p,   # last
+        ctypes.c_void_p,   # rows (n x 8)
+        ctypes.c_void_p,   # timestamps (n)
+        ctypes.c_void_p,   # values (n)
+        ctypes.c_int64,    # packet count
+        ctypes.c_void_p,   # decays
+        ctypes.c_int64,    # decay count
+        ctypes.c_int64,    # group (-1 = all)
+        ctypes.c_void_p,   # out (n x 20*d)
+        ctypes.c_void_p,   # aux (n x 8*d)
+    ]
+    probe = library.probe_sleep
+    probe.restype = None
+    probe.argtypes = [ctypes.c_double]
     _cached_kernel = library
     return library

@@ -21,7 +21,8 @@ Two engines implement the same semantics bit-for-bit:
   :class:`~repro.features.vector.VectorIncStatDB`, which interns the
   four stream keys per (MAC, IPs, ports) tuple once and then updates
   all decay factors of a packet's working set with vectorized kernels
-  (``"vector-numpy"`` / ``"vector-native"`` pin a specific kernel).
+  (``"vector-numpy"`` / ``"vector-native"`` / ``"vector-native-mt"``
+  pin a specific kernel; see :mod:`repro.backends` for discovery).
 
 See ``docs/PERFORMANCE.md`` for the layout and the parity contract.
 """
@@ -42,6 +43,15 @@ _VECTOR_ENGINES = {
     "vector": "auto",
     "vector-numpy": "numpy",
     "vector-native": "native",
+    "vector-native-mt": "native-mt",
+}
+
+#: VectorIncStatDB kernel → registered backend name (see
+#: :mod:`repro.backends`).
+_KERNEL_BACKENDS = {
+    "numpy": "vector-numpy",
+    "native": "vector-native",
+    "native-mt": "vector-native-mt",
 }
 
 #: Upper bound on cached (mac, ips, ports) → interned-rows entries.
@@ -82,6 +92,18 @@ class NetStat:
     def feature_count(self) -> int:
         """20 features per decay factor (3 + 3 + 7 + 7)."""
         return 20 * len(self.decays)
+
+    @property
+    def backend(self) -> str:
+        """The resolved compute backend actually driving extraction.
+
+        Unlike :attr:`engine` (which may be the ``"vector"`` auto
+        alias), this reports the concrete registered backend name —
+        e.g. ``"vector-native"`` after auto-selection found a compiler.
+        """
+        if self.engine == "scalar":
+            return "scalar"
+        return _KERNEL_BACKENDS[self._db.kernel_name]
 
     def update(self, packet: Packet) -> np.ndarray:
         """Update all aggregations with ``packet``; return its features.
@@ -161,24 +183,82 @@ class NetStat:
         db.update_packet(entry, size, timestamp, out, out_ptr)
         self.packets_seen += 1
 
-    def extract_all(self, packets) -> np.ndarray:
-        """Vectorise a whole packet sequence into an (n, d) matrix.
+    def update_batch(self, packets) -> np.ndarray:
+        """Batched fast path: fold ``packets`` in one pass, return the
+        ``(n, feature_count)`` matrix — bit-identical to ``n``
+        :meth:`update` calls.
 
-        The vector engine writes every packet's features straight into
-        the preallocated result matrix (no per-packet allocations)."""
+        The vector engines resolve every packet's interned rows first
+        (so key interning, cache lookups and prune bookkeeping happen
+        once per batch-shape, not interleaved with compute), then hand
+        the whole batch to the kernel in one call. Row updates are
+        deferred until that compute, so entry resolution threads a
+        batch-wide ``pending``/``exclude`` through the database: a
+        mid-batch prune sees in-flight rows at their conceptual update
+        times and cannot recycle them under an earlier packet.
+        """
+        packets = list(packets)
         if self.engine == "scalar":
             rows = [self.update(packet) for packet in packets]
             if not rows:
                 return np.empty((0, self.feature_count), dtype=np.float64)
             return np.vstack(rows)
-        packets = list(packets)
-        width = self.feature_count
-        matrix = np.empty((len(packets), width))
-        base = matrix.ctypes.data
-        stride = width * matrix.itemsize
+        n = len(packets)
+        out = np.empty((n, self.feature_count))
+        if n == 0:
+            return out
+        db = self._db
+        cache = self._entries
+        entries = []
+        values = np.empty(n)
+        stamps = np.empty(n)
+        pending: dict[int, float] = {}
+        exclude: set[int] = set()
         for index, packet in enumerate(packets):
-            self._update_into(packet, matrix[index], base + index * stride)
-        return matrix
+            timestamp = packet.timestamp
+            ether = packet.ether
+            src_mac = ether.src_mac if ether is not None else "??"
+            src_ip = packet.src_ip or "0.0.0.0"
+            dst_ip = packet.dst_ip or "0.0.0.0"
+            src_port = packet.src_port
+            if src_port is None:
+                src_port = 0
+            dst_port = packet.dst_port
+            if dst_port is None:
+                dst_port = 0
+            cache_key = (src_mac, src_ip, dst_ip, src_port, dst_port)
+            entry = cache.get(cache_key)
+            if entry is None or entry.epoch != db.epoch:
+                entry = db.packet_entry(
+                    src_mac, src_ip, dst_ip, src_port, dst_port,
+                    timestamp, pending=pending, exclude=exclude,
+                )
+                if len(cache) >= _ENTRY_CACHE_LIMIT:
+                    cache.clear()
+                cache[cache_key] = entry
+            # The stat rows (mac, ip, ch_ab, sk_ab) are conceptually
+            # updated at this packet's time even though the compute is
+            # deferred; a later packet's prune must judge them by it.
+            stat_rows = entry.rows
+            pending[stat_rows[0]] = timestamp
+            pending[stat_rows[1]] = timestamp
+            pending[stat_rows[2]] = timestamp
+            pending[stat_rows[3]] = timestamp
+            exclude.update(stat_rows)
+            entries.append(entry)
+            values[index] = float(packet.wire_len)
+            stamps[index] = timestamp
+        db.update_packet_batch(entries, values, stamps, out)
+        self.packets_seen += n
+        return out
+
+    def extract_all(self, packets) -> np.ndarray:
+        """Vectorise a whole packet sequence into an (n, d) matrix.
+
+        The vector engines route through :meth:`update_batch`, writing
+        every packet's features straight into the preallocated result
+        matrix with one kernel dispatch per batch."""
+        return self.update_batch(packets)
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()

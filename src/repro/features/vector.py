@@ -32,11 +32,17 @@ Two interchangeable kernels drive the arrays:
 * ``native`` — a small C kernel (see :mod:`repro.features._native`)
   compiled on demand, ~10x faster because it removes per-call ufunc
   dispatch overhead. Falls back to ``numpy`` when no compiler exists.
+* ``native-mt`` — the same C kernel driven batch-at-a-time with the
+  four aggregation groups (MAC, IP, channel, socket) dispatched to a
+  thread pool. ctypes releases the GIL around each call and the groups
+  touch disjoint rows and output columns, so the result stays
+  bit-identical to the single-thread kernel.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -45,6 +51,33 @@ from repro.utils.validation import check_positive
 
 _POW = math.pow
 _HYPOT = math.hypot
+
+#: Batches smaller than this skip the thread-pool dispatch — the 4-way
+#: submit/sync overhead would dominate the kernel time.
+_MT_MIN_BATCH = 32
+
+_mt_pool_instance: ThreadPoolExecutor | None = None
+
+
+def mt_thread_count() -> int:
+    """Workers in the shared group-parallel pool (one per group)."""
+    return _native.MT_GROUPS
+
+
+def _mt_pool() -> ThreadPoolExecutor:
+    """Process-wide pool for group-parallel kernel dispatch.
+
+    Shared across all ``native-mt`` databases: the kernel calls are
+    pure compute on caller-owned buffers, so a common pool just bounds
+    total thread count.
+    """
+    global _mt_pool_instance
+    if _mt_pool_instance is None:
+        _mt_pool_instance = ThreadPoolExecutor(
+            max_workers=mt_thread_count(),
+            thread_name_prefix="afterimage-mt",
+        )
+    return _mt_pool_instance
 
 
 class _PacketEntry:
@@ -70,8 +103,9 @@ class VectorIncStatDB:
         Soft bound on tracked keys; the stalest half is evicted past it
         (identical eviction set to the scalar reference).
     kernel:
-        ``"auto"`` (native when available), ``"numpy"``, or ``"native"``
-        (raises if the native kernel cannot be built).
+        ``"auto"`` (native when available), ``"numpy"``, ``"native"``,
+        or ``"native-mt"`` (the latter two raise if the native kernel
+        cannot be built).
     """
 
     def __init__(
@@ -86,7 +120,7 @@ class VectorIncStatDB:
             raise ValueError("at least one decay factor is required")
         for decay in decays:
             check_positive("decay", decay)
-        if kernel not in ("auto", "numpy", "native"):
+        if kernel not in ("auto", "numpy", "native", "native-mt"):
             raise ValueError(f"unknown kernel {kernel!r}")
         self.decays = tuple(float(d) for d in decays)
         self.max_streams = max_streams
@@ -131,11 +165,13 @@ class VectorIncStatDB:
         self._aux = np.empty(8 * self._d)
         self._aux_ptr = self._aux.ctypes.data
         self._native_fn = None
+        self._native_batch_fn = None
         if self.kernel != "numpy" and self._d <= _native.MAX_DECAYS:
             library = _native.load_kernel()
             if library is not None:
                 self._native_fn = library.afterimage_update_packet
-        if self.kernel == "native" and self._native_fn is None:
+                self._native_batch_fn = library.afterimage_update_batch
+        if self.kernel in ("native", "native-mt") and self._native_fn is None:
             raise RuntimeError(
                 "native AfterImage kernel unavailable (no C compiler, "
                 "REPRO_DISABLE_NATIVE set, or too many decay factors)"
@@ -149,7 +185,9 @@ class VectorIncStatDB:
     @property
     def kernel_name(self) -> str:
         """Which kernel actually drives ``update_packet``."""
-        return "native" if self._native_fn is not None else "numpy"
+        if self._native_fn is None:
+            return "numpy"
+        return "native-mt" if self.kernel == "native-mt" else "native"
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -388,6 +426,8 @@ class VectorIncStatDB:
         src_port: int,
         dst_port: int,
         timestamp: float,
+        pending: dict[int, float] | None = None,
+        exclude: set[int] | None = None,
     ) -> _PacketEntry:
         """Intern one packet's eight rows (creating streams as needed).
 
@@ -399,6 +439,13 @@ class VectorIncStatDB:
         earlier groups' streams presented to the pruner at the packet
         timestamp (``pending``) because the scalar path has already
         updated them by the time a later group's creation prunes.
+
+        Batch callers (:meth:`update_packet_batch` via ``NetStat``)
+        pass shared ``pending``/``exclude`` spanning every in-flight
+        packet: their row updates are deferred until the batched
+        compute, so a mid-batch prune must both see those rows at
+        their conceptual update times and keep them out of the free
+        list until the batch completes.
         """
         mac_key = ("mac", src_mac, src_ip)
         ip_key = ("ip", src_ip)
@@ -407,8 +454,10 @@ class VectorIncStatDB:
         sk_ab = ("sk", src_ip, src_port, dst_ip, dst_port)
         sk_ba = ("sk", dst_ip, dst_port, src_ip, src_port)
         epoch_before = self.epoch
-        pending: dict[int, float] = {}
-        exclude: set[int] = set()
+        if pending is None:
+            pending = {}
+        if exclude is None:
+            exclude = set()
         r_mac = self._intern(mac_key, timestamp, pending, exclude)
         exclude.add(r_mac)
         pending[r_mac] = timestamp
@@ -502,6 +551,85 @@ class VectorIncStatDB:
             var_b += rev_var.tolist()
         self._fill_hypot(out, mean_a + var_a + mean_b + var_b)
 
+    def update_packet_batch(
+        self,
+        entries: list[_PacketEntry],
+        values: np.ndarray,
+        timestamps: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """Fold ``n`` packets into the tables in one batched pass.
+
+        ``out`` must be a C-contiguous ``(n, 20 * D)`` matrix. Entries
+        must have been resolved with a shared ``pending``/``exclude``
+        (see :meth:`packet_entry`); compute happens here, after all
+        interning, so the state pointers survive any mid-batch growth.
+
+        The native kernel takes one call for the whole batch; under
+        ``native-mt`` the four aggregation groups are dispatched to a
+        worker pool (disjoint rows and output columns keep the result
+        bit-identical). The NumPy kernel falls back to the per-packet
+        loop, which is already parity-exact.
+        """
+        n = len(entries)
+        if n == 0:
+            return
+        if self._native_batch_fn is None:
+            base = out.ctypes.data
+            stride = out.shape[1] * out.itemsize
+            for i, entry in enumerate(entries):
+                self.update_packet(
+                    entry, float(values[i]), float(timestamps[i]),
+                    out[i], base + i * stride,
+                )
+            return
+        d = self._d
+        rows = np.empty((n, 8), dtype=np.int64)
+        for i, entry in enumerate(entries):
+            rows[i] = entry.rows_arr
+        ts = np.ascontiguousarray(timestamps, dtype=np.float64)
+        v = np.ascontiguousarray(values, dtype=np.float64)
+        aux = np.empty((n, 8 * d))
+        fn = self._native_batch_fn
+        shared = (
+            self._state_ptr, self._last_ptr, rows.ctypes.data,
+            ts.ctypes.data, v.ctypes.data, n, self._decays_ptr, d,
+        )
+        if self.kernel == "native-mt" and n >= _MT_MIN_BATCH:
+            pool = _mt_pool()
+            futures = [
+                pool.submit(
+                    fn, *shared, group, out.ctypes.data, aux.ctypes.data
+                )
+                for group in range(_native.MT_GROUPS)
+            ]
+            for future in futures:
+                future.result()
+        else:
+            fn(*shared, -1, out.ctypes.data, aux.ctypes.data)
+        self._fill_hypot_batch(out, aux)
+
+    def _fill_hypot_batch(self, out: np.ndarray, aux: np.ndarray) -> None:
+        """Batched ``math.hypot`` post-pass (same contract as
+        :meth:`_fill_hypot`, amortised over the whole batch)."""
+        d2 = 2 * self._d
+        n = out.shape[0]
+        count = n * d2
+        mag = np.fromiter(
+            map(_HYPOT,
+                aux[:, :d2].ravel().tolist(),
+                aux[:, 2 * d2:3 * d2].ravel().tolist()),
+            dtype=np.float64, count=count,
+        )
+        out[:, self._mag_slice] = mag.reshape(n, d2)
+        rad = np.fromiter(
+            map(_HYPOT,
+                aux[:, d2:2 * d2].ravel().tolist(),
+                aux[:, 3 * d2:].ravel().tolist()),
+            dtype=np.float64, count=count,
+        )
+        out[:, self._rad_slice] = rad.reshape(n, d2)
+
     def _fill_hypot(self, out: np.ndarray, aux: list[float]) -> None:
         """Fill the magnitude/radius slots with ``math.hypot``.
 
@@ -522,7 +650,8 @@ class VectorIncStatDB:
     # -- pickling --------------------------------------------------------
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
-        for transient in ("_native_fn", "_decays_arr", "_decays_ptr",
+        for transient in ("_native_fn", "_native_batch_fn",
+                          "_decays_arr", "_decays_ptr",
                           "_factor_buf", "_aux", "_aux_ptr",
                           "_state_ptr", "_last_ptr"):
             state.pop(transient, None)

@@ -34,6 +34,7 @@ class KitNET:
     train_batch = 32
     train_workers: int | None = None
     train_backend = "thread"
+    ensemble_backend = "auto"
 
     def __init__(
         self,
@@ -48,6 +49,7 @@ class KitNET:
         train_batch: int = 32,
         train_workers: int | None = None,
         train_backend: str = "thread",
+        ensemble_backend: str = "auto",
         rng: SeededRNG,
     ) -> None:
         if dim <= 0:
@@ -62,6 +64,11 @@ class KitNET:
                 f"train_backend must be 'thread' or 'process', "
                 f"got {train_backend!r}"
             )
+        if ensemble_backend != "auto":
+            # Fail fast with the registry's known-backend message.
+            from repro import backends
+
+            backends.get_backend(backends.ENSEMBLE, ensemble_backend)
         self.dim = dim
         self.fm_grace = int(check_positive("fm_grace", fm_grace))
         self.ad_grace = int(check_positive("ad_grace", ad_grace))
@@ -81,6 +88,10 @@ class KitNET:
             else int(check_positive("train_workers", train_workers))
         )
         self.train_backend = train_backend
+        #: Execute-phase scoring backend: ``"auto"`` / the registered
+        #: ``"batched-einsum"`` (packed ensemble) or ``"per-row"``
+        #: (reference loop) — bit-identical, a pure throughput knob.
+        self.ensemble_backend = ensemble_backend
         self._rng = rng
         self.mapper = FeatureMapper(dim, max_group=max_group)
         # AfterImage normalisation does not clip: post-training regime
@@ -98,6 +109,12 @@ class KitNET:
         self._sharded_engine = None
 
     # -- lifecycle -------------------------------------------------------
+    @property
+    def resolved_ensemble_backend(self) -> str:
+        """The concrete execute-phase backend (``"auto"`` resolved)."""
+        backend = getattr(self, "ensemble_backend", "auto")
+        return "batched-einsum" if backend == "auto" else backend
+
     @property
     def in_feature_mapping(self) -> bool:
         return self.samples_seen < self.fm_grace
@@ -391,6 +408,10 @@ class KitNET:
         if self.output_layer is None:  # fm_grace satisfied mid-stream
             self._build_ensemble()
         assert self._output_scaler is not None
+        if self.resolved_ensemble_backend == "per-row":
+            scores = np.array([self._execute(row) for row in matrix])
+            self.samples_seen += matrix.shape[0]
+            return scores
         packed = self._packed()
         scaled = self.scaler.transform(matrix)
         rmses = packed.group_rmses(scaled)

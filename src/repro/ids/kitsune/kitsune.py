@@ -42,6 +42,7 @@ class Kitsune(PacketIDS):
         train_batch: int = 32,
         train_workers: int | None = None,
         train_backend: str = "thread",
+        ensemble_backend: str = "auto",
     ) -> None:
         # The vectorized AfterImage engine is bit-identical to the
         # scalar reference (tests/test_features_parity.py), so the
@@ -63,6 +64,7 @@ class Kitsune(PacketIDS):
             train_batch=train_batch,
             train_workers=train_workers,
             train_backend=train_backend,
+            ensemble_backend=ensemble_backend,
             rng=SeededRNG(seed, "kitsune"),
         )
 

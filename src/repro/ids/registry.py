@@ -104,3 +104,28 @@ def batch_capable_ids() -> dict[str, bool]:
         name: bool(getattr(cls, "supports_batch", False))
         for name, cls in evaluated_ids_factories().items()
     }
+
+
+def ids_compute_backends() -> dict[str, dict[str, str | None]]:
+    """Default-resolved compute backends per evaluated IDS.
+
+    Packet-level IDSs extract AfterImage features through the default
+    (auto-selected) feature-engine backend; Kitsune additionally scores
+    execute-phase batches through an ensemble backend. Flow-level IDSs
+    report ``None`` for both — their feature matrices never touch the
+    per-packet compute backends. See :mod:`repro.backends`.
+    """
+    from repro import backends
+    from repro.ids.base import PacketIDS
+    from repro.ids.kitsune import Kitsune
+
+    out: dict[str, dict[str, str | None]] = {}
+    for name, cls in evaluated_ids_factories().items():
+        packet_level = isinstance(cls, type) and issubclass(cls, PacketIDS)
+        out[name] = {
+            "feature": backends.default_feature_backend()
+            if packet_level else None,
+            "ensemble": "batched-einsum"
+            if isinstance(cls, type) and issubclass(cls, Kitsune) else None,
+        }
+    return out

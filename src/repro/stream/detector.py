@@ -315,6 +315,7 @@ def build_streaming_detector(
     ids_overrides: dict | None = None,
     labelled: bool = True,
     warmup_packets: int | None = None,
+    feature_backend: str | None = None,
 ) -> StreamingDetector:
     """Construct a streaming adapter for one of the evaluated IDSs.
 
@@ -325,12 +326,31 @@ def build_streaming_detector(
     scaled to fit the prefix exactly as the batch path scales them —
     otherwise a short prefix leaves KitNET still in its grace periods
     and 'scores' are silently training-step outputs.
+
+    ``feature_backend`` pins the AfterImage compute backend for
+    packet-level IDSs: a registered feature-engine backend name, or
+    ``"auto"`` to let the registry rank what this host can run (see
+    :mod:`repro.backends`). Every backend is bit-identical to the
+    scalar reference, so this is a pure throughput knob.
     """
     name = canonical_ids_name(ids_name)
     factory = evaluated_ids_factories()[name]
     kwargs = dict(factory.default_config())
     overrides = dict(ids_overrides or {})
     kwargs.update(overrides)
+    if feature_backend is not None:
+        from repro import backends
+
+        resolved = backends.resolve(backends.FEATURE_ENGINE, feature_backend)
+        if not getattr(factory, "supports_batch", False) or name not in (
+            "Kitsune", "HELAD"
+        ):
+            raise ValueError(
+                f"{name} is a flow-level IDS and does not use the "
+                "NetStat feature engine; --feature-backend only applies "
+                "to packet-level IDSs (Kitsune, HELAD)"
+            )
+        kwargs["netstat_engine"] = resolved.name
     if name != "Slips":
         kwargs.setdefault("seed", seed)
     if name == "Kitsune" and warmup_packets is not None:

@@ -28,7 +28,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro import obs
+from repro import backends, obs
 from repro.core.experiment import (
     ExperimentConfig,
     build_flow_cell,
@@ -322,6 +322,7 @@ def stream_experiment(
     notes["seed"] = config.seed
     notes["scale"] = config.scale
     notes["scoring_path"] = detector.scoring_path
+    notes.update(backends.backend_notes(ids))
     notes["run_id"] = obs.run_id()
     if exporter is not None:
         exporter.export()
@@ -481,6 +482,7 @@ def stream_capture(
                 getattr(detector, "tracker", None), "non_ip_packets", 0
             ),
             "scoring_path": detector.scoring_path,
+            **backends.backend_notes(getattr(detector, "ids", None)),
             "run_id": obs.run_id(),
         },
     )

@@ -59,7 +59,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import backends, obs
 from repro.core.thresholds import standard_threshold
 from repro.ids.persistence import (
     latest_stream_checkpoint,
@@ -770,6 +770,9 @@ def stream_capture_sharded(
         y_true=y_true,
         notes={
             "scoring_path": detector.scoring_path,
+            # The compute backends the supervisor's detector template
+            # resolved to; every worker clones the same template.
+            **backends.backend_notes(getattr(detector, "ids", None)),
             "sharded": True,
             "workers_n": workers,
             "shard_key": "canonical-channel",

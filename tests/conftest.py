@@ -29,6 +29,35 @@ def _obs_isolation():
     obs.reset_registry()
 
 
+def _available_feature_backends() -> list[str]:
+    """Feature-engine backends whose probes pass on this host.
+
+    Evaluated at collection time so the parity-contract fixtures below
+    parameterize over exactly the backends a user could select here —
+    native variants appear only when a C compiler is available.
+    """
+    from repro import backends
+
+    return [
+        spec.name
+        for spec in backends.available_backends(backends.FEATURE_ENGINE)
+    ]
+
+
+@pytest.fixture(params=_available_feature_backends())
+def feature_backend(request) -> str:
+    """Shared parity contract: every registered, available feature
+    backend. A test taking this fixture runs once per backend and must
+    hold bit-for-bit against the scalar reference."""
+    return request.param
+
+
+@pytest.fixture(params=["per-row", "batched-einsum"])
+def ensemble_backend(request) -> str:
+    """Shared parity contract over the registered ensemble backends."""
+    return request.param
+
+
 @pytest.fixture
 def rng() -> SeededRNG:
     return SeededRNG(12345, "test")

@@ -1,0 +1,249 @@
+"""The compute-backend registry, capability discovery, and selection
+plumbing: ``repro.backends`` declarations, the native-kernel fallback
+contract, and the CLI surfaces that report the resolved backend."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro import backends
+from repro.backends.registry import BackendSpec, _REGISTRY
+from repro.cli import main
+from repro.features import _native
+
+
+class TestRegistry:
+    def test_components_and_declared_backends(self):
+        assert set(backends.components()) == {
+            backends.FEATURE_ENGINE, backends.ENSEMBLE,
+        }
+        assert backends.backend_names(backends.FEATURE_ENGINE) == (
+            "scalar", "vector-numpy", "vector-native", "vector-native-mt",
+        )
+        assert backends.backend_names(backends.ENSEMBLE) == (
+            "per-row", "batched-einsum",
+        )
+
+    def test_unknown_component_and_backend_errors_name_the_known_set(self):
+        with pytest.raises(KeyError, match="feature-engine, ensemble"):
+            backends.backend_names("gpu")
+        with pytest.raises(KeyError) as excinfo:
+            backends.get_backend(backends.FEATURE_ENGINE, "vector-cuda")
+        message = str(excinfo.value)
+        assert "vector-cuda" in message
+        assert "vector-native-mt" in message  # the known set is listed
+
+    def test_always_available_backends(self):
+        names = [
+            spec.name
+            for spec in backends.available_backends(backends.FEATURE_ENGINE)
+        ]
+        # Pure-Python backends carry no probe and are available anywhere.
+        assert "scalar" in names
+        assert "vector-numpy" in names
+
+    def test_resolve_auto_picks_highest_ranked_available(self):
+        spec = backends.resolve(backends.FEATURE_ENGINE, "auto")
+        if _native.load_kernel() is None:
+            assert spec.name == "vector-numpy"
+        else:
+            # The MT kernel only auto-outranks single-thread native on
+            # multi-core hosts; either way auto picks a native kernel.
+            assert spec.name.startswith("vector-native")
+        assert backends.resolve(backends.ENSEMBLE).name == "batched-einsum"
+
+    def test_resolve_explicit_unavailable_backend_raises(self):
+        key = (backends.FEATURE_ENGINE, "vector-test-unavailable")
+        backends.register(BackendSpec(
+            component=backends.FEATURE_ENGINE,
+            name="vector-test-unavailable",
+            description="test-only",
+            parity="n/a",
+            expected_speedup="n/a",
+            probe=lambda: "requires hardware this host lacks",
+        ))
+        try:
+            with pytest.raises(RuntimeError, match="requires hardware"):
+                backends.resolve(
+                    backends.FEATURE_ENGINE, "vector-test-unavailable"
+                )
+            # ...and auto never selects it either.
+            assert backends.resolve(backends.FEATURE_ENGINE).name != (
+                "vector-test-unavailable"
+            )
+        finally:
+            del _REGISTRY[key]
+
+    def test_capabilities_shape(self):
+        caps = backends.capabilities()
+        assert caps["cpu_count"] >= 1
+        assert isinstance(caps["native_kernel"], bool)
+        assert caps["mt_threads"] == _native.MT_GROUPS
+        per_component = caps["components"]
+        assert set(per_component) == set(backends.components())
+        scalar = per_component[backends.FEATURE_ENGINE]["scalar"]
+        assert scalar == {"available": True, "reason": None}
+
+    def test_default_feature_backend_matches_kernel_presence(self):
+        expected = (
+            "vector-native" if _native.load_kernel() is not None
+            else "vector-numpy"
+        )
+        assert backends.default_feature_backend() == expected
+
+
+class TestBackendNotes:
+    def test_kitsune_reports_both_backends(self):
+        from repro.ids.kitsune import Kitsune
+
+        ids = Kitsune(fm_grace=10, ad_grace=10)
+        notes = backends.backend_notes(ids)
+        assert notes["feature_backend"] == backends.default_feature_backend()
+        assert notes["ensemble_backend"] == "batched-einsum"
+
+    def test_flow_ids_and_none_report_nothing(self):
+        from repro.ids.slips import SlipsIDS
+
+        assert backends.backend_notes(SlipsIDS()) == {}
+        assert backends.backend_notes(None) == {}
+
+    def test_ids_compute_backends_covers_evaluated_ids(self):
+        from repro.ids.registry import ids_compute_backends
+
+        table = ids_compute_backends()
+        assert table["Kitsune"]["feature"] == (
+            backends.default_feature_backend()
+        )
+        assert table["Kitsune"]["ensemble"] == "batched-einsum"
+        assert table["HELAD"]["feature"] == (
+            backends.default_feature_backend()
+        )
+        assert table["HELAD"]["ensemble"] is None
+        assert table["Slips"] == {"feature": None, "ensemble": None}
+
+
+class TestNativeFallback:
+    """A missing compiler degrades to NumPy with one warning, never an
+    exception; ``REPRO_DISABLE_NATIVE`` is a silent opt-out."""
+
+    @pytest.fixture
+    def fresh_native_state(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(_native, "_load_attempted", False)
+        monkeypatch.setattr(_native, "_cached_kernel", None)
+        monkeypatch.setattr(_native, "_unavailable_reason", None)
+        # An empty cache dir forces a real compile attempt.
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        monkeypatch.delenv("REPRO_DISABLE_NATIVE", raising=False)
+
+    def test_compile_failure_warns_once_and_returns_none(
+        self, fresh_native_state, monkeypatch,
+    ):
+        monkeypatch.setenv("CC", "/nonexistent/compiler")
+        with pytest.warns(RuntimeWarning, match="falling back to the NumPy"):
+            assert _native.load_kernel() is None
+        assert "compilation failed" in _native.unavailable_reason()
+        # The failure is latched: later calls stay silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _native.load_kernel() is None
+
+    def test_disable_env_is_a_silent_opt_out(
+        self, fresh_native_state, monkeypatch,
+    ):
+        monkeypatch.setenv("REPRO_DISABLE_NATIVE", "1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _native.load_kernel() is None
+        assert _native.unavailable_reason() == "REPRO_DISABLE_NATIVE is set"
+
+    def test_netstat_still_constructs_without_native(
+        self, fresh_native_state, monkeypatch,
+    ):
+        from repro.features.netstat import NetStat
+
+        monkeypatch.setenv("REPRO_DISABLE_NATIVE", "1")
+        extractor = NetStat(engine="vector")
+        assert extractor.backend == "vector-numpy"
+        with pytest.raises(RuntimeError, match="unavailable"):
+            NetStat(engine="vector-native")
+
+
+class TestBackendsCLI:
+    def test_backends_subcommand_renders_capability_table(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "feature-engine" in out
+        assert "vector-native-mt" in out
+        assert "batched-einsum" in out
+
+    def test_backends_json_payload(self, tmp_path, capsys):
+        out = tmp_path / "caps.json"
+        assert main(["backends", "--json", str(out)]) == 0
+        caps = json.loads(out.read_text())
+        assert caps["cpu_count"] >= 1
+        assert "feature-engine" in caps["components"]
+
+    def test_stream_reports_resolved_feature_backend(self, tmp_path):
+        native = _native.load_kernel() is not None
+        backend = "vector-native" if native else "vector-numpy"
+        out = tmp_path / "report.json"
+        code = main([
+            "stream", "--ids", "kitsune", "--dataset", "mirai",
+            "--scale", "0.03", "--feature-backend", backend,
+            "--json", str(out), "--quiet",
+        ])
+        assert code == 0
+        notes = json.loads(out.read_text())["notes"]
+        assert notes["feature_backend"] == backend
+        assert notes["ensemble_backend"] == "batched-einsum"
+
+    def test_sharded_stream_reports_resolved_feature_backend(self, tmp_path):
+        out = tmp_path / "report.json"
+        code = main([
+            "stream", "--ids", "kitsune", "--dataset", "mirai",
+            "--scale", "0.03", "--feature-backend", "auto",
+            "--workers", "1", "--checkpoint-every", "500",
+            "--json", str(out), "--quiet",
+        ])
+        assert code == 0
+        notes = json.loads(out.read_text())["notes"]
+        assert notes["sharded"] is True
+        assert notes["feature_backend"] == backends.default_feature_backend()
+        assert notes["ensemble_backend"] == "batched-einsum"
+
+    def test_stream_feature_backend_rejected_for_flow_ids(self, capsys):
+        code = main([
+            "stream", "--ids", "slips", "--dataset", "mirai",
+            "--scale", "0.03", "--feature-backend", "scalar", "--quiet",
+        ])
+        assert code == 2
+        assert "packet-level" in capsys.readouterr().err
+
+    def test_stream_unavailable_backend_is_an_error(
+        self, capsys, monkeypatch,
+    ):
+        if _native.load_kernel() is not None:
+            monkeypatch.setattr(_native, "_cached_kernel", None)
+            monkeypatch.setattr(
+                _native, "_unavailable_reason", "forced off for test",
+            )
+        code = main([
+            "stream", "--ids", "kitsune", "--dataset", "mirai",
+            "--scale", "0.03", "--feature-backend", "vector-native-mt",
+            "--quiet",
+        ])
+        assert code == 2
+        assert "unavailable" in capsys.readouterr().err
+
+    def test_profile_json_reports_backends(self, tmp_path):
+        out = tmp_path / "profile.json"
+        assert main([
+            "profile", "--dataset", "mirai", "--scale", "0.03",
+            "--engine", "vector-numpy", "--json", str(out),
+        ]) == 0
+        profile = json.loads(out.read_text())
+        assert profile["feature_backend"] == "vector-numpy"
+        assert profile["ensemble_backend"] == "batched-einsum"

@@ -1,0 +1,111 @@
+"""The bench regression comparator (``benchmarks/compare_bench.py``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.compare_bench import compare, load_payloads, main
+
+
+def payload(bench: str, value: float, *, metric: str = "speedup",
+            scale: float | None = 1.0) -> dict:
+    return {"bench": bench, "metric": metric, "value": value, "scale": scale}
+
+
+def write_set(directory, payloads) -> None:
+    directory.mkdir(exist_ok=True)
+    for item in payloads:
+        path = directory / f"BENCH_{item['bench']}.json"
+        path.write_text(json.dumps(item))
+
+
+class TestCompare:
+    def test_matching_values_pass(self):
+        results = compare(
+            {"a": payload("a", 3.0)}, {"a": payload("a", 3.0)},
+        )
+        assert len(results) == 1
+        assert not results[0].regressed
+        assert results[0].ratio == 0.0
+
+    def test_large_drop_regresses_small_drop_does_not(self):
+        baseline = {"a": payload("a", 4.0)}
+        assert compare(baseline, {"a": payload("a", 3.0)})[0].regressed
+        assert not compare(baseline, {"a": payload("a", 3.3)})[0].regressed
+
+    def test_improvement_never_regresses(self):
+        results = compare({"a": payload("a", 2.0)}, {"a": payload("a", 9.0)})
+        assert not results[0].regressed
+        assert results[0].ratio == pytest.approx(3.5)
+
+    def test_lower_is_better_direction_for_overhead(self):
+        baseline = {"o": payload("o", 1.0, metric="overhead_ratio")}
+        worse = {"o": payload("o", 1.5, metric="overhead_ratio")}
+        better = {"o": payload("o", 0.5, metric="overhead_ratio")}
+        assert compare(baseline, worse)[0].regressed
+        improved = compare(baseline, better)[0]
+        assert not improved.regressed and improved.ratio > 0
+
+    def test_scale_mismatch_is_skipped_not_judged(self):
+        # A 0.05-scale smoke value against a committed scale-1.0 number
+        # is noise — even a huge apparent drop must not fail.
+        results = compare(
+            {"a": payload("a", 7.0, scale=1.0)},
+            {"a": payload("a", 1.0, scale=0.05)},
+        )
+        assert results[0].skipped is not None
+        assert "scale mismatch" in results[0].skipped
+        assert not results[0].regressed
+
+    def test_custom_threshold(self):
+        baseline = {"a": payload("a", 10.0)}
+        fresh = {"a": payload("a", 9.0)}
+        assert not compare(baseline, fresh, threshold=0.2)[0].regressed
+        assert compare(baseline, fresh, threshold=0.05)[0].regressed
+
+    def test_disjoint_benches_are_ignored(self):
+        assert compare({"old": payload("old", 1.0)},
+                       {"new": payload("new", 1.0)}) == []
+
+
+class TestCLI:
+    def test_regression_fails_with_exit_1(self, tmp_path, capsys):
+        write_set(tmp_path / "base", [payload("a", 4.0), payload("b", 1.0)])
+        write_set(tmp_path / "fresh", [payload("a", 2.0), payload("b", 1.0)])
+        code = main([str(tmp_path / "base"), str(tmp_path / "fresh")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "FAIL" in out
+
+    def test_clean_run_exits_0(self, tmp_path, capsys):
+        write_set(tmp_path / "base", [payload("a", 4.0)])
+        write_set(tmp_path / "fresh", [payload("a", 4.1)])
+        code = main([str(tmp_path / "base"), str(tmp_path / "fresh")])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_scale_mismatch_exits_0(self, tmp_path, capsys):
+        write_set(tmp_path / "base", [payload("a", 7.0, scale=1.0)])
+        write_set(tmp_path / "fresh", [payload("a", 1.0, scale=0.05)])
+        code = main([str(tmp_path / "base"), str(tmp_path / "fresh")])
+        assert code == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_single_file_arguments(self, tmp_path):
+        base = tmp_path / "BENCH_a.json"
+        base.write_text(json.dumps(payload("a", 2.0)))
+        assert main([str(base), str(base)]) == 0
+
+    def test_load_payloads_keys_by_embedded_name(self, tmp_path):
+        write_set(tmp_path, [payload("x", 1.0), payload("y", 2.0)])
+        loaded = load_payloads(tmp_path)
+        assert set(loaded) == {"x", "y"}
+
+    def test_committed_bench_files_self_compare_clean(self, capsys):
+        """The committed BENCH_*.json set must compare cleanly against
+        itself — proves the comparator parses every real payload."""
+        from benchmarks.conftest import REPO_ROOT
+
+        assert main([str(REPO_ROOT), str(REPO_ROOT)]) == 0

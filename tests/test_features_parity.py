@@ -37,7 +37,7 @@ GOLDEN_PATH = Path(__file__).parent / "golden" / "netstat_features.npz"
 
 NATIVE_AVAILABLE = _native.load_kernel() is not None
 VECTOR_ENGINES = ["vector-numpy"] + (
-    ["vector-native"] if NATIVE_AVAILABLE else []
+    ["vector-native", "vector-native-mt"] if NATIVE_AVAILABLE else []
 )
 
 
