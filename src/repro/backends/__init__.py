@@ -9,6 +9,7 @@ backend the host can run.
 from repro.backends.registry import (
     ENSEMBLE,
     FEATURE_ENGINE,
+    INGEST,
     BackendSpec,
     available_backends,
     backend_names,
@@ -16,6 +17,7 @@ from repro.backends.registry import (
     capabilities,
     components,
     default_feature_backend,
+    default_ingest_backend,
     get_backend,
     register,
     resolve,
@@ -25,6 +27,7 @@ __all__ = [
     "BackendSpec",
     "FEATURE_ENGINE",
     "ENSEMBLE",
+    "INGEST",
     "register",
     "components",
     "backend_names",
@@ -33,5 +36,6 @@ __all__ = [
     "resolve",
     "capabilities",
     "default_feature_backend",
+    "default_ingest_backend",
     "backend_notes",
 ]

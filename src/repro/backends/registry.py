@@ -28,11 +28,13 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.features import _native
+from repro.features import vector as _vector
 from repro.features.vector import mt_thread_count
 
 #: Component names backends are declared under.
 FEATURE_ENGINE = "feature-engine"
 ENSEMBLE = "ensemble"
+INGEST = "ingest"
 
 
 @dataclass(frozen=True)
@@ -135,6 +137,7 @@ def capabilities() -> dict:
         "native_kernel": _native.load_kernel() is not None,
         "native_kernel_reason": _native.unavailable_reason(),
         "mt_threads": mt_thread_count(),
+        "mt_measured_speedup": _vector.measured_mt_speedup(),
         "components": {
             component: {
                 spec.name: {
@@ -154,6 +157,11 @@ def default_feature_backend() -> str:
     if _native.load_kernel() is not None:
         return "vector-native"
     return "vector-numpy"
+
+
+def default_ingest_backend() -> str:
+    """The ingest backend ``resolve(INGEST, "auto")`` picks here."""
+    return resolve(INGEST).name
 
 
 def backend_notes(ids) -> dict:
@@ -182,9 +190,16 @@ def _native_probe() -> str | None:
 
 def _mt_auto_rank() -> int:
     # The group-parallel kernel only outranks the single-thread native
-    # kernel when there are cores to overlap on; on one core its pool
-    # dispatch is pure overhead.
-    return 30 if (os.cpu_count() or 1) >= 2 else 15
+    # kernel when there are cores to overlap on — and when a measured
+    # probe agrees. A 2-core host can still clock the pool at <1x
+    # (contended CI runners measure 0.93x), so the capability rank
+    # trusts the measurement over the core count.
+    if (os.cpu_count() or 1) < 2:
+        return 15
+    measured = _vector.measured_mt_speedup()
+    if measured is not None and measured < 1.0:
+        return 15  # demoted below vector-native (priority 20)
+    return 30
 
 
 register(BackendSpec(
@@ -222,6 +237,33 @@ register(BackendSpec(
     priority=30,
     probe=_native_probe,
     auto_rank=_mt_auto_rank,
+))
+def _columnar_probe() -> str | None:
+    try:
+        import repro.net.columnar  # noqa: F401  (numpy + mmap required)
+    except Exception as exc:  # pragma: no cover - import never fails here
+        return f"columnar decoder unavailable: {exc}"
+    return None
+
+
+register(BackendSpec(
+    component=INGEST,
+    name="packet-objects",
+    description="Per-packet struct decode into Packet dataclasses",
+    parity="is the reference",
+    expected_speedup="1x (baseline)",
+    priority=0,
+))
+register(BackendSpec(
+    component=INGEST,
+    name="columnar-mmap",
+    description=("Zero-copy columnar decode: mmap'd capture gathered "
+                 "into NetStat-ready column batches"),
+    parity="bit-for-bit scores, features and coverage digests vs "
+           "packet-objects",
+    expected_speedup=">=3x pcap-to-features",
+    priority=10,
+    probe=_columnar_probe,
 ))
 register(BackendSpec(
     component=ENSEMBLE,

@@ -13,8 +13,9 @@ Eight subcommands mirror the artefacts a user actually wants:
   (synthetic dataset replay or a pcap file), with sliding-window
   metrics, alert episodes and a JSON report;
 * ``repro-cli profile`` — time the packet path stage by stage
-  (parse → netstat → kitnet-train → kitnet → kitnet-batch) under a
-  chosen feature engine, with a scalar-reference comparison, a
+  (ingest → netstat → kitnet-train → kitnet → kitnet-batch) under a
+  chosen feature engine and ingest backend, with a scalar-reference
+  comparison, a
   batched-vs-per-packet KitNET speedup and parity check, and a JSON
   export;
 * ``repro-cli cache`` — inspect (``stats``) or LRU-trim (``gc``) an
@@ -329,6 +330,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             pace=args.pace,
             on_window=live_window,
             exporter=exporter,
+            ingest_backend=args.ingest_backend,
         )
 
     if args.pcap:
@@ -357,6 +359,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                     window_seconds=args.window,
                     on_window=live_window,
                     exporter=exporter,
+                    ingest_backend=args.ingest_backend,
                 )
         except ValueError as error:
             # e.g. a supervised IDS over an unlabelled capture, or a
@@ -425,6 +428,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             config = replace(config, ids_overrides={
                 **config.ids_overrides, "netstat_engine": feature_backend,
             })
+        if args.ingest_backend == "columnar-mmap":
+            print("error: the columnar-mmap ingest backend decodes "
+                  "capture files; synthetic dataset replay has no pcap "
+                  "to mmap (pass --pcap)", file=sys.stderr)
+            return 2
         report = stream_experiment(
             config,
             batch_size=args.batch,
@@ -487,6 +495,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             seed=args.seed,
             scale=args.scale,
             engine=args.engine,
+            ingest_backend=args.ingest_backend,
             max_packets=args.packets,
             compare_scalar=not args.no_compare,
             batch_size=args.batch,
@@ -731,6 +740,21 @@ def build_parser() -> argparse.ArgumentParser:
                                "'auto' picks the best backend the host "
                                "can run; the report's feature_backend "
                                "note records the resolved choice")
+    p_stream.add_argument("--ingest-backend",
+                          choices=("auto", "packet-objects",
+                                   "columnar-mmap"),
+                          default=None,
+                          help="how capture bytes become features "
+                               "(pcap mode, packet IDSs): "
+                               "'packet-objects' replays Packet "
+                               "objects one by one (default); "
+                               "'columnar-mmap' mmaps the capture and "
+                               "decodes straight into column batches "
+                               "(bit-identical scores, several times "
+                               "faster); 'auto' picks columnar when "
+                               "the source and detector support it. "
+                               "The report's ingest_backend note "
+                               "records the resolved choice")
     p_stream.add_argument("--workers", type=_positive_int,
                           help="shard the stream across N detector worker "
                                "processes (flow-consistent channel "
@@ -770,7 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_profile = sub.add_parser(
         "profile",
-        help="time the packet path stage by stage (parse, netstat, "
+        help="time the packet path stage by stage (ingest, netstat, "
              "kitnet-train, batched kitnet training, per-packet kitnet, "
              "batched kitnet)",
     )
@@ -792,6 +816,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "available; the profile's "
                                 "feature_backend field records the "
                                 "resolved backend)")
+    p_profile.add_argument("--ingest-backend",
+                           choices=("auto", "packet-objects",
+                                    "columnar-mmap"),
+                           default=None,
+                           help="ingest backend for the capture-read "
+                                "stage (default packet-objects; "
+                                "columnar-mmap decodes the scratch "
+                                "capture into column batches and feeds "
+                                "netstat columns directly)")
     p_profile.add_argument("--batch", type=_positive_int, default=256,
                            help="micro-batch size for the kitnet-batch "
                                 "stage (default 256)")
@@ -813,7 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_backends = sub.add_parser(
         "backends",
         help="list registered compute backends (feature engine, "
-             "ensemble) with host capability discovery",
+             "ingest, ensemble) with host capability discovery",
     )
     p_backends.add_argument("--json",
                             help="write the capability report to this "

@@ -2,14 +2,21 @@
 
 The online packet path is a three-stage pipeline::
 
-    wire bytes --parse--> Packet --netstat--> features --kitnet--> score
+    capture bytes --ingest--> packets/columns --netstat--> features
+                                                  --kitnet--> score
 
 Each stage has a very different cost profile (codec, damped statistics,
 ensemble of autoencoders), so a single end-to-end number hides where
 the budget goes. :func:`profile_packet_path` times each stage over a
 synthetic replay and reports per-packet microseconds, packets/second
 and each stage's share — the workflow behind ``repro-cli profile``
-(see ``docs/PERFORMANCE.md``). The KitNET stage is split into the
+(see ``docs/PERFORMANCE.md``). The ``ingest`` stage reads the replay
+back from a capture file (written untimed) through the selected ingest
+backend — per-packet :class:`~repro.net.pcap.PcapReader` decode for
+``packet-objects``, the mmap'd vectorized column decode of
+:mod:`repro.net.columnar` for ``columnar-mmap`` — and the ``netstat``
+stage consumes whatever that backend produced, so the pair shows the
+end-to-end capture-to-features cost of each path. The KitNET stage is split into the
 sequential grace periods (``kitnet-train``), the batched training
 engine replaying the same prefix (``kitnet-train-batched`` — mini-batch
 SGD by default, or the bit-identical cross-group parallel engine when
@@ -30,7 +37,6 @@ import time
 from dataclasses import dataclass
 
 from repro.features.netstat import NetStat
-from repro.net.packet import Packet
 from repro.utils.rng import SeededRNG
 
 
@@ -71,8 +77,10 @@ class PacketPathProfile:
     kernel: str
     stages: tuple[StageTiming, ...]
     #: Registered backend names actually driving the profiled stages
-    #: (``repro.backends``): the resolved feature-engine backend behind
-    #: ``engine`` and the ensemble backend behind ``kitnet-batch``.
+    #: (``repro.backends``): the resolved ingest backend behind the
+    #: ``ingest`` stage, the feature-engine backend behind ``engine``
+    #: and the ensemble backend behind ``kitnet-batch``.
+    ingest_backend: str = "packet-objects"
     feature_backend: str = "vector-native"
     ensemble_backend: str = "batched-einsum"
     scalar_netstat_seconds: float | None = None
@@ -138,7 +146,8 @@ class PacketPathProfile:
             f"packet path profile: {self.dataset} seed={self.seed} "
             f"scale={self.scale} ({self.packets} packets, "
             f"engine={self.engine}/{self.kernel}, "
-            f"backend={self.feature_backend})",
+            f"backend={self.feature_backend}, "
+            f"ingest={self.ingest_backend})",
             f"  {'stage':20s} {'seconds':>9s} {'us/pkt':>9s} "
             f"{'pkt/s':>12s} {'share':>7s}",
         ]
@@ -197,6 +206,7 @@ class PacketPathProfile:
             "packets": self.packets,
             "engine": self.engine,
             "kernel": self.kernel,
+            "ingest_backend": self.ingest_backend,
             "feature_backend": self.feature_backend,
             "ensemble_backend": self.ensemble_backend,
             "total_seconds": self.total_seconds,
@@ -243,6 +253,7 @@ def profile_packet_path(
     seed: int = 0,
     scale: float = 0.2,
     engine: str = "vector",
+    ingest_backend: str | None = None,
     max_packets: int | None = None,
     compare_scalar: bool = True,
     batch_size: int = 256,
@@ -250,14 +261,27 @@ def profile_packet_path(
     train_workers: int | None = None,
     dataset_provider=None,
 ) -> PacketPathProfile:
-    """Time parse → netstat → kitnet-train → kitnet-train-batched →
+    """Time ingest → netstat → kitnet-train → kitnet-train-batched →
     kitnet → kitnet-batch over a synthetic dataset replay.
+
+    The replay is written to a scratch capture file (untimed prep,
+    nanosecond magic so timestamps keep their resolution); the
+    ``ingest`` stage then reads it back through ``ingest_backend``
+    (``None`` keeps ``packet-objects``; ``"auto"`` resolves through the
+    backend registry) and the ``netstat`` stage consumes exactly what
+    ingest produced — packet objects or column batches.
 
     ``train_workers=None`` (default) profiles the mini-batch training
     engine with ``train_batch``-row flush groups; setting it profiles
     the cross-group parallel online engine instead and parity-checks
     its scores bit for bit against the sequential grace periods.
     """
+    import tempfile
+    from pathlib import Path
+
+    from repro import backends
+    from repro.net.pcap import read_pcap, write_pcap
+
     if dataset_provider is None:
         from repro.datasets import generate_dataset as dataset_provider
     data = dataset_provider(dataset, seed=seed, scale=scale)
@@ -267,40 +291,65 @@ def profile_packet_path(
     if not packets:
         raise ValueError("profiling needs a non-empty packet stream")
     count = len(packets)
+    if ingest_backend is None:
+        resolved_ingest = "packet-objects"
+    else:
+        resolved_ingest = backends.resolve(
+            backends.INGEST, ingest_backend
+        ).name
 
-    # Stage 1: wire-format parse (serialisation itself is untimed prep).
-    frames = [packet.to_bytes() for packet in packets]
-    timestamps = [packet.timestamp for packet in packets]
-    start = time.perf_counter()
-    parsed = [
-        Packet.from_bytes(frame, timestamp)
-        for frame, timestamp in zip(frames, timestamps)
-    ]
-    parse_seconds = time.perf_counter() - start
-    del parsed
-
-    # Stage 2: AfterImage features under the requested engine.
     extractor = NetStat(engine=engine)
     kernel = (
         "objects" if engine == "scalar" else extractor._db.kernel_name
     )
-    start = time.perf_counter()
-    features = extractor.extract_all(packets)
-    netstat_seconds = time.perf_counter() - start
+    # Stages 1-2 run inside the scratch-capture scope: column batches
+    # keep views into the mmap'd file, so it must outlive them.
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
+        capture = Path(tmp) / "replay.pcap"
+        write_pcap(capture, packets, nanosecond=True)
 
-    scalar_seconds: float | None = None
-    if compare_scalar and engine != "scalar":
-        reference = NetStat(engine="scalar")
-        start = time.perf_counter()
-        reference.extract_all(packets)
-        scalar_seconds = time.perf_counter() - start
+        # Stage 1: ingest — capture bytes to the backend's native
+        # feature input (packet objects, or mmap'd column batches).
+        import numpy as np
+
+        if resolved_ingest == "columnar-mmap":
+            from repro.net.columnar import ColumnarPcapReader
+
+            start = time.perf_counter()
+            batches = list(ColumnarPcapReader(capture))
+            ingest_seconds = time.perf_counter() - start
+
+            # Stage 2: AfterImage features under the requested engine,
+            # fed columns (no Packet objects are ever materialised).
+            start = time.perf_counter()
+            features = np.vstack(
+                [extractor.extract_all(batch) for batch in batches]
+            )
+            netstat_seconds = time.perf_counter() - start
+            del batches
+            replay = read_pcap(capture) if compare_scalar else None
+        else:
+            start = time.perf_counter()
+            replay = read_pcap(capture)
+            ingest_seconds = time.perf_counter() - start
+
+            # Stage 2: AfterImage features under the requested engine.
+            start = time.perf_counter()
+            features = extractor.extract_all(replay)
+            netstat_seconds = time.perf_counter() - start
+
+        scalar_seconds: float | None = None
+        if compare_scalar and engine != "scalar":
+            reference = NetStat(engine="scalar")
+            start = time.perf_counter()
+            reference.extract_all(replay)
+            scalar_seconds = time.perf_counter() - start
+        del replay
 
     # Stage 3/4/5: KitNET. The replay splits into a training prefix
     # (grace periods scaled to it, same arithmetic as the experiment
     # pipeline's Kitsune cells) and an execute remainder — the latter
     # timed twice: per-packet reference, then the batched engine.
-    import numpy as np
-
     from repro.ids.kitsune.kitnet import KitNET
 
     fm_grace, ad_grace, boundary = kitnet_grace_split(count)
@@ -364,7 +413,7 @@ def profile_packet_path(
         batch_parity = None
 
     stages = (
-        StageTiming("parse", parse_seconds, count),
+        StageTiming("ingest", ingest_seconds, count),
         StageTiming("netstat", netstat_seconds, count),
         StageTiming("kitnet-train", train_seconds, boundary),
         StageTiming("kitnet-train-batched", train_batched_seconds, boundary),
@@ -379,6 +428,7 @@ def profile_packet_path(
         engine=engine,
         kernel=kernel,
         stages=stages,
+        ingest_backend=resolved_ingest,
         feature_backend=extractor.backend,
         ensemble_backend=detector.resolved_ensemble_backend,
         scalar_netstat_seconds=scalar_seconds,

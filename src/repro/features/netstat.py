@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.features.afterimage import DEFAULT_DECAYS, IncStatDB
 from repro.features.vector import VectorIncStatDB
+from repro.net.columnar import ColumnBatch
 from repro.net.packet import Packet
 
 #: Dimensionality of the exported vector.
@@ -196,7 +197,14 @@ class NetStat:
         batch-wide ``pending``/``exclude`` through the database: a
         mid-batch prune sees in-flight rows at their conceptual update
         times and cannot recycle them under an earlier packet.
+
+        Accepts a :class:`~repro.net.columnar.ColumnBatch` in place of
+        a packet sequence: the columnar ingest fast path, which skips
+        per-packet attribute access entirely (see
+        :meth:`_update_columns`).
         """
+        if isinstance(packets, ColumnBatch):
+            return self._update_columns(packets)
         packets = list(packets)
         if self.engine == "scalar":
             rows = [self.update(packet) for packet in packets]
@@ -251,6 +259,157 @@ class NetStat:
         db.update_packet_batch(entries, values, stamps, out)
         self.packets_seen += n
         return out
+
+    def _update_columns(self, cols) -> np.ndarray:
+        """Batched update straight from ingest columns.
+
+        Bit-identical to feeding the hydrated packets through
+        :meth:`update_batch`; the speed comes from resolving keys once
+        per *unique flow* (via the batch's flow table) instead of once
+        per packet, and from an optimistic no-bookkeeping path when
+        every flow's interned rows are already cached.
+        """
+        n = len(cols)
+        if self.engine == "scalar":
+            return self._update_columns_scalar(cols)
+        out = np.empty((n, self.feature_count))
+        if n == 0:
+            return out
+        db = self._db
+        cache = self._entries
+        inverse, flows = cols.flow_table()
+        keys = [
+            (f.src_mac, f.src_ip, f.dst_ip, f.src_port, f.dst_port)
+            for f in flows
+        ]
+        epoch = db.epoch
+        entries_by_flow: list = []
+        missing: list[int] = []
+        for j, key in enumerate(keys):
+            entry = cache.get(key)
+            if entry is None or entry.epoch != epoch:
+                entry = None
+                missing.append(j)
+            entries_by_flow.append(entry)
+        if missing and not self._resolve_flow_entries(
+            cols, inverse, keys, entries_by_flow, missing
+        ):
+            # A prune (or free-list recycling) could fire mid-batch;
+            # only the ordered per-row walk reproduces its bookkeeping.
+            return self._update_columns_ordered(cols, inverse, keys, out)
+        values = np.ascontiguousarray(cols.wire_len, dtype=np.float64)
+        stamps = np.ascontiguousarray(cols.timestamps, dtype=np.float64)
+        db.update_packet_batch_indexed(
+            entries_by_flow, inverse, values, stamps, out
+        )
+        self.packets_seen += n
+        return out
+
+    def _resolve_flow_entries(
+        self, cols, inverse, keys, entries_by_flow, missing
+    ) -> bool:
+        """Intern the missing flows' rows in first-occurrence order.
+
+        Only legal when no prune can fire and the free list is empty:
+        then ``pending``/``exclude`` are never consulted, row
+        allocation is purely sequential, and resolving per unique flow
+        is indistinguishable from the per-row walk. Returns False when
+        that guarantee does not hold and the caller must fall back."""
+        db = self._db
+        # The prune trigger counts stream keys only (cov rows live in
+        # a separate table), and a flow interns at most six of those:
+        # mac, ip, both channel directions, both socket directions.
+        if db._free or len(db._keys) + 6 * len(missing) > db.max_streams:
+            return False
+        cache = self._entries
+        # _intern stamps a stream's creation time, so each flow must be
+        # resolved at its first packet's timestamp, in stream order —
+        # which is flow-index order, since the flow table lists flows
+        # by first occurrence.
+        first_rows = cols.flow_first_rows()
+        ts_list = cols.timestamps.tolist()
+        for j in missing:
+            entry = db.packet_entry_unguarded(*keys[j], ts_list[first_rows[j]])
+            if len(cache) >= _ENTRY_CACHE_LIMIT:
+                cache.clear()
+            cache[keys[j]] = entry
+            entries_by_flow[j] = entry
+        return True
+
+    def _update_columns_ordered(self, cols, inverse, keys, out) -> np.ndarray:
+        """Exact per-row mirror of :meth:`update_batch` over columns."""
+        n = len(cols)
+        db = self._db
+        cache = self._entries
+        inv = inverse.tolist()
+        ts_list = cols.timestamps.tolist()
+        entries = []
+        pending: dict[int, float] = {}
+        exclude: set[int] = set()
+        for index in range(n):
+            timestamp = ts_list[index]
+            cache_key = keys[inv[index]]
+            entry = cache.get(cache_key)
+            if entry is None or entry.epoch != db.epoch:
+                entry = db.packet_entry(
+                    *cache_key, timestamp, pending=pending, exclude=exclude
+                )
+                if len(cache) >= _ENTRY_CACHE_LIMIT:
+                    cache.clear()
+                cache[cache_key] = entry
+            stat_rows = entry.rows
+            pending[stat_rows[0]] = timestamp
+            pending[stat_rows[1]] = timestamp
+            pending[stat_rows[2]] = timestamp
+            pending[stat_rows[3]] = timestamp
+            exclude.update(stat_rows)
+            entries.append(entry)
+        values = np.ascontiguousarray(cols.wire_len, dtype=np.float64)
+        stamps = np.ascontiguousarray(cols.timestamps, dtype=np.float64)
+        db.update_packet_batch(entries, values, stamps, out)
+        self.packets_seen += n
+        return out
+
+    def _update_columns_scalar(self, cols) -> np.ndarray:
+        """Scalar-engine columnar path (parity testing, not speed)."""
+        inverse, flows = cols.flow_table()
+        inv = inverse.tolist()
+        ts_list = cols.timestamps.tolist()
+        size_list = cols.wire_len.tolist()
+        db = self._db
+        rows = []
+        for index in range(len(cols)):
+            flow = flows[inv[index]]
+            timestamp = ts_list[index]
+            size = size_list[index]
+            src_mac, src_ip, dst_ip = flow.src_mac, flow.src_ip, flow.dst_ip
+            src_port, dst_port = flow.src_port, flow.dst_port
+            features: list[float] = []
+            features.extend(
+                db.update_get_1d(f"mac:{src_mac}|{src_ip}", size, timestamp)
+            )
+            features.extend(db.update_get_1d(f"ip:{src_ip}", size, timestamp))
+            features.extend(
+                db.update_get_2d(
+                    f"ch:{src_ip}>{dst_ip}",
+                    f"ch:{dst_ip}>{src_ip}",
+                    size,
+                    timestamp,
+                )
+            )
+            features.extend(
+                db.update_get_2d(
+                    f"sk:{src_ip}:{src_port}>{dst_ip}:{dst_port}",
+                    f"sk:{dst_ip}:{dst_port}>{src_ip}:{src_port}",
+                    size,
+                    timestamp,
+                )
+            )
+            rows.append(np.asarray(features, dtype=np.float64))
+            self.packets_seen += 1
+        if not rows:
+            return np.empty((0, self.feature_count), dtype=np.float64)
+        return np.vstack(rows)
 
     def extract_all(self, packets) -> np.ndarray:
         """Vectorise a whole packet sequence into an (n, d) matrix.

@@ -42,7 +42,9 @@ Two interchangeable kernels drive the arrays:
 from __future__ import annotations
 
 import math
+import os
 from concurrent.futures import ThreadPoolExecutor
+from functools import lru_cache
 
 import numpy as np
 
@@ -80,6 +82,63 @@ def _mt_pool() -> ThreadPoolExecutor:
     return _mt_pool_instance
 
 
+#: Override for :func:`measured_mt_speedup`: ``off``/``0``/``false``
+#: disables the probe (no measurement signal), a float fakes its result
+#: (deterministic tests, pre-measured hosts).
+MT_PROBE_ENV = "REPRO_MT_PROBE"
+
+
+@lru_cache(maxsize=1)
+def measured_mt_speedup() -> float | None:
+    """Measured ``native-mt`` / ``native`` batch-kernel speedup here.
+
+    A core count says whether group-parallel dispatch *can* win, not
+    whether it *does* — a 0.93x result on a loaded 2-core host must
+    demote the MT backend in auto ranking (see
+    ``repro.backends.registry``). Returns ``None`` when the native
+    kernel is unavailable or the probe is disabled; cached for the
+    process lifetime (~tens of milliseconds once).
+    """
+    override = os.environ.get(MT_PROBE_ENV, "").strip().lower()
+    if override in ("off", "0", "false", "no"):
+        return None
+    if override:
+        try:
+            return float(override)
+        except ValueError:
+            pass
+    if _native.load_kernel() is None:
+        return None
+    return _probe_mt_speedup()
+
+
+def _probe_mt_speedup(n: int = 1024, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock ratio on a synthetic batch."""
+    import time
+
+    def best(kernel: str) -> float:
+        db = VectorIncStatDB((5.0, 3.0, 1.0, 0.1, 0.01), kernel=kernel)
+        entries = [
+            db.packet_entry(
+                f"02:00:00:00:00:{i:02x}", f"10.0.{i}.1", "10.0.0.2",
+                1000 + i, 80, 0.0,
+            )
+            for i in range(64)
+        ]
+        batch = [entries[i % 64] for i in range(n)]
+        values = np.ones(n)
+        stamps = np.arange(n) * 1e-3
+        out = np.empty((n, db.feature_count))
+        elapsed = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            db.update_packet_batch(batch, values, stamps, out)
+            elapsed = min(elapsed, time.perf_counter() - start)
+        return elapsed
+
+    return best("native") / best("native-mt")
+
+
 class _PacketEntry:
     """Interned row ids for one (mac, src, dst, ports) packet shape."""
 
@@ -89,7 +148,9 @@ class _PacketEntry:
         self.epoch = epoch
         self.rows = rows
         self.rows_arr = np.array(rows, dtype=np.int64)
-        self.rows_ptr = self.rows_arr.ctypes.data
+        # ctypes pointer materialization costs ~2x the array build, and
+        # batch callers never touch it — filled on first per-packet use.
+        self.rows_ptr: int | None = None
 
 
 class VectorIncStatDB:
@@ -497,6 +558,85 @@ class VectorIncStatDB:
                 epoch = -1
         return _PacketEntry(epoch, rows)
 
+    def _new_row_unguarded(self, key, timestamp: float) -> int:
+        if self._size == self._capacity:
+            self._grow()
+        row = self._size
+        self._size += 1
+        self._last[row] = timestamp
+        self._seq[row] = self._next_seq
+        self._next_seq += 1
+        self._keys[key] = row
+        return row
+
+    def _new_cov_unguarded(self, key_ab, key_ba) -> int:
+        if self._size == self._capacity:
+            self._grow()
+        row = self._size
+        self._size += 1
+        self._cov_keys[key_ab] = row
+        self._cov_pair[key_ab] = key_ba
+        return row
+
+    def packet_entry_unguarded(
+        self,
+        src_mac: str,
+        src_ip: str,
+        dst_ip: str,
+        src_port: int,
+        dst_port: int,
+        timestamp: float,
+    ) -> _PacketEntry:
+        """:meth:`packet_entry` minus the prune/recycle bookkeeping.
+
+        Caller contract: the free list is empty AND interning up to
+        eight new streams cannot push ``len(self._keys)`` past
+        ``max_streams`` (so no prune can fire and ``_alloc_row`` would
+        only ever extend the table). Under that contract the
+        ``pending``/``exclude`` tracking is dead weight — this variant
+        skips it while allocating rows in the exact same order, so the
+        resulting entry is bit-identical to the guarded path. The
+        columnar ingest resolver (``NetStat._resolve_flow_entries``)
+        checks the contract before every batch and falls back to the
+        guarded path otherwise.
+        """
+        keys = self._keys
+        mac_key = ("mac", src_mac, src_ip)
+        r_mac = keys.get(mac_key)
+        if r_mac is None:
+            r_mac = self._new_row_unguarded(mac_key, timestamp)
+        ip_key = ("ip", src_ip)
+        r_ip = keys.get(ip_key)
+        if r_ip is None:
+            r_ip = self._new_row_unguarded(ip_key, timestamp)
+        ch_ab = ("ch", src_ip, dst_ip)
+        r_ch_ab = keys.get(ch_ab)
+        if r_ch_ab is None:
+            r_ch_ab = self._new_row_unguarded(ch_ab, timestamp)
+        ch_ba = ("ch", dst_ip, src_ip)
+        r_ch_ba = keys.get(ch_ba)
+        if r_ch_ba is None:
+            r_ch_ba = self._new_row_unguarded(ch_ba, timestamp)
+        r_cov_ch = self._cov_keys.get(ch_ab)
+        if r_cov_ch is None:
+            r_cov_ch = self._new_cov_unguarded(ch_ab, ch_ba)
+        sk_ab = ("sk", src_ip, src_port, dst_ip, dst_port)
+        r_sk_ab = keys.get(sk_ab)
+        if r_sk_ab is None:
+            r_sk_ab = self._new_row_unguarded(sk_ab, timestamp)
+        sk_ba = ("sk", dst_ip, dst_port, src_ip, src_port)
+        r_sk_ba = keys.get(sk_ba)
+        if r_sk_ba is None:
+            r_sk_ba = self._new_row_unguarded(sk_ba, timestamp)
+        r_cov_sk = self._cov_keys.get(sk_ab)
+        if r_cov_sk is None:
+            r_cov_sk = self._new_cov_unguarded(sk_ab, sk_ba)
+        return _PacketEntry(
+            self.epoch,
+            (r_mac, r_ip, r_ch_ab, r_sk_ab, r_cov_ch, r_cov_sk,
+             r_ch_ba, r_sk_ba),
+        )
+
     def update_packet(
         self,
         entry: _PacketEntry,
@@ -510,8 +650,11 @@ class VectorIncStatDB:
         ``out_ptr`` lets batch callers skip the per-row pointer lookup
         when ``out`` is a view into a preallocated matrix."""
         if self._native_fn is not None:
+            rows_ptr = entry.rows_ptr
+            if rows_ptr is None:
+                rows_ptr = entry.rows_ptr = entry.rows_arr.ctypes.data
             self._native_fn(
-                self._state_ptr, self._last_ptr, entry.rows_ptr,
+                self._state_ptr, self._last_ptr, rows_ptr,
                 timestamp, value, self._decays_ptr, self._d,
                 out.ctypes.data if out_ptr is None else out_ptr,
                 self._aux_ptr,
@@ -583,10 +726,53 @@ class VectorIncStatDB:
                     out[i], base + i * stride,
                 )
             return
-        d = self._d
         rows = np.empty((n, 8), dtype=np.int64)
         for i, entry in enumerate(entries):
             rows[i] = entry.rows_arr
+        self._dispatch_native_batch(rows, values, timestamps, out)
+
+    def update_packet_batch_indexed(
+        self,
+        flow_entries: list[_PacketEntry],
+        inverse: np.ndarray,
+        values: np.ndarray,
+        timestamps: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """Batched update with per-flow entries plus an inverse index.
+
+        ``flow_entries[inverse[i]]`` is packet ``i``'s entry. Columnar
+        ingest resolves one entry per unique flow; gathering the row-id
+        matrix with one fancy index beats the per-packet Python loop in
+        :meth:`update_packet_batch` whenever flows repeat within the
+        batch. Results are identical to expanding the entries per
+        packet and calling :meth:`update_packet_batch`.
+        """
+        n = len(inverse)
+        if n == 0:
+            return
+        if self._native_batch_fn is None:
+            self.update_packet_batch(
+                [flow_entries[j] for j in inverse.tolist()],
+                values, timestamps, out,
+            )
+            return
+        k = len(flow_entries)
+        flow_rows = np.empty((k, 8), dtype=np.int64)
+        for j, entry in enumerate(flow_entries):
+            flow_rows[j] = entry.rows_arr
+        rows = flow_rows.take(inverse, axis=0)
+        self._dispatch_native_batch(rows, values, timestamps, out)
+
+    def _dispatch_native_batch(
+        self,
+        rows: np.ndarray,
+        values: np.ndarray,
+        timestamps: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        n = rows.shape[0]
+        d = self._d
         ts = np.ascontiguousarray(timestamps, dtype=np.float64)
         v = np.ascontiguousarray(values, dtype=np.float64)
         aux = np.empty((n, 8 * d))

@@ -28,9 +28,17 @@ from repro.net.arp import ARPHeader
 from repro.net.dns import DNSMessage, DNSQuestion
 from repro.net.http import HTTPRequest, HTTPResponse
 from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.columnar import (
+    ColumnBatch,
+    ColumnarPcapReader,
+    iter_column_batches,
+)
 
 __all__ = [
     "Packet",
+    "ColumnBatch",
+    "ColumnarPcapReader",
+    "iter_column_batches",
     "EthernetHeader",
     "IPv4Header",
     "TCPHeader",

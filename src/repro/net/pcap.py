@@ -2,7 +2,11 @@
 
 Implements the original ``.pcap`` format (magic ``0xa1b2c3d4``,
 microsecond timestamps, LINKTYPE_ETHERNET) that the public datasets in
-the paper ship in. Both byte orders are accepted on read.
+the paper ship in. Both byte orders are accepted on read, and the
+nanosecond-resolution magic (``0xa1b23c4d``) is supported on both read
+and write. The vectorized column decoder in :mod:`repro.net.columnar`
+shares :func:`decode_global_header` so the two readers accept and
+reject exactly the same files.
 """
 
 from __future__ import annotations
@@ -17,12 +21,41 @@ MAGIC_US = 0xA1B2C3D4  # microsecond timestamps
 MAGIC_NS = 0xA1B23C4D  # nanosecond timestamps
 LINKTYPE_ETHERNET = 1
 
-_GLOBAL_HEADER = struct.Struct("IHHiIII")
-_RECORD_HEADER = struct.Struct("IIII")
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
 
 
 class PcapFormatError(ValueError):
     """Raised when a capture file is malformed."""
+
+
+def decode_global_header(header: bytes) -> tuple[str, int]:
+    """Validate a 24-byte global header; return ``(endian, divisor)``.
+
+    ``endian`` is the struct prefix (``"<"`` or ``">"``) the record
+    headers use; ``divisor`` converts the fractional timestamp field to
+    seconds (1e6 for microsecond magic, 1e9 for nanosecond magic).
+    """
+    if len(header) < 24:
+        raise PcapFormatError("file too short for pcap global header")
+    (magic,) = struct.unpack("<I", header[:4])
+    if magic in (MAGIC_US, MAGIC_NS):
+        endian = "<"
+    else:
+        (magic_be,) = struct.unpack(">I", header[:4])
+        if magic_be not in (MAGIC_US, MAGIC_NS):
+            raise PcapFormatError(f"bad pcap magic {magic:#x}")
+        magic = magic_be
+        endian = ">"
+    divisor = 1_000_000 if magic == MAGIC_US else 1_000_000_000
+    _vmaj, _vmin, _tz, _sig, _snap, linktype = struct.unpack(
+        f"{endian}HHiIII", header[4:]
+    )
+    if linktype != LINKTYPE_ETHERNET:
+        raise PcapFormatError(
+            f"unsupported linktype {linktype}; only Ethernet is supported"
+        )
+    return endian, divisor
 
 
 class PcapWriter:
@@ -33,20 +66,37 @@ class PcapWriter:
         with PcapWriter(path) as writer:
             for packet in packets:
                 writer.write(packet)
+
+    With ``nanosecond=True`` the file carries the nanosecond magic and
+    timestamps round-trip at full float64 resolution instead of being
+    quantized to microseconds.
     """
 
-    def __init__(self, path: str | Path, *, snaplen: int = 65535) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        snaplen: int = 65535,
+        nanosecond: bool = False,
+    ) -> None:
         self.path = Path(path)
         self.snaplen = snaplen
+        self.nanosecond = nanosecond
         self._fh: BinaryIO | None = None
         self.packets_written = 0
 
+    @property
+    def _ts_scale(self) -> int:
+        return 1_000_000_000 if self.nanosecond else 1_000_000
+
     def __enter__(self) -> "PcapWriter":
         self._fh = open(self.path, "wb")
-        header = struct.pack(
-            "<IHHiIII", MAGIC_US, 2, 4, 0, 0, self.snaplen, LINKTYPE_ETHERNET
+        magic = MAGIC_NS if self.nanosecond else MAGIC_US
+        self._fh.write(
+            _GLOBAL_HEADER.pack(
+                magic, 2, 4, 0, 0, self.snaplen, LINKTYPE_ETHERNET
+            )
         )
-        self._fh.write(header)
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -60,14 +110,15 @@ class PcapWriter:
         if self._fh is None:
             raise RuntimeError("PcapWriter must be used as a context manager")
         frame = packet.to_bytes()
+        scale = self._ts_scale
         ts_sec = int(packet.timestamp)
-        ts_usec = int(round((packet.timestamp - ts_sec) * 1_000_000))
-        if ts_usec >= 1_000_000:  # rounding carried into the next second
+        ts_frac = int(round((packet.timestamp - ts_sec) * scale))
+        if ts_frac >= scale:  # rounding carried into the next second
             ts_sec += 1
-            ts_usec -= 1_000_000
+            ts_frac -= scale
         captured = frame[: self.snaplen]
         self._fh.write(
-            struct.pack("<IIII", ts_sec, ts_usec, len(captured), len(frame))
+            _RECORD_HEADER.pack(ts_sec, ts_frac, len(captured), len(frame))
         )
         self._fh.write(captured)
         self.packets_written += 1
@@ -108,31 +159,17 @@ class PcapReader:
                 yield packet
 
     def _read_global_header(self, fh: BinaryIO) -> None:
-        header = fh.read(24)
-        if len(header) < 24:
-            raise PcapFormatError("file too short for pcap global header")
-        (magic,) = struct.unpack("<I", header[:4])
-        if magic in (MAGIC_US, MAGIC_NS):
-            self._endian = "<"
-        else:
-            (magic_be,) = struct.unpack(">I", header[:4])
-            if magic_be not in (MAGIC_US, MAGIC_NS):
-                raise PcapFormatError(f"bad pcap magic {magic:#x}")
-            magic = magic_be
-            self._endian = ">"
-        self._ts_divisor = 1_000_000 if magic == MAGIC_US else 1_000_000_000
-        _vmaj, _vmin, _tz, _sig, _snap, linktype = struct.unpack(
-            f"{self._endian}HHiIII", header[4:]
-        )
-        if linktype != LINKTYPE_ETHERNET:
-            raise PcapFormatError(
-                f"unsupported linktype {linktype}; only Ethernet is supported"
-            )
+        self._endian, self._ts_divisor = decode_global_header(fh.read(24))
 
 
-def write_pcap(path: str | Path, packets: Iterable[Packet]) -> int:
+def write_pcap(
+    path: str | Path,
+    packets: Iterable[Packet],
+    *,
+    nanosecond: bool = False,
+) -> int:
     """Write ``packets`` to ``path``; returns the number written."""
-    with PcapWriter(path) as writer:
+    with PcapWriter(path, nanosecond=nanosecond) as writer:
         for packet in packets:
             writer.write(packet)
         return writer.packets_written

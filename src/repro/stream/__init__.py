@@ -20,6 +20,14 @@ path across worker processes — flow-consistent sharding
 (:mod:`repro.stream.shard`), bounded-queue backpressure, and
 checkpointed crash-resume — with a coverage digest that is invariant
 across worker counts.
+
+Capture replay additionally supports the ``columnar-mmap`` ingest
+backend (:mod:`repro.net.columnar`): the capture is mmap'd and decoded
+into column batches that feed batched feature extraction directly, with
+no ``Packet`` objects on the hot path. Scores, features and coverage
+digests are bit-identical to the packet-object path
+(:func:`~repro.stream.service.resolve_ingest_backend` picks the
+backend per session).
 """
 
 from repro.stream.alerts import AlertEpisode, HysteresisAlerter
@@ -42,11 +50,13 @@ from repro.stream.sources import (
 from repro.stream.tracker import StreamingFlowTracker
 from repro.stream.service import (
     StreamReport,
+    resolve_ingest_backend,
     stream_capture,
     stream_experiment,
 )
 from repro.stream.shard import (
     shard_for_packet,
+    shard_ids_for_batch,
     shard_key_for_packet,
     shard_of_key,
 )
@@ -74,9 +84,11 @@ __all__ = [
     "PcapReplaySource",
     "StreamingFlowTracker",
     "StreamReport",
+    "resolve_ingest_backend",
     "stream_capture",
     "stream_experiment",
     "shard_for_packet",
+    "shard_ids_for_batch",
     "shard_key_for_packet",
     "shard_of_key",
     "FaultInjection",

@@ -351,6 +351,58 @@ def stream_experiment(
     )
 
 
+def resolve_ingest_backend(
+    source: PacketSource,
+    detector: StreamingDetector,
+    ingest_backend: str | None,
+) -> str:
+    """Resolve the ingest backend one streaming session will use.
+
+    ``None`` keeps the packet-object path (status quo). ``"auto"``
+    picks the registry's best backend but quietly falls back to
+    packet objects when the source cannot produce column batches or
+    the detector is flow-level (columns carry no payloads to assemble
+    flows from). An *explicit* ``"columnar-mmap"`` on an unsupported
+    combination raises instead of silently changing meaning.
+    """
+    if ingest_backend is None:
+        return "packet-objects"
+    resolved = backends.resolve(backends.INGEST, ingest_backend).name
+    if resolved != "columnar-mmap":
+        return resolved
+    supported = hasattr(source, "iter_batches") and detector.unit == "packet"
+    if supported:
+        return resolved
+    if ingest_backend == "auto":
+        return "packet-objects"
+    if not hasattr(source, "iter_batches"):
+        raise ValueError(
+            f"ingest backend {resolved!r} needs a source with column "
+            f"batches (iter_batches); {source.describe()} has none"
+        )
+    raise ValueError(
+        f"ingest backend {resolved!r} drives packet-level detectors; "
+        f"this detector scores {detector.unit}s"
+    )
+
+
+def _score_digests(emitted: list[StreamScore], scores: np.ndarray) -> dict:
+    """Parity digests over what was scored and the scores themselves.
+
+    ``coverage_digest`` matches the sharded engine's (worker-count- and
+    ingest-backend-invariant); ``score_digest`` hashes the raw float64
+    score bytes, so two ingest paths agree iff they are bit-identical.
+    """
+    from repro.stream.sharded import coverage_digest
+
+    import hashlib
+
+    return {
+        "coverage_digest": coverage_digest(emitted),
+        "score_digest": hashlib.sha256(scores.tobytes()).hexdigest(),
+    }
+
+
 def stream_capture(
     source: PacketSource,
     detector: StreamingDetector,
@@ -360,6 +412,7 @@ def stream_capture(
     window_seconds: float = 10.0,
     on_window: WindowCallback | None = None,
     exporter: "obs.SnapshotExporter | None" = None,
+    ingest_backend: str | None = None,
 ) -> StreamReport:
     """Stream a raw packet source: train on the first ``warmup_packets``
     packets, score everything after them.
@@ -371,6 +424,14 @@ def stream_capture(
     ``exporter`` (a :class:`repro.obs.SnapshotExporter`) enables the
     metrics registry and emits periodic snapshots at micro-batch
     boundaries plus one final snapshot.
+
+    ``ingest_backend`` selects how packets reach the detector: the
+    default ``None`` (or ``"packet-objects"``) iterates decoded
+    :class:`Packet` objects; ``"columnar-mmap"`` streams column batches
+    straight off the capture file into the detector's batched scoring
+    path (``"auto"`` lets the registry decide). Scores, coverage and
+    digests are bit-identical across backends — ingest is a throughput
+    knob, not a semantic one.
     """
     if warmup_packets < 0:
         raise ValueError(f"warmup_packets must be >= 0, got {warmup_packets}")
@@ -381,6 +442,16 @@ def stream_capture(
         )
     if exporter is not None and not obs.is_enabled():
         obs.enable()
+    resolved_ingest = resolve_ingest_backend(source, detector, ingest_backend)
+    if resolved_ingest == "columnar-mmap":
+        return _stream_capture_columnar(
+            source, detector,
+            warmup_packets=warmup_packets,
+            threshold=threshold,
+            window_seconds=window_seconds,
+            on_window=on_window,
+            exporter=exporter,
+        )
     obs_on = obs.is_enabled()
     packet_counter = (
         obs.counter("stream.packets_streamed") if obs_on else None
@@ -482,6 +553,135 @@ def stream_capture(
                 getattr(detector, "tracker", None), "non_ip_packets", 0
             ),
             "scoring_path": detector.scoring_path,
+            "ingest_backend": resolved_ingest,
+            **_score_digests(emitted, scores),
+            **backends.backend_notes(getattr(detector, "ids", None)),
+            "run_id": obs.run_id(),
+        },
+    )
+
+
+def _stream_capture_columnar(
+    source: PacketSource,
+    detector: StreamingDetector,
+    *,
+    warmup_packets: int,
+    threshold: float | None,
+    window_seconds: float,
+    on_window: WindowCallback | None,
+    exporter: "obs.SnapshotExporter | None",
+) -> StreamReport:
+    """The columnar-mmap body of :func:`stream_capture`.
+
+    The warmup prefix is hydrated into full packets (training happens
+    once, off the hot path); everything after it is scored as column
+    slices through :meth:`PacketStreamDetector.process_columns` without
+    ever materialising per-packet objects.
+    """
+    obs_on = obs.is_enabled()
+    packet_counter = (
+        obs.counter("stream.packets_streamed") if obs_on else None
+    )
+
+    prefix: list[Packet] = []
+    emitted: list[StreamScore] = []
+    packets_streamed = 0
+    warmup_seconds = 0.0
+    warmed = False
+    stream_start: float | None = None
+
+    def warm_now() -> None:
+        nonlocal warmup_seconds, warmed
+        warmup_start = time.perf_counter()
+        with obs.span("stream.warmup"):
+            detector.warmup(prefix)
+        warmup_seconds = time.perf_counter() - warmup_start
+        warmed = True
+
+    for batch in source.iter_batches():
+        position = 0
+        if len(prefix) < warmup_packets:
+            take = min(warmup_packets - len(prefix), len(batch))
+            prefix.extend(batch.hydrate_range(0, take))
+            position = take
+            if len(prefix) == warmup_packets:
+                warm_now()
+        if position >= len(batch):
+            continue
+        if not warmed:
+            warm_now()
+        if stream_start is None:
+            stream_start = time.perf_counter()
+        live = batch.slice(position, len(batch)) if position else batch
+        packets_streamed += len(live)
+        if packet_counter is not None:
+            packet_counter.inc(len(live))
+        released = detector.process_columns(live)
+        if released:
+            emitted.extend(released)
+            if exporter is not None:
+                exporter.maybe_export()
+    if not warmed:
+        warm_now()
+    if stream_start is None:
+        stream_start = time.perf_counter()
+    emitted.extend(detector.finish())
+    stream_seconds = time.perf_counter() - stream_start
+    if obs_on:
+        registry = obs.get_registry()
+        registry.counter("stream.items_scored").inc(len(emitted))
+        registry.gauge("stream.warmup_items").set(len(prefix))
+
+    scores = np.array([item.score for item in emitted], dtype=np.float64)
+    labelled = source.labelled
+    y_true = (
+        np.array([item.label for item in emitted], dtype=int)
+        if labelled else None
+    )
+    if threshold is None:
+        assert y_true is not None
+        resolved = standard_threshold(y_true, scores, strategy="fpr-budget")
+        threshold_source = "posthoc:fpr-budget"
+    else:
+        resolved = float(threshold)
+        threshold_source = "fixed"
+
+    windows, alerter = _evaluate_stream(
+        emitted,
+        labelled=labelled,
+        threshold=resolved,
+        window_seconds=window_seconds,
+        on_window=on_window,
+    )
+    if exporter is not None:
+        exporter.export()
+    return StreamReport(
+        ids_name=getattr(detector, "ids", detector).name,
+        source=source.describe(),
+        unit=detector.unit,
+        labelled=labelled,
+        batch_size=detector.batch_size,
+        window_seconds=window_seconds,
+        threshold=resolved,
+        threshold_source=threshold_source,
+        n_warmup=len(prefix),
+        n_scored=len(emitted),
+        packets_streamed=packets_streamed,
+        warmup_seconds=warmup_seconds,
+        stream_seconds=stream_seconds,
+        metrics=windows.overall(),
+        alert_rate=windows.alert_rate,
+        windows=windows.windows,
+        alerts=alerter.episodes,
+        scores=scores,
+        y_true=y_true,
+        notes={
+            "non_ip_packets": getattr(
+                getattr(detector, "tracker", None), "non_ip_packets", 0
+            ),
+            "scoring_path": detector.scoring_path,
+            "ingest_backend": "columnar-mmap",
+            **_score_digests(emitted, scores),
             **backends.backend_notes(getattr(detector, "ids", None)),
             "run_id": obs.run_id(),
         },

@@ -66,10 +66,16 @@ from repro.ids.persistence import (
     prune_stream_checkpoints,
     save_stream_checkpoint,
 )
+from repro.net.columnar import ColumnBatch
 from repro.net.packet import Packet
 from repro.stream.detector import StreamingDetector, StreamScore
-from repro.stream.service import StreamReport, WindowCallback, _evaluate_stream
-from repro.stream.shard import shard_for_packet
+from repro.stream.service import (
+    StreamReport,
+    WindowCallback,
+    _evaluate_stream,
+    resolve_ingest_backend,
+)
+from repro.stream.shard import shard_for_packet, shard_ids_for_batch
 from repro.stream.sources import PacketSource
 from repro.utils.validation import check_positive
 
@@ -171,6 +177,14 @@ class WirePacket:
             setattr(self, name, value)
 
 
+def _rows_in(items: Sequence) -> int:
+    """Row count of a dispatch/retention list: a column slice counts
+    its rows, a wire tuple counts one."""
+    return sum(
+        len(item) if isinstance(item, ColumnBatch) else 1 for item in items
+    )
+
+
 def _encode_packet(packet: Packet) -> tuple:
     ether = packet.ether
     return (
@@ -255,8 +269,19 @@ def _worker_main(worker_id, checkpoint_dir, inq, outq, fault,
             if kind == "chunk":
                 emitted: list[StreamScore] = []
                 started = time.perf_counter()
+                rows_consumed = 0
                 for row in message[1]:
+                    if isinstance(row, ColumnBatch):
+                        # Column-slice IPC (columnar ingest): the whole
+                        # slice scores in one batched call. Fault
+                        # injection is per-packet and rejected up front
+                        # for this mode.
+                        consumed += len(row)
+                        rows_consumed += len(row)
+                        emitted.extend(detector.process_columns(row))
+                        continue
                     consumed += 1
+                    rows_consumed += 1
                     if fault is not None and consumed == fault.at_packets:
                         if fault.action == "kill":
                             os.kill(os.getpid(), signal.SIGKILL)
@@ -269,7 +294,7 @@ def _worker_main(worker_id, checkpoint_dir, inq, outq, fault,
                     emitted.extend(detector.process(WirePacket(*row)))
                 elapsed = time.perf_counter() - started
                 m_busy.inc(elapsed)
-                m_packets.inc(len(message[1]))
+                m_packets.inc(rows_consumed)
                 if chunk_hist is not None:
                     chunk_hist.observe(elapsed)
                 if emitted:
@@ -327,9 +352,11 @@ class _WorkerState:
     sent: int = 0                 # absolute shard cursor dispatched
     next_ckpt_at: int = 0         # send a ckpt marker when sent crosses
     retained: list = field(default_factory=list)
-    retained_base: int = 0        # shard cursor of retained[0]
-    retained_peak: int = 0
+    retained_base: int = 0        # shard cursor of retained[0]'s first row
+    retained_rows: int = 0        # rows currently retained
+    retained_peak: int = 0        # peak retained rows
     pending: list = field(default_factory=list)
+    pending_rows: int = 0
     score_cursor: int = 0         # next expected StreamScore.index
     accepted: int = 0
     duplicates_dropped: int = 0
@@ -364,6 +391,7 @@ def stream_capture_sharded(
     on_window: WindowCallback | None = None,
     fault: FaultInjection | None = None,
     exporter: "obs.SnapshotExporter | None" = None,
+    ingest_backend: str | None = None,
 ) -> StreamReport:
     """Stream ``source`` through ``workers`` sharded detector processes.
 
@@ -406,6 +434,19 @@ def stream_capture_sharded(
             f"fault targets worker {fault.worker}, but there are only "
             f"{workers} worker(s)"
         )
+    resolved_ingest = resolve_ingest_backend(source, detector, ingest_backend)
+    columnar = resolved_ingest == "columnar-mmap"
+    if columnar and fault is not None:
+        raise ValueError(
+            "fault injection fires on per-packet cursors and cannot be "
+            "combined with the columnar ingest backend (column slices "
+            "cross the worker boundary whole)"
+        )
+    if columnar and pace is not None:
+        raise ValueError(
+            "pace replays per-packet timestamps and cannot be combined "
+            "with the columnar ingest backend"
+        )
 
     if exporter is not None and not obs.is_enabled():
         obs.enable()
@@ -420,15 +461,32 @@ def stream_capture_sharded(
     else:  # pragma: no cover - non-POSIX fallback
         ctx = multiprocessing.get_context()
 
-    stream = iter(source)
-
     # ---- Phase 1: warmup, exactly as the single-process path. --------
+    # Columnar mode hydrates the warmup prefix out of column batches
+    # (training wants full packets, once, off the hot path) and keeps
+    # the first live slice for dispatch.
     prefix: list[Packet] = []
-    while len(prefix) < warmup_packets:
-        try:
-            prefix.append(next(stream))
-        except StopIteration:
-            break
+    stream = None
+    batch_stream = None
+    leftover: ColumnBatch | None = None
+    if columnar:
+        batch_stream = source.iter_batches()
+        for batch in batch_stream:
+            if len(prefix) >= warmup_packets:
+                leftover = batch
+                break
+            take = min(warmup_packets - len(prefix), len(batch))
+            prefix.extend(batch.hydrate_range(0, take))
+            if take < len(batch):
+                leftover = batch.slice(take, len(batch))
+                break
+    else:
+        stream = iter(source)
+        while len(prefix) < warmup_packets:
+            try:
+                prefix.append(next(stream))
+            except StopIteration:
+                break
     warmup_start = time.perf_counter()
     with obs.span("stream.warmup"):
         detector.warmup(prefix)
@@ -486,8 +544,7 @@ def stream_capture_sharded(
             _, worker_id, consumed, snapshot = message
             state = states[worker_id]
             if consumed > state.retained_base:
-                del state.retained[: consumed - state.retained_base]
-                state.retained_base = consumed
+                _trim_retained(state, consumed)
             state.acked_consumed = max(state.acked_consumed, consumed)
             m_ckpt_acks.inc()
             if snapshot is not None:
@@ -503,6 +560,46 @@ def stream_capture_sharded(
                 f"stream worker {worker_id} failed at shard packet "
                 f"{consumed}:\n{trace}"
             )
+
+    def _trim_retained(state: _WorkerState, consumed: int) -> None:
+        # Drop retained rows up to the acked cursor. Wire tuples are
+        # one row each; a column slice may straddle the cursor, in
+        # which case its tail is kept as a view.
+        drop = consumed - state.retained_base
+        retained = state.retained
+        index = 0
+        while index < len(retained) and drop > 0:
+            item = retained[index]
+            size = len(item) if isinstance(item, ColumnBatch) else 1
+            if size <= drop:
+                drop -= size
+                index += 1
+            else:
+                retained[index] = item.slice(drop, size)
+                drop = 0
+        if index:
+            del retained[:index]
+        state.retained_rows -= consumed - state.retained_base
+        state.retained_base = consumed
+
+    def _retained_since(state: _WorkerState, resume_from: int) -> list:
+        # The replay slice from an absolute shard-row cursor, again
+        # splitting a straddling column slice on its row boundary.
+        skip = resume_from - state.retained_base
+        if skip <= 0:
+            return list(state.retained)
+        replay: list = []
+        for item in state.retained:
+            size = len(item) if isinstance(item, ColumnBatch) else 1
+            if skip >= size:
+                skip -= size
+                continue
+            if skip:
+                replay.append(item.slice(skip, size))
+                skip = 0
+            else:
+                replay.append(item)
+        return replay
 
     def _pump() -> None:
         # Each worker has its own result queue, so a killed worker can
@@ -571,8 +668,8 @@ def stream_capture_sharded(
         # Replay retention from the checkpoint cursor. Retention covers
         # [retained_base, sent) and the checkpoint can only be newer
         # than the last *acked* one, so the slice is always in range.
-        replay = state.retained[resume_from - state.retained_base:]
-        m_replayed.inc(len(replay))
+        replay = _retained_since(state, resume_from)
+        m_replayed.inc(_rows_in(replay))
         was_eof = state.eof_sent
         state.sent = resume_from
         state.next_ckpt_at = (
@@ -599,12 +696,14 @@ def stream_capture_sharded(
 
     def _dispatch(state: _WorkerState, rows: list, *, retain: bool) -> None:
         _send(state, ("chunk", rows))
+        n_rows = _rows_in(rows)
         if retain:
-            m_dispatched.inc(len(rows))
+            m_dispatched.inc(n_rows)
             state.retained.extend(rows)
+            state.retained_rows += n_rows
             state.retained_peak = max(state.retained_peak,
-                                      len(state.retained))
-        state.sent += len(rows)
+                                      state.retained_rows)
+        state.sent += n_rows
         while state.sent >= state.next_ckpt_at:
             _send(state, ("ckpt",))
             state.next_ckpt_at += checkpoint_every
@@ -612,6 +711,7 @@ def stream_capture_sharded(
     def _flush_pending(state: _WorkerState) -> None:
         if state.pending:
             rows, state.pending = state.pending, []
+            state.pending_rows = 0
             _dispatch(state, rows, retain=True)
 
     def _check_liveness() -> None:
@@ -629,24 +729,54 @@ def stream_capture_sharded(
             _spawn(state)
 
         # ---- Phase 3: dispatch. --------------------------------------
-        for packet in stream:
-            if stream_start is None:
-                stream_start = time.perf_counter()
-            if pace is not None:
-                if pace_origin is None:
-                    pace_origin = packet.timestamp
-                target = stream_start + (packet.timestamp - pace_origin) / pace
-                delay = target - time.perf_counter()
-                if delay > 0:
-                    time.sleep(delay)
-            state = states[shard_for_packet(packet, workers)]
-            state.pending.append(_encode_packet(packet))
-            packets_streamed += 1
-            if len(state.pending) >= chunk_packets:
-                _flush_pending(state)
-                _pump()
-                if exporter is not None:
-                    exporter.maybe_export(_obs_tree)
+        if columnar:
+            # Column-slice IPC: shard ids come vectorized off the flow
+            # table; each worker's rows cross the boundary as one
+            # compact column slice (``take`` drops hydration sources,
+            # so a slice pickles as bare arrays).
+            import itertools
+
+            batches = itertools.chain(
+                [leftover] if leftover is not None else [], batch_stream
+            )
+            for batch in batches:
+                if stream_start is None:
+                    stream_start = time.perf_counter()
+                shard_ids = shard_ids_for_batch(batch, workers)
+                packets_streamed += len(batch)
+                for state in states:
+                    selected = np.nonzero(shard_ids == state.worker_id)[0]
+                    if selected.size == 0:
+                        continue
+                    state.pending.append(batch.take(selected))
+                    state.pending_rows += int(selected.size)
+                    if state.pending_rows >= chunk_packets:
+                        _flush_pending(state)
+                        _pump()
+                        if exporter is not None:
+                            exporter.maybe_export(_obs_tree)
+        else:
+            for packet in stream:
+                if stream_start is None:
+                    stream_start = time.perf_counter()
+                if pace is not None:
+                    if pace_origin is None:
+                        pace_origin = packet.timestamp
+                    target = (
+                        stream_start + (packet.timestamp - pace_origin) / pace
+                    )
+                    delay = target - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                state = states[shard_for_packet(packet, workers)]
+                state.pending.append(_encode_packet(packet))
+                state.pending_rows += 1
+                packets_streamed += 1
+                if state.pending_rows >= chunk_packets:
+                    _flush_pending(state)
+                    _pump()
+                    if exporter is not None:
+                        exporter.maybe_export(_obs_tree)
         if stream_start is None:
             stream_start = time.perf_counter()
 
@@ -770,6 +900,7 @@ def stream_capture_sharded(
         y_true=y_true,
         notes={
             "scoring_path": detector.scoring_path,
+            "ingest_backend": resolved_ingest,
             # The compute backends the supervisor's detector template
             # resolved to; every worker clones the same template.
             **backends.backend_notes(getattr(detector, "ids", None)),

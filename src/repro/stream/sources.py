@@ -68,17 +68,33 @@ class PcapReplaySource:
     memory is O(1) in capture size. Labels are *not* ground truth: pcap
     carries no labels, so every packet arrives with ``label == 0`` and
     ``labelled`` is False.
+
+    ``iter_batches`` exposes the same capture as zero-copy column
+    batches (:class:`~repro.net.columnar.ColumnBatch`) for the columnar
+    ingest backend; ``ingest_backend`` records the caller's requested
+    backend name so session runners can resolve it once per stream.
     """
 
     labelled = False
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, *, ingest_backend: str | None = None
+    ) -> None:
         self.path = Path(path)
+        self.ingest_backend = ingest_backend
 
     def __iter__(self) -> Iterator[Packet]:
         from repro.net.pcap import PcapReader
 
         return iter(PcapReader(self.path))
+
+    def iter_batches(self, batch_size: int | None = None):
+        """Column batches through the mmap decoder (restartable)."""
+        from repro.net.columnar import DEFAULT_BATCH_SIZE, ColumnarPcapReader
+
+        return iter(ColumnarPcapReader(
+            self.path, batch_size=batch_size or DEFAULT_BATCH_SIZE
+        ))
 
     def describe(self) -> str:
         return f"pcap:{self.path}"

@@ -18,17 +18,20 @@ from repro.features import _native
 class TestRegistry:
     def test_components_and_declared_backends(self):
         assert set(backends.components()) == {
-            backends.FEATURE_ENGINE, backends.ENSEMBLE,
+            backends.FEATURE_ENGINE, backends.INGEST, backends.ENSEMBLE,
         }
         assert backends.backend_names(backends.FEATURE_ENGINE) == (
             "scalar", "vector-numpy", "vector-native", "vector-native-mt",
+        )
+        assert backends.backend_names(backends.INGEST) == (
+            "packet-objects", "columnar-mmap",
         )
         assert backends.backend_names(backends.ENSEMBLE) == (
             "per-row", "batched-einsum",
         )
 
     def test_unknown_component_and_backend_errors_name_the_known_set(self):
-        with pytest.raises(KeyError, match="feature-engine, ensemble"):
+        with pytest.raises(KeyError, match="feature-engine, ingest, ensemble"):
             backends.backend_names("gpu")
         with pytest.raises(KeyError) as excinfo:
             backends.get_backend(backends.FEATURE_ENGINE, "vector-cuda")
@@ -247,3 +250,80 @@ class TestBackendsCLI:
         profile = json.loads(out.read_text())
         assert profile["feature_backend"] == "vector-numpy"
         assert profile["ensemble_backend"] == "batched-einsum"
+
+
+class TestMtAutoRankDemotion:
+    """Auto ranking trusts the measured MT probe over the core count."""
+
+    def _fresh_probe(self, monkeypatch, value: str) -> None:
+        from repro.features import vector
+
+        monkeypatch.setenv(vector.MT_PROBE_ENV, value)
+        vector.measured_mt_speedup.cache_clear()
+
+    @pytest.fixture(autouse=True)
+    def _restore_probe_cache(self):
+        from repro.features import vector
+
+        yield
+        vector.measured_mt_speedup.cache_clear()
+
+    def test_measured_slowdown_demotes_mt_below_native(self, monkeypatch):
+        from repro.backends import registry
+
+        # Plenty of cores, but the probe measured the pool *slower*
+        # than single-thread (the contended-runner case: 0.93x). The
+        # rank must drop below vector-native's priority 20.
+        monkeypatch.setattr(registry.os, "cpu_count", lambda: 4)
+        self._fresh_probe(monkeypatch, "0.93")
+        assert registry._mt_auto_rank() == 15
+        if _native.load_kernel() is not None:
+            assert backends.resolve(backends.FEATURE_ENGINE).name == (
+                "vector-native"
+            )
+
+    def test_measured_speedup_keeps_mt_on_top(self, monkeypatch):
+        from repro.backends import registry
+
+        monkeypatch.setattr(registry.os, "cpu_count", lambda: 4)
+        self._fresh_probe(monkeypatch, "1.8")
+        assert registry._mt_auto_rank() == 30
+        if _native.load_kernel() is not None:
+            assert backends.resolve(backends.FEATURE_ENGINE).name == (
+                "vector-native-mt"
+            )
+
+    def test_single_core_demotes_without_probing(self, monkeypatch):
+        from repro.backends import registry
+
+        monkeypatch.setattr(registry.os, "cpu_count", lambda: 1)
+        # Even a glowing measurement cannot promote MT on one core.
+        self._fresh_probe(monkeypatch, "2.5")
+        assert registry._mt_auto_rank() == 15
+
+    def test_probe_off_falls_back_to_core_count(self, monkeypatch):
+        from repro.backends import registry
+
+        monkeypatch.setattr(registry.os, "cpu_count", lambda: 4)
+        self._fresh_probe(monkeypatch, "off")
+        from repro.features import vector
+
+        assert vector.measured_mt_speedup() is None
+        assert registry._mt_auto_rank() == 30
+
+
+class TestIngestRegistry:
+    def test_ingest_backends_always_available(self):
+        names = [
+            spec.name
+            for spec in backends.available_backends(backends.INGEST)
+        ]
+        assert names == ["packet-objects", "columnar-mmap"]
+
+    def test_auto_prefers_columnar(self):
+        assert backends.resolve(backends.INGEST).name == "columnar-mmap"
+        assert backends.default_ingest_backend() == "columnar-mmap"
+
+    def test_explicit_names_resolve(self):
+        for name in ("packet-objects", "columnar-mmap"):
+            assert backends.resolve(backends.INGEST, name).name == name

@@ -89,7 +89,7 @@ class TestCommands:
         assert main(["profile", "--dataset", "mirai", "--scale", "0.03",
                      "--packets", "300", "--json", str(report)]) == 0
         out = capsys.readouterr().out
-        for stage in ("parse", "netstat", "kitnet-train",
+        for stage in ("ingest", "netstat", "kitnet-train",
                       "kitnet-train-batched", "kitnet", "kitnet-batch",
                       "total"):
             assert stage in out
@@ -99,9 +99,10 @@ class TestCommands:
         assert payload["packets"] == 300
         assert payload["engine"] == "vector"
         assert [s["stage"] for s in payload["stages"]] == [
-            "parse", "netstat", "kitnet-train", "kitnet-train-batched",
+            "ingest", "netstat", "kitnet-train", "kitnet-train-batched",
             "kitnet", "kitnet-batch"
         ]
+        assert payload["ingest_backend"] == "packet-objects"
         assert all(s["seconds"] >= 0 for s in payload["stages"])
         # The default engine is compared against the scalar reference.
         assert payload["netstat_speedup"] is not None

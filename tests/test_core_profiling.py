@@ -18,7 +18,7 @@ from repro.core.profiling import (
 )
 
 EXPECTED_STAGES = [
-    "parse",
+    "ingest",
     "netstat",
     "kitnet-train",
     "kitnet-train-batched",
@@ -50,6 +50,31 @@ class TestCompareScalarOff:
             assert stage.packets > 0
         assert profile.kitnet_batch_parity is True
 
+    def test_default_ingest_backend_recorded(self, profile):
+        assert profile.ingest_backend == "packet-objects"
+        assert profile.to_dict()["ingest_backend"] == "packet-objects"
+        assert "ingest=packet-objects" in profile.render()
+
+
+class TestColumnarIngest:
+    def test_columnar_profile_same_shape(self):
+        profile = profile_packet_path(
+            "Mirai", seed=0, scale=0.02, max_packets=400,
+            compare_scalar=False, ingest_backend="columnar-mmap",
+        )
+        assert profile.ingest_backend == "columnar-mmap"
+        assert [stage.stage for stage in profile.stages] == EXPECTED_STAGES
+        assert profile.packets == 400
+        assert profile.kitnet_batch_parity is True
+        assert "ingest=columnar-mmap" in profile.render()
+
+    def test_unknown_ingest_backend_rejected(self):
+        with pytest.raises(KeyError):
+            profile_packet_path(
+                "Mirai", seed=0, scale=0.02, max_packets=50,
+                compare_scalar=False, ingest_backend="not-a-backend",
+            )
+
 
 class TestStageShares:
     def test_rendered_shares_sum_to_100(self, profile):
@@ -78,7 +103,7 @@ class TestStageShares:
         profile = PacketPathProfile(
             dataset="x", seed=0, scale=0.1, packets=0,
             engine="vector", kernel="numpy",
-            stages=(StageTiming("parse", 0.0, 0),),
+            stages=(StageTiming("ingest", 0.0, 0),),
         )
         rendered = profile.render()
         assert "0.0%" in rendered
@@ -86,7 +111,7 @@ class TestStageShares:
 
 class TestStageTimingDerived:
     def test_per_packet_and_pps(self):
-        timing = StageTiming("parse", seconds=2.0, packets=1000)
+        timing = StageTiming("ingest", seconds=2.0, packets=1000)
         assert timing.per_packet_us == pytest.approx(2000.0)
         assert timing.packets_per_second == pytest.approx(500.0)
 
